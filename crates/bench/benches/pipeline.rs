@@ -1,0 +1,133 @@
+//! Criterion micro-benchmarks covering every layer of the reproduction:
+//! simulator throughput per steering policy, compiler-pass cost (the VC
+//! pass vs the OB and RHOP baselines), and one mini evaluation cell per
+//! paper experiment (Fig. 5 / Fig. 6 share cells; Fig. 7 uses the
+//! 4-cluster machine; the Sec. 2.1 motivation uses OP-parallel).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use virtclust_core::{run_point, Configuration};
+use virtclust_uarch::MachineConfig;
+use virtclust_workloads::spec2000_points;
+
+const BENCH_UOPS: u64 = 8_000;
+
+fn sim_throughput(c: &mut Criterion) {
+    let points = spec2000_points();
+    let point = points.iter().find(|p| p.name == "gzip-1").unwrap();
+    let machine = MachineConfig::paper_2cluster();
+    let mut group = c.benchmark_group("sim_throughput");
+    group.throughput(Throughput::Elements(BENCH_UOPS));
+    for config in [
+        Configuration::Op,
+        Configuration::OpParallel,
+        Configuration::OneCluster,
+        Configuration::Ob,
+        Configuration::Rhop,
+        Configuration::Vc { num_vcs: 2 },
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(config.name(2)), |b| {
+            b.iter(|| run_point(point, &config, &machine, BENCH_UOPS));
+        });
+    }
+    group.finish();
+}
+
+fn compiler_passes(c: &mut Criterion) {
+    use virtclust_compiler::SoftwarePass;
+    let points = spec2000_points();
+    let point = points.iter().find(|p| p.name == "gcc-1").unwrap();
+    let program = point.build_program();
+    let lat = MachineConfig::default().latencies;
+    let mut group = c.benchmark_group("compiler_passes");
+    group.throughput(Throughput::Elements(program.static_len() as u64));
+    for (name, pass) in [
+        ("vc2", SoftwarePass::Vc(virtclust_compiler::VcConfig::new(2))),
+        ("ob2", SoftwarePass::Ob { clusters: 2 }),
+        ("rhop2", SoftwarePass::Rhop { clusters: 2 }),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || program.clone(),
+                |mut p| pass.apply(&mut p, &lat),
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn fig5_cells(c: &mut Criterion) {
+    let points = spec2000_points();
+    let machine = MachineConfig::paper_2cluster();
+    let mut group = c.benchmark_group("fig5_cell");
+    group.sample_size(10);
+    for name in ["galgel", "mcf"] {
+        let point = points.iter().find(|p| p.name == name).unwrap();
+        for config in [Configuration::Op, Configuration::Vc { num_vcs: 2 }] {
+            group.bench_function(
+                BenchmarkId::new(name, config.name(2)),
+                |b| b.iter(|| run_point(point, &config, &machine, BENCH_UOPS)),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn fig7_cells(c: &mut Criterion) {
+    let points = spec2000_points();
+    let machine = MachineConfig::paper_4cluster();
+    let point = points.iter().find(|p| p.name == "crafty").unwrap();
+    let mut group = c.benchmark_group("fig7_cell");
+    group.sample_size(10);
+    for config in [
+        Configuration::Op,
+        Configuration::Vc { num_vcs: 4 },
+        Configuration::Vc { num_vcs: 2 },
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(config.name(4)), |b| {
+            b.iter(|| run_point(point, &config, &machine, BENCH_UOPS));
+        });
+    }
+    group.finish();
+}
+
+fn motivation_cells(c: &mut Criterion) {
+    let points = spec2000_points();
+    let machine = MachineConfig::paper_2cluster();
+    let point = points.iter().find(|p| p.name == "eon-1").unwrap();
+    let mut group = c.benchmark_group("motivation_cell");
+    group.sample_size(10);
+    for config in [Configuration::Op, Configuration::OpParallel] {
+        group.bench_function(BenchmarkId::from_parameter(config.name(2)), |b| {
+            b.iter(|| run_point(point, &config, &machine, BENCH_UOPS));
+        });
+    }
+    group.finish();
+}
+
+fn workload_generation(c: &mut Criterion) {
+    let points = spec2000_points();
+    let point = points.iter().find(|p| p.name == "swim").unwrap();
+    c.bench_function("build_program_swim", |b| b.iter(|| point.build_program()));
+    let program = point.build_program();
+    c.bench_function("expand_10k_uops_swim", |b| {
+        b.iter(|| {
+            use virtclust_uarch::TraceSource;
+            let mut ex = point.expander(&program);
+            for _ in 0..10_000 {
+                ex.next_uop();
+            }
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    sim_throughput,
+    compiler_passes,
+    fig5_cells,
+    fig7_cells,
+    motivation_cells,
+    workload_generation
+);
+criterion_main!(benches);

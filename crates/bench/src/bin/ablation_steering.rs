@@ -1,0 +1,73 @@
+//! Hardware-steering ablations beyond Table 3: what each ingredient of the
+//! OP baseline buys, measured against historical alternatives.
+//!
+//! * `mod-N` [Baniasadi & Moshovos '00] — dependence-blind round-robin:
+//!   shows why dependence awareness exists;
+//! * `OP-nostall` — OP without the stall-over-steer rule: ablates the
+//!   "stalling beats steering" insight of [González '04] / [Salverda &
+//!   Zilles '05] that the paper's baseline incorporates;
+//! * `OP-parallel` — OP with stale bundle-entry locations (Sec. 2.1).
+
+use virtclust_bench::{threads, uop_budget, write_result};
+use virtclust_core::{run_matrix, Configuration};
+use virtclust_uarch::MachineConfig;
+use virtclust_workloads::spec2000_points;
+
+fn main() {
+    let uops = uop_budget(40_000);
+    let machine = MachineConfig::paper_2cluster();
+    let points: Vec<_> = spec2000_points()
+        .into_iter()
+        .filter(|p| {
+            ["gzip-1", "crafty", "eon-1", "vortex-1", "galgel", "swim", "mesa", "sixtrack"]
+                .contains(&p.name.as_str())
+        })
+        .collect();
+    let configs = vec![
+        Configuration::Op,
+        Configuration::OpNoStall,
+        Configuration::OpParallel,
+        Configuration::ModN { slice: 1 },
+        Configuration::ModN { slice: 3 },
+        Configuration::ModN { slice: 8 },
+        Configuration::OneCluster,
+    ];
+
+    eprintln!(
+        "ablation_steering: {} points x {} configs, {uops} uops/cell...",
+        points.len(),
+        configs.len()
+    );
+    let matrix = run_matrix(&machine, &configs, &points, uops, threads());
+
+    let mut out = String::from(
+        "## Hardware-steering ablation (2-cluster machine, mini-suite)\n\n\
+         | config | mean slowdown vs OP (%) | copies/kuop | alloc stalls |\n|---|---|---|---|\n",
+    );
+    for (ci, config) in matrix.configs.iter().enumerate() {
+        let (mut slow, mut cpk, mut stalls) = (0.0, 0.0, 0u64);
+        for pi in 0..points.len() {
+            let base = matrix.cell(pi, 0);
+            let s = matrix.cell(pi, ci);
+            slow += (s.cycles as f64 / base.cycles as f64 - 1.0) * 100.0;
+            cpk += s.copies_per_kuop();
+            stalls += s.allocation_stalls();
+        }
+        let n = points.len() as f64;
+        out.push_str(&format!(
+            "| {} | {:+.2} | {:.1} | {} |\n",
+            config.name(2),
+            slow / n,
+            cpk / n,
+            stalls / points.len() as u64
+        ));
+    }
+    out.push_str(
+        "\nReading: dependence-blind mod-N pays heavily in copies; removing\n\
+         stall-over-steer from OP trades policy stalls for mis-steered copies;\n\
+         stale-location (parallel) steering shows the Sec. 2.1 cost at scale.\n",
+    );
+    println!("{out}");
+    let path = write_result("ablation_steering.md", &out);
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,79 @@
+//! Ablations of the two VC design choices DESIGN.md calls out:
+//!
+//! 1. **Remap hysteresis** — the dead-band on the Fig. 4 mapping decision
+//!    (0 = remap at every chain leader, the literal reading of the paper).
+//!    Sweeping it shows the copy/balance trade-off directly.
+//! 2. **Chain granularity** — bounding chain length inserts extra leaders
+//!    (more remap opportunities, more migration copies).
+
+use virtclust_bench::{uop_budget, write_result};
+use virtclust_compiler::{SoftwarePass, VcConfig};
+use virtclust_sim::{simulate, RunLimits};
+use virtclust_steer::VcMapper;
+use virtclust_uarch::MachineConfig;
+use virtclust_workloads::spec2000_points;
+
+fn main() {
+    let uops = uop_budget(40_000);
+    let machine = MachineConfig::paper_2cluster();
+    let points = spec2000_points();
+    let subset: Vec<_> = points
+        .iter()
+        .filter(|p| ["gzip-1", "crafty", "galgel", "swim", "vortex-1"].contains(&p.name.as_str()))
+        .collect();
+
+    let mut out = String::from("## Ablation 1 — VC remap hysteresis\n\n");
+    out.push_str("| threshold | mean cycles | copies/kuop | alloc stalls |\n|---|---|---|---|\n");
+    for threshold in [0u32, 4, 8, 16, 32, 64, 128] {
+        let (mut cyc, mut cpk, mut stalls) = (0u64, 0.0, 0u64);
+        for point in &subset {
+            let mut program = point.build_program();
+            SoftwarePass::Vc(VcConfig::new(2)).apply(&mut program, &machine.latencies);
+            let mut trace = point.expander(&program);
+            let mut policy = VcMapper::with_threshold(2, threshold);
+            let stats = simulate(&machine, &mut trace, &mut policy, &RunLimits::uops(uops));
+            cyc += stats.cycles;
+            cpk += stats.copies_per_kuop();
+            stalls += stats.allocation_stalls();
+        }
+        let n = subset.len() as u64;
+        out.push_str(&format!(
+            "| {threshold} | {} | {:.1} | {} |\n",
+            cyc / n,
+            cpk / n as f64,
+            stalls / n
+        ));
+    }
+
+    out.push_str("\n## Ablation 2 — maximum chain length (extra leaders)\n\n");
+    out.push_str("| max chain len | mean cycles | copies/kuop | leaders/kuop |\n|---|---|---|---|\n");
+    for max_len in [None, Some(32usize), Some(16), Some(8), Some(4), Some(2)] {
+        let (mut cyc, mut cpk, mut remaps) = (0u64, 0.0, 0u64);
+        let mut committed = 0u64;
+        for point in &subset {
+            let mut program = point.build_program();
+            let mut cfg = VcConfig::new(2);
+            cfg.max_chain_len = max_len;
+            SoftwarePass::Vc(cfg).apply(&mut program, &machine.latencies);
+            let mut trace = point.expander(&program);
+            let mut policy = VcMapper::new(2);
+            let stats = simulate(&machine, &mut trace, &mut policy, &RunLimits::uops(uops));
+            cyc += stats.cycles;
+            cpk += stats.copies_per_kuop();
+            remaps += policy.remaps();
+            committed += stats.committed_uops;
+        }
+        let n = subset.len() as u64;
+        let label = max_len.map_or("unbounded".to_string(), |l| l.to_string());
+        out.push_str(&format!(
+            "| {label} | {} | {:.1} | {:.1} |\n",
+            cyc / n,
+            cpk / n as f64,
+            1000.0 * remaps as f64 / committed as f64
+        ));
+    }
+
+    println!("{out}");
+    let path = write_result("ablation_vc.md", &out);
+    eprintln!("wrote {}", path.display());
+}

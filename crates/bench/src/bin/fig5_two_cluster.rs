@@ -1,0 +1,44 @@
+//! Regenerates **Figure 5**: performance of one-cluster, OB, RHOP and VC
+//! relative to the hardware-only OP baseline on the 2-cluster machine —
+//! per trace point (a: SPECint, b: SPECfp) and the averages (c).
+//!
+//! Paper reference values (CPU2000 AVG slowdown vs OP): one-cluster
+//! 12.19 %, OB 6.50 %, RHOP 5.40 %, VC 2.62 %.
+
+use virtclust_bench::{threads, uop_budget, write_result};
+use virtclust_core::{fig5, fig6, run_matrix, Configuration};
+use virtclust_uarch::MachineConfig;
+use virtclust_workloads::spec2000_points;
+
+fn main() {
+    let uops = uop_budget(120_000);
+    let machine = MachineConfig::paper_2cluster();
+    let points = spec2000_points();
+    let configs = Configuration::table3().to_vec();
+
+    eprintln!(
+        "fig5: {} points x {} configs, {} uops/cell, 2 clusters...",
+        points.len(),
+        configs.len(),
+        uops
+    );
+    let t0 = std::time::Instant::now();
+    let matrix = run_matrix(&machine, &configs, &points, uops, threads());
+    eprintln!("fig5: simulated in {:.1}s", t0.elapsed().as_secs_f64());
+
+    let data = fig5(&matrix);
+    println!("## Figure 5 — slowdown (%) vs OP, 2-cluster machine\n");
+    println!("{}", data.to_markdown());
+    println!(
+        "Paper (CPU2000 AVG): one-cluster 12.19, OB 6.50, RHOP 5.40, VC 2.62\n"
+    );
+    let md_path = write_result("fig5.md", &data.to_markdown());
+    let csv_path = write_result("fig5.csv", &data.to_csv());
+
+    // Fig. 6 shares the same matrix; persist its CSV here too so a single
+    // expensive run feeds both figures.
+    let f6 = fig6(&matrix);
+    let f6_path = write_result("fig6.csv", &f6.to_csv());
+
+    eprintln!("wrote {}, {}, {}", md_path.display(), csv_path.display(), f6_path.display());
+}

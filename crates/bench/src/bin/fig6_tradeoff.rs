@@ -1,0 +1,38 @@
+//! Regenerates **Figure 6**: per-trace scatter data of copy reduction
+//! (a-row) and workload-balance improvement (b-row) against speedup, for
+//! VC vs OB (x.1), VC vs RHOP (x.2) and VC vs OP (x.3).
+//!
+//! The paper reads three facts off these plots (Sec. 5.3): VC beats OB via
+//! both fewer copies and better balance; VC beats RHOP via copies while
+//! losing balance; OP beats VC via copies while losing balance — copy
+//! reduction matters more than balance for most benchmarks.
+
+use virtclust_bench::{threads, uop_budget, write_result};
+use virtclust_core::{fig6, run_matrix, Configuration};
+use virtclust_uarch::MachineConfig;
+use virtclust_workloads::spec2000_points;
+
+fn main() {
+    let uops = uop_budget(120_000);
+    let machine = MachineConfig::paper_2cluster();
+    let points = spec2000_points();
+    let configs = vec![
+        Configuration::Op,
+        Configuration::Ob,
+        Configuration::Rhop,
+        Configuration::Vc { num_vcs: 2 },
+    ];
+
+    eprintln!("fig6: {} points x {} configs, {} uops/cell...", points.len(), configs.len(), uops);
+    let matrix = run_matrix(&machine, &configs, &points, uops, threads());
+    let data = fig6(&matrix);
+
+    println!("## Figure 6 — VC trade-off scatter data (2-cluster machine)\n");
+    println!("{}", data.quadrant_summary());
+    println!("Full per-point series written as CSV (plot speedup on x, copy");
+    println!("reduction / balance improvement on y to recreate the six panels).");
+
+    let csv_path = write_result("fig6.csv", &data.to_csv());
+    let md_path = write_result("fig6_quadrants.md", &data.quadrant_summary());
+    eprintln!("wrote {}, {}", csv_path.display(), md_path.display());
+}

@@ -1,0 +1,52 @@
+//! Regenerates **Figure 7**: 4-cluster scalability — slowdown vs OP for
+//! OB, RHOP, VC(4→4) and VC(2→4), plus the Sec. 5.4 copy comparison
+//! (paper: VC(4→4) generates ~28 % more copies than VC(2→4)).
+//!
+//! Paper reference values (CPU2000 AVG slowdown vs OP): OB 12.45 %,
+//! RHOP 12.69 %, VC(4→4) 12.96 %, VC(2→4) 3.64 %.
+
+use virtclust_bench::{threads, uop_budget, write_result};
+use virtclust_core::{fig7, run_matrix, Configuration};
+use virtclust_uarch::MachineConfig;
+use virtclust_workloads::spec2000_points;
+
+fn main() {
+    let uops = uop_budget(120_000);
+    let machine = MachineConfig::paper_4cluster();
+    let points = spec2000_points();
+    let configs = vec![
+        Configuration::Op,
+        Configuration::Ob,
+        Configuration::Rhop,
+        Configuration::Vc { num_vcs: 4 },
+        Configuration::Vc { num_vcs: 2 },
+    ];
+
+    eprintln!(
+        "fig7: {} points x {} configs, {} uops/cell, 4 clusters...",
+        points.len(),
+        configs.len(),
+        uops
+    );
+    let t0 = std::time::Instant::now();
+    let matrix = run_matrix(&machine, &configs, &points, uops, threads());
+    eprintln!("fig7: simulated in {:.1}s", t0.elapsed().as_secs_f64());
+
+    let data = fig7(&matrix);
+    println!("## Figure 7 — slowdown (%) vs OP, 4-cluster machine\n");
+    println!("{}", data.table.to_markdown());
+    println!(
+        "VC(4->4) generates {:.1}% more copies than VC(2->4) on average (paper: ~28%).\n",
+        data.vc44_copy_inflation_pct
+    );
+    println!("Paper (CPU2000 AVG): OB 12.45, RHOP 12.69, VC(4->4) 12.96, VC(2->4) 3.64\n");
+
+    let mut md = data.table.to_markdown();
+    md.push_str(&format!(
+        "\nVC(4->4) copy inflation vs VC(2->4): {:.1}% (paper ~28%)\n",
+        data.vc44_copy_inflation_pct
+    ));
+    let md_path = write_result("fig7.md", &md);
+    let csv_path = write_result("fig7.csv", &data.table.to_csv());
+    eprintln!("wrote {}, {}", md_path.display(), csv_path.display());
+}

@@ -1,0 +1,36 @@
+//! Diagnostic probe: per-point IPC and bottleneck stats under OP vs
+//! one-cluster. Not part of the paper reproduction; used to calibrate the
+//! workload suite (documented in DESIGN.md).
+
+use virtclust_bench::uop_budget;
+use virtclust_core::{run_point, Configuration};
+use virtclust_uarch::MachineConfig;
+use virtclust_workloads::spec2000_points;
+
+fn main() {
+    let uops = uop_budget(20_000);
+    let machine = MachineConfig::paper_2cluster();
+    println!(
+        "{:<10} {:>6} {:>6} {:>7} {:>7} {:>7} {:>8} {:>8} {:>7}",
+        "point", "ipcOP", "ipc1c", "mispr%", "l1hit%", "cp/ku", "iqstall", "starved", "robfull"
+    );
+    for point in spec2000_points().iter().filter(|p| {
+        ["gzip-1", "gcc-1", "mcf", "crafty", "eon-1", "vpr-2", "galgel", "swim", "mesa", "art-1", "sixtrack", "equake"]
+            .contains(&p.name.as_str())
+    }) {
+        let op = run_point(point, &Configuration::Op, &machine, uops);
+        let one = run_point(point, &Configuration::OneCluster, &machine, uops);
+        println!(
+            "{:<10} {:>6.2} {:>6.2} {:>6.2} {:>7.1} {:>7.1} {:>8} {:>8} {:>7}",
+            point.name,
+            op.ipc(),
+            one.ipc(),
+            100.0 * op.mispredict_rate(),
+            100.0 * op.l1_hit_rate(),
+            op.copies_per_kuop(),
+            op.allocation_stalls(),
+            op.frontend_starved_cycles,
+            op.dispatch_stalls[0],
+        );
+    }
+}

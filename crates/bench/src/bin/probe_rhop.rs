@@ -1,0 +1,32 @@
+use virtclust_compiler::rhop::{rhop_place_region, RhopConfig};
+use virtclust_ddg::{Criticality, Ddg};
+use virtclust_uarch::LatencyModel;
+use virtclust_workloads::spec2000_points;
+
+fn main() {
+    let points = spec2000_points();
+    let lat = LatencyModel::default();
+    for name in ["gzip-1", "crafty", "galgel"] {
+        let point = points.iter().find(|p| p.name == name).unwrap();
+        let program = point.build_program();
+        for (tol, bonus) in [(0.04f64, 2.0f64), (0.15, 4.0)] {
+            let mut total_cut = 0usize;
+            let mut imb = 0.0;
+            let mut n_regions = 0;
+            for region in &program.regions {
+                let mut r = region.clone();
+                let mut cfg = RhopConfig::new(2);
+                cfg.balance_tolerance = tol;
+                cfg.criticality_bonus = bonus;
+                let parts = rhop_place_region(&mut r, &lat, &cfg);
+                let ddg = Ddg::from_region(&r, &lat);
+                let _ = Criticality::compute(&ddg);
+                total_cut += parts.edge_cut(&ddg);
+                let w: Vec<f64> = (0..ddg.n() as u32).map(|i| ddg.latency(i) as f64).collect();
+                imb += parts.imbalance(&w);
+                n_regions += 1;
+            }
+            println!("{name} tol={tol} bonus={bonus}: cut={total_cut} mean_imb={:.3}", imb / n_regions as f64);
+        }
+    }
+}

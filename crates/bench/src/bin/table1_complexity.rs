@@ -1,0 +1,22 @@
+//! Regenerates **Table 1**: steering-unit complexity comparison between the
+//! hardware-only occupancy-aware scheme and the hybrid virtual-clustering
+//! scheme — the qualitative component table plus this reproduction's
+//! quantitative structural estimates.
+
+use virtclust_bench::write_result;
+use virtclust_steer::table1_markdown;
+use virtclust_uarch::MachineConfig;
+
+fn main() {
+    let md2 = table1_markdown(&MachineConfig::paper_2cluster(), 2);
+    let md4 = table1_markdown(&MachineConfig::paper_4cluster(), 2);
+    println!("## Table 1 — steering complexity, 2-cluster machine (2 VCs)\n");
+    println!("{md2}");
+    println!("## Table 1 (extension) — 4-cluster machine (2 VCs)\n");
+    println!("{md4}");
+    let out = format!(
+        "## Table 1 — 2-cluster machine (2 VCs)\n\n{md2}\n## 4-cluster machine (2 VCs)\n\n{md4}"
+    );
+    let path = write_result("table1.md", &out);
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,15 @@
+//! Regenerates **Table 2**: the architectural parameters of the simulated
+//! machine, as actually resolved by the simulator's configuration.
+
+use virtclust_bench::write_result;
+use virtclust_uarch::MachineConfig;
+
+fn main() {
+    let cfg = MachineConfig::paper_2cluster();
+    cfg.validate().expect("paper configuration must validate");
+    let md = cfg.table2_markdown();
+    println!("## Table 2 — architectural parameters (baseline 2-cluster machine)\n");
+    println!("{md}");
+    let path = write_result("table2.md", &md);
+    eprintln!("wrote {}", path.display());
+}

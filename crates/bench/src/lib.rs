@@ -1,0 +1,72 @@
+//! # virtclust-bench
+//!
+//! Shared plumbing for the benchmark harness binaries that regenerate every
+//! table and figure of Cai et al., IPDPS 2008 (see `src/bin/`), plus the
+//! Criterion micro-benchmarks under `benches/`.
+//!
+//! Binaries honour two environment variables:
+//!
+//! * `VIRTCLUST_UOPS` — micro-ops simulated per (point × configuration)
+//!   cell (default per binary; the paper's PinPoints slices are 10 M
+//!   instructions — scale this up for higher fidelity, down for speed);
+//! * `VIRTCLUST_THREADS` — worker threads (default: all CPUs).
+//!
+//! Every binary prints its result and also writes it under `results/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::path::PathBuf;
+
+/// Micro-op budget per simulation cell: `VIRTCLUST_UOPS` or `default`.
+pub fn uop_budget(default: u64) -> u64 {
+    match std::env::var("VIRTCLUST_UOPS") {
+        Ok(v) => v.replace('_', "").parse().unwrap_or_else(|_| {
+            eprintln!("warning: unparsable VIRTCLUST_UOPS={v}, using {default}");
+            default
+        }),
+        Err(_) => default,
+    }
+}
+
+/// Worker threads for the evaluation matrix: `VIRTCLUST_THREADS` or 0
+/// (= one per CPU).
+pub fn threads() -> usize {
+    std::env::var("VIRTCLUST_THREADS").ok().and_then(|v| v.parse().ok()).unwrap_or(0)
+}
+
+/// Locate the workspace `results/` directory (next to the workspace root's
+/// Cargo.toml), creating it if needed.
+pub fn results_dir() -> PathBuf {
+    let mut dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    dir.pop(); // crates/
+    dir.pop(); // workspace root
+    dir.push("results");
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// Write `content` to `results/<name>`, returning the path.
+pub fn write_result(name: &str, content: &str) -> PathBuf {
+    let path = results_dir().join(name);
+    std::fs::write(&path, content).expect("write result file");
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_defaults_when_env_unset() {
+        std::env::remove_var("VIRTCLUST_UOPS");
+        assert_eq!(uop_budget(1234), 1234);
+    }
+
+    #[test]
+    fn write_result_roundtrips() {
+        let path = write_result("selftest.txt", "hello\n");
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "hello\n");
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,164 @@
+//! Chains and chain leaders (paper Sec. 4.2, Fig. 3).
+//!
+//! *"We refer to a group of instructions in the same virtual cluster that
+//! are mapped into the same physical cluster as chains. The chain leader is
+//! defined as the first instruction of a chain. Special codes are generated
+//! for chain leaders in order to notify the hardware when to update the
+//! mapping table between virtual clusters and physical clusters."*
+//!
+//! A chain must move between physical clusters *as a unit* — its members
+//! are data-dependent on each other, so splitting it would manufacture
+//! copies. Independent subgraphs of the same virtual cluster, however, are
+//! safe remap points. Chains are therefore the weakly-connected components
+//! of the subgraph induced by each virtual cluster, ordered by their first
+//! instruction; that first instruction is the leader (nodes A, B and E in
+//! the paper's Fig. 3).
+
+use virtclust_ddg::{weakly_connected_components, Ddg, Partition};
+
+/// One chain: a virtual cluster id plus the member instructions (ascending
+/// program order; `members[0]` is the chain leader).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Chain {
+    /// The virtual cluster the chain belongs to.
+    pub vc: u32,
+    /// Member node ids in ascending program order.
+    pub members: Vec<u32>,
+}
+
+impl Chain {
+    /// The chain leader (first member in program order).
+    pub fn leader(&self) -> u32 {
+        self.members[0]
+    }
+
+    /// Number of member instructions.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Chains are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// Identify the chains of a virtual-cluster partition.
+///
+/// `max_chain_len` optionally splits long components: a fresh leader is
+/// inserted every `max_chain_len` members, giving the hardware more remap
+/// opportunities at the cost of potential intra-chain copies (an ablation
+/// knob; the paper uses unbounded chains within a region).
+pub fn identify_chains(ddg: &Ddg, parts: &Partition, max_chain_len: Option<usize>) -> Vec<Chain> {
+    let mut chains = Vec::new();
+    for vc in 0..parts.k() {
+        for comp in weakly_connected_components(ddg, |i| parts.part(i) == vc) {
+            match max_chain_len {
+                Some(maxlen) if maxlen >= 1 => {
+                    for piece in comp.chunks(maxlen) {
+                        chains.push(Chain { vc, members: piece.to_vec() });
+                    }
+                }
+                _ => chains.push(Chain { vc, members: comp }),
+            }
+        }
+    }
+    // Order chains by leader so iteration matches program order.
+    chains.sort_by_key(|c| c.leader());
+    chains
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use virtclust_ddg::Partition;
+    use virtclust_uarch::{ArchReg, LatencyModel, RegionBuilder};
+
+    fn r(i: u8) -> ArchReg {
+        ArchReg::int(i)
+    }
+
+    /// The paper's Fig. 3 shape: two virtual clusters; VC0 holds a connected
+    /// chain led by A; VC1 holds two disconnected pieces led by B and E.
+    #[test]
+    fn fig3_like_graph_has_three_chains() {
+        // A(0) -> C(2) -> D(3)      [VC 0]
+        // B(1) -> (feeds D via r4)  [VC 1]
+        // E(4) -> F(5)              [VC 1], independent of B
+        let region = RegionBuilder::new(0, "fig3")
+            .alu(r(1), &[r(1)]) // A
+            .alu(r(4), &[r(9)]) // B
+            .alu(r(2), &[r(1)]) // C
+            .alu(r(3), &[r(2), r(4)]) // D
+            .alu(r(5), &[r(8)]) // E
+            .alu(r(6), &[r(5)]) // F
+            .build();
+        let ddg = Ddg::from_region(&region, &LatencyModel::default());
+        let parts = Partition::from_assign(vec![0, 1, 0, 0, 1, 1], 2);
+        let chains = identify_chains(&ddg, &parts, None);
+        assert_eq!(chains.len(), 3);
+        let leaders: Vec<u32> = chains.iter().map(Chain::leader).collect();
+        assert_eq!(leaders, vec![0, 1, 4], "A, B and E lead");
+        assert_eq!(chains[0].members, vec![0, 2, 3]);
+        assert_eq!(chains[1].members, vec![1]);
+        assert_eq!(chains[2].members, vec![4, 5]);
+    }
+
+    #[test]
+    fn chains_partition_every_node_exactly_once() {
+        let mut b = RegionBuilder::new(0, "mix");
+        for i in 0..12u8 {
+            b = b.alu(r(i % 6), &[r(i % 6)]);
+        }
+        let region = b.build();
+        let ddg = Ddg::from_region(&region, &LatencyModel::default());
+        let assign: Vec<u32> = (0..12).map(|i| (i % 2) as u32).collect();
+        let parts = Partition::from_assign(assign, 2);
+        let chains = identify_chains(&ddg, &parts, None);
+        let mut seen = [false; 12];
+        for c in &chains {
+            for &m in &c.members {
+                assert!(!seen[m as usize], "node {m} in two chains");
+                seen[m as usize] = true;
+                assert_eq!(parts.part(m), c.vc);
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn max_chain_len_splits_long_components() {
+        let mut b = RegionBuilder::new(0, "long");
+        for _ in 0..9 {
+            b = b.alu(r(1), &[r(1)]);
+        }
+        let region = b.build();
+        let ddg = Ddg::from_region(&region, &LatencyModel::default());
+        let parts = Partition::new(9, 1);
+        let unbounded = identify_chains(&ddg, &parts, None);
+        assert_eq!(unbounded.len(), 1);
+        let split = identify_chains(&ddg, &parts, Some(4));
+        assert_eq!(split.len(), 3, "9 nodes / 4 per chain");
+        assert_eq!(split[0].members.len(), 4);
+        assert_eq!(split[2].members.len(), 1);
+        assert_eq!(
+            split.iter().map(Chain::leader).collect::<Vec<_>>(),
+            vec![0, 4, 8]
+        );
+    }
+
+    #[test]
+    fn leaders_are_program_order_minima_of_their_chain() {
+        let region = RegionBuilder::new(0, "t")
+            .alu(r(1), &[r(9)])
+            .alu(r(2), &[r(1)])
+            .alu(r(3), &[r(8)])
+            .build();
+        let ddg = Ddg::from_region(&region, &LatencyModel::default());
+        let parts = Partition::from_assign(vec![0, 0, 0], 1);
+        let chains = identify_chains(&ddg, &parts, None);
+        for c in &chains {
+            assert!(c.members.iter().all(|&m| m >= c.leader()));
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! The static completion-time cost model shared by the compile-time
+//! placement passes.
+//!
+//! Sec. 4.2 of the paper: *"for each instruction, the benefit of assigning
+//! the instruction to all possible VCs is computed and the cluster with the
+//! best benefit is selected. In order to compute such expected benefit, the
+//! completion time of the instruction is used … estimated based on the
+//! dependences, the latencies, and the resource contention in the intended
+//! cluster."*
+//!
+//! [`GreedyPlacer`] walks the DDG top-down (program order is topological)
+//! and, per instruction, estimates its completion time on every candidate
+//! target (virtual cluster for the VC pass, physical cluster for SPDI):
+//!
+//! * **dependences** — operands produced on another target pay the copy
+//!   latency;
+//! * **latencies** — static latencies from the machine's latency model;
+//! * **resource contention** — each target issues `issue_width` ops/cycle,
+//!   so accumulated work delays the start time;
+//! * **criticality** — instructions with slack also pay a load-balance
+//!   penalty, so slack is spent on balance while zero-slack (critical)
+//!   instructions stay with their producers. This is how "the criticality
+//!   of the instructions" enters the benefit function.
+
+use virtclust_ddg::{Criticality, Ddg, Partition};
+
+/// Tuning knobs of the greedy placement cost model.
+#[derive(Debug, Clone, Copy)]
+pub struct PlacerConfig {
+    /// Number of targets (virtual clusters or physical clusters).
+    pub k: u32,
+    /// Per-target issue bandwidth assumed by the resource model
+    /// (ops/cycle; the paper's clusters issue 2 INT + 2 FP).
+    pub issue_width: u64,
+    /// Penalty in cycles for consuming an operand produced on another
+    /// target (the copy latency plus expected queueing).
+    pub copy_penalty: u64,
+    /// Weight of the load-balance term for fully slackful instructions
+    /// (scaled down to zero for critical ones).
+    pub balance_weight: f64,
+}
+
+impl PlacerConfig {
+    /// Defaults matching the paper's machine: 2-wide issue per cluster,
+    /// 1-cycle links (plus one expected queueing cycle).
+    pub fn new(k: u32) -> Self {
+        assert!(k >= 1);
+        PlacerConfig { k, issue_width: 2, copy_penalty: 2, balance_weight: 0.5 }
+    }
+}
+
+/// Greedy top-down completion-time placer.
+#[derive(Debug)]
+pub struct GreedyPlacer {
+    cfg: PlacerConfig,
+}
+
+impl GreedyPlacer {
+    /// Create a placer.
+    pub fn new(cfg: PlacerConfig) -> Self {
+        GreedyPlacer { cfg }
+    }
+
+    /// Partition `ddg` into `cfg.k` targets. `crit` must come from the same
+    /// graph.
+    pub fn place(&self, ddg: &Ddg, crit: &Criticality) -> Partition {
+        let k = self.cfg.k as usize;
+        let n = ddg.n();
+        let mut parts = Partition::new(n, self.cfg.k);
+        if n == 0 {
+            return parts;
+        }
+        // Per-node estimated completion time, per-target accumulated work.
+        let mut completion = vec![0u64; n];
+        let mut load = vec![0u64; k];
+        let cp = crit.cp_length.max(1);
+
+        for i in ddg.topo_order() {
+            let lat = u64::from(ddg.latency(i));
+            let slack_frac = crit.slack(i) as f64 / cp as f64;
+
+            let mut best_t = 0u32;
+            let mut best_score = f64::INFINITY;
+            let mut best_load = u64::MAX;
+            let mut best_completion = 0u64;
+            #[allow(clippy::needless_range_loop)] // t indexes two arrays
+            for t in 0..k {
+                // Dependence-ready time, with copy penalty for remote
+                // producers.
+                let mut ready = 0u64;
+                for &p in ddg.preds(i) {
+                    let mut c = completion[p as usize];
+                    if parts.part(p) != t as u32 {
+                        c += self.cfg.copy_penalty;
+                    }
+                    ready = ready.max(c);
+                }
+                // Resource contention: target t has `load[t]` work and
+                // issues issue_width per cycle.
+                let resource = load[t] / self.cfg.issue_width;
+                let completion_est = ready.max(resource) + lat;
+                // Balance term, active only when the instruction has slack.
+                let score = completion_est as f64
+                    + self.cfg.balance_weight * slack_frac * load[t] as f64;
+                // Strictly better score wins; equal scores go to the
+                // least-loaded target (the tie-break that spreads
+                // independent chains).
+                if score < best_score || (score == best_score && load[t] < best_load) {
+                    best_score = score;
+                    best_load = load[t];
+                    best_t = t as u32;
+                    best_completion = completion_est;
+                }
+            }
+            parts.set(i, best_t);
+            completion[i as usize] = best_completion;
+            load[best_t as usize] += lat;
+        }
+        parts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use virtclust_ddg::Criticality;
+    use virtclust_uarch::{ArchReg, LatencyModel, RegionBuilder};
+
+    fn r(i: u8) -> ArchReg {
+        ArchReg::int(i)
+    }
+
+    fn place(region: &virtclust_uarch::Region, k: u32) -> (Ddg, Partition) {
+        let ddg = Ddg::from_region(region, &LatencyModel::default());
+        let crit = Criticality::compute(&ddg);
+        let parts = GreedyPlacer::new(PlacerConfig::new(k)).place(&ddg, &crit);
+        (ddg, parts)
+    }
+
+    #[test]
+    fn serial_chain_stays_on_one_target() {
+        let mut b = RegionBuilder::new(0, "chain");
+        for _ in 0..10 {
+            b = b.alu(r(1), &[r(1)]);
+        }
+        let (ddg, parts) = place(&b.build(), 2);
+        assert_eq!(parts.edge_cut(&ddg), 0, "no reason to split a serial chain");
+    }
+
+    #[test]
+    fn two_independent_chains_split_across_targets() {
+        let mut b = RegionBuilder::new(0, "2chains");
+        for _ in 0..8 {
+            b = b.alu(r(1), &[r(1)]).alu(r(2), &[r(2)]);
+        }
+        let (ddg, parts) = place(&b.build(), 2);
+        assert_eq!(parts.edge_cut(&ddg), 0, "chains are independent");
+        let sizes = parts.sizes();
+        assert_eq!(sizes, vec![8, 8], "each chain gets its own target");
+    }
+
+    #[test]
+    fn wide_independent_work_is_balanced() {
+        let mut b = RegionBuilder::new(0, "wide");
+        for i in 0..16u8 {
+            b = b.alu(r(i % 16), &[r(i % 16)]);
+        }
+        let (_, parts) = place(&b.build(), 4);
+        let sizes = parts.sizes();
+        let max = *sizes.iter().max().unwrap();
+        let min = *sizes.iter().min().unwrap();
+        assert!(max - min <= 2, "independent ops spread evenly, sizes={sizes:?}");
+    }
+
+    #[test]
+    fn critical_path_not_cut_even_under_load_imbalance() {
+        // One long critical chain plus slackful independent ops: the chain
+        // must stay whole; the independents absorb the imbalance.
+        let mut b = RegionBuilder::new(0, "crit");
+        for _ in 0..6 {
+            b = b.mul(r(1), r(1), r(1)); // latency 3 each -> critical
+        }
+        for i in 2..8u8 {
+            b = b.alu(r(i), &[r(i)]); // slackful
+        }
+        let (ddg, parts) = place(&b.build(), 2);
+        // The multiply chain is nodes 0..6: all same part.
+        let chain_part = parts.part(0);
+        for i in 1..6u32 {
+            assert_eq!(parts.part(i), chain_part, "critical chain cut at {i}");
+        }
+        assert_eq!(ddg.n(), 12);
+    }
+
+    #[test]
+    fn single_target_puts_everything_together() {
+        let region = RegionBuilder::new(0, "one")
+            .alu(r(1), &[r(1)])
+            .alu(r(2), &[r(2)])
+            .build();
+        let (_, parts) = place(&region, 1);
+        assert!(parts.as_slice().iter().all(|&p| p == 0));
+    }
+
+    #[test]
+    fn empty_region_is_fine() {
+        let region = virtclust_uarch::Region::new(0, "empty");
+        let (_, parts) = place(&region, 2);
+        assert_eq!(parts.n(), 0);
+    }
+}

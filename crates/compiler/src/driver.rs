@@ -1,0 +1,118 @@
+//! One-call driver applying a software steering pass to a whole program.
+
+use virtclust_uarch::{LatencyModel, Program};
+
+use crate::rhop::{rhop_place, RhopConfig};
+use crate::spdi::spdi_place;
+use crate::vc::{partition_into_virtual_clusters, VcConfig};
+
+/// Which compile-time pass (if any) annotates the program — the software
+/// side of each configuration in the paper's Table 3.
+#[derive(Debug, Clone, Copy)]
+pub enum SoftwarePass {
+    /// No annotations (hardware-only configurations: OP, one-cluster).
+    None,
+    /// SPDI operation-based placement onto physical clusters (`OB`).
+    Ob {
+        /// Number of physical clusters to place for.
+        clusters: u32,
+    },
+    /// Multilevel slack-weighted partitioning onto physical clusters
+    /// (`RHOP`).
+    Rhop {
+        /// Number of physical clusters to partition for.
+        clusters: u32,
+    },
+    /// The paper's virtual-cluster partitioning (`VC`).
+    Vc(VcConfig),
+}
+
+impl SoftwarePass {
+    /// Apply the pass to `program` (clearing any previous annotations).
+    pub fn apply(&self, program: &mut Program, lat: &LatencyModel) {
+        program.clear_hints();
+        match *self {
+            SoftwarePass::None => {}
+            SoftwarePass::Ob { clusters } => spdi_place(program, lat, clusters),
+            SoftwarePass::Rhop { clusters } => {
+                rhop_place(program, lat, &RhopConfig::new(clusters))
+            }
+            SoftwarePass::Vc(cfg) => partition_into_virtual_clusters(program, lat, &cfg),
+        }
+    }
+
+    /// Short name for reports.
+    pub fn name(&self) -> String {
+        match self {
+            SoftwarePass::None => "none".into(),
+            SoftwarePass::Ob { clusters } => format!("OB({clusters})"),
+            SoftwarePass::Rhop { clusters } => format!("RHOP({clusters})"),
+            SoftwarePass::Vc(cfg) => format!("VC({} vcs)", cfg.num_vcs),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use virtclust_uarch::{ArchReg, RegionBuilder, SteerHint};
+
+    fn r(i: u8) -> ArchReg {
+        ArchReg::int(i)
+    }
+
+    fn program() -> Program {
+        let mut p = Program::new("t");
+        let mut b = RegionBuilder::new(0, "body");
+        for _ in 0..4 {
+            b = b.alu(r(1), &[r(1)]).alu(r(2), &[r(2)]);
+        }
+        p.add_region(b.build());
+        p
+    }
+
+    #[test]
+    fn none_pass_leaves_no_hints() {
+        let mut p = program();
+        SoftwarePass::Vc(crate::vc::VcConfig::new(2)).apply(&mut p, &LatencyModel::default());
+        SoftwarePass::None.apply(&mut p, &LatencyModel::default());
+        assert!(p.regions[0].insts.iter().all(|i| i.hint == SteerHint::None));
+    }
+
+    #[test]
+    fn ob_and_rhop_write_static_hints() {
+        for pass in [SoftwarePass::Ob { clusters: 2 }, SoftwarePass::Rhop { clusters: 2 }] {
+            let mut p = program();
+            pass.apply(&mut p, &LatencyModel::default());
+            assert!(
+                p.regions[0].insts.iter().all(|i| i.hint.static_cluster().is_some()),
+                "pass {} left unannotated instructions",
+                pass.name()
+            );
+        }
+    }
+
+    #[test]
+    fn vc_pass_writes_vc_hints_with_leaders() {
+        let mut p = program();
+        SoftwarePass::Vc(crate::vc::VcConfig::new(2)).apply(&mut p, &LatencyModel::default());
+        assert!(p.regions[0].insts.iter().all(|i| i.hint.vc_id().is_some()));
+        assert!(p.regions[0].insts.iter().any(|i| i.hint.is_chain_leader()));
+    }
+
+    #[test]
+    fn reapplying_a_pass_replaces_hints() {
+        let mut p = program();
+        SoftwarePass::Ob { clusters: 2 }.apply(&mut p, &LatencyModel::default());
+        SoftwarePass::Vc(crate::vc::VcConfig::new(2)).apply(&mut p, &LatencyModel::default());
+        assert!(p.regions[0].insts.iter().all(|i| i.hint.vc_id().is_some()));
+    }
+
+    #[test]
+    fn names_are_descriptive() {
+        assert_eq!(SoftwarePass::None.name(), "none");
+        assert_eq!(SoftwarePass::Ob { clusters: 4 }.name(), "OB(4)");
+        assert_eq!(SoftwarePass::Rhop { clusters: 2 }.name(), "RHOP(2)");
+        assert!(SoftwarePass::Vc(crate::vc::VcConfig::new(2)).name().contains("VC"));
+    }
+}

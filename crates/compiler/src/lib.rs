@@ -1,0 +1,38 @@
+//! # virtclust-compiler
+//!
+//! The compiler half of every *software* steering scheme evaluated in
+//! Cai et al., IPDPS 2008. The paper implements these passes "in the code
+//! generation step of the Intel production compiler"; here they run over
+//! [`virtclust_uarch::Program`] regions and communicate with the hardware by
+//! writing [`virtclust_uarch::SteerHint`] annotations (the paper's ISA
+//! extension).
+//!
+//! * [`vc`] — the contribution's software side (Fig. 2): criticality-driven
+//!   partitioning of each region's DDG into **virtual clusters**, followed
+//!   by chain identification and chain-leader marking (Fig. 3);
+//! * [`spdi`] — the `OB` baseline: SPDI-style operation-based static
+//!   placement onto *physical* clusters [Nagarajan et al., PACT'04];
+//! * [`rhop`] — the `RHOP` baseline: slack-weighted multilevel graph
+//!   partitioning with boundary refinement [Chu, Fan, Mahlke, PLDI'03];
+//! * [`cost`] — the shared static completion-time model (dependences +
+//!   static latencies + resource contention, Sec. 4.2);
+//! * [`chains`] — chains and chain leaders;
+//! * [`driver`] — [`driver::SoftwarePass`], the one-call entry point that
+//!   annotates a whole program for a given configuration.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chains;
+pub mod cost;
+pub mod driver;
+pub mod rhop;
+pub mod spdi;
+pub mod vc;
+
+pub use chains::{identify_chains, Chain};
+pub use cost::{GreedyPlacer, PlacerConfig};
+pub use driver::SoftwarePass;
+pub use rhop::{RhopConfig, RhopPartitioner};
+pub use spdi::spdi_place;
+pub use vc::{partition_into_virtual_clusters, VcConfig};

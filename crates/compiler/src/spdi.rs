@@ -1,0 +1,92 @@
+//! The `OB` baseline: SPDI-style operation-based static placement
+//! [Nagarajan, Kushwaha, Burger, McKinley, Lin, Keckler — PACT'04].
+//!
+//! Static Placement / Dynamic Issue: the compiler maps every static
+//! instruction to a *physical* execution resource, balancing estimated load
+//! against communication, and the hardware issues dynamically but never
+//! re-places. The placement uses the same static completion-time model as
+//! the VC pass ([`crate::cost::GreedyPlacer`]) — the decisive difference
+//! between OB and the hybrid scheme is precisely that OB's target is
+//! physical and final, with no runtime remapping when the static load
+//! estimate turns out wrong (Sec. 3.2 of the paper).
+
+use virtclust_ddg::{Criticality, Ddg, Partition};
+use virtclust_uarch::{LatencyModel, Program, Region, SteerHint};
+
+use crate::cost::{GreedyPlacer, PlacerConfig};
+
+/// Place one region onto `clusters` physical clusters, writing
+/// `SteerHint::Static` annotations. Returns the partition for inspection.
+pub fn spdi_place_region(region: &mut Region, lat: &LatencyModel, clusters: u32) -> Partition {
+    let ddg = Ddg::from_region(region, lat);
+    let crit = Criticality::compute(&ddg);
+    let parts = GreedyPlacer::new(PlacerConfig::new(clusters)).place(&ddg, &crit);
+    for (i, inst) in region.insts.iter_mut().enumerate() {
+        inst.hint = SteerHint::Static { cluster: parts.part(i as u32) as u8 };
+    }
+    parts
+}
+
+/// Run SPDI placement over every region of `program`.
+pub fn spdi_place(program: &mut Program, lat: &LatencyModel, clusters: u32) {
+    for region in &mut program.regions {
+        let _ = spdi_place_region(region, lat, clusters);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use virtclust_uarch::{ArchReg, RegionBuilder};
+
+    fn r(i: u8) -> ArchReg {
+        ArchReg::int(i)
+    }
+
+    #[test]
+    fn every_instruction_gets_a_static_hint_in_range() {
+        let mut region = RegionBuilder::new(0, "t")
+            .alu(r(1), &[r(1)])
+            .alu(r(2), &[r(2)])
+            .alu(r(3), &[r(1), r(2)])
+            .build();
+        spdi_place_region(&mut region, &LatencyModel::default(), 2);
+        for inst in &region.insts {
+            let c = inst.hint.static_cluster().expect("annotated");
+            assert!(c < 2);
+        }
+    }
+
+    #[test]
+    fn dependent_pair_shares_a_cluster() {
+        let mut region = RegionBuilder::new(0, "dep")
+            .alu(r(1), &[r(9)])
+            .alu(r(2), &[r(1)])
+            .build();
+        let parts = spdi_place_region(&mut region, &LatencyModel::default(), 4);
+        assert_eq!(parts.part(0), parts.part(1));
+    }
+
+    #[test]
+    fn independent_heavy_chains_use_both_clusters() {
+        let mut b = RegionBuilder::new(0, "2heavy");
+        for _ in 0..8 {
+            b = b.alu(r(1), &[r(1)]).alu(r(2), &[r(2)]);
+        }
+        let mut region = b.build();
+        let parts = spdi_place_region(&mut region, &LatencyModel::default(), 2);
+        let sizes = parts.sizes();
+        assert!(sizes.iter().all(|&s| s > 0), "both clusters used: {sizes:?}");
+    }
+
+    #[test]
+    fn whole_program_annotation() {
+        let mut p = Program::new("prog");
+        p.add_region(RegionBuilder::new(0, "a").alu(r(1), &[r(1)]).build());
+        p.add_region(RegionBuilder::new(0, "b").alu(r(2), &[r(2)]).build());
+        spdi_place(&mut p, &LatencyModel::default(), 2);
+        for region in &p.regions {
+            assert!(region.insts.iter().all(|i| i.hint.static_cluster().is_some()));
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! The software side of the paper's contribution: partitioning a region's
+//! DDG into virtual clusters at compile time (Fig. 2).
+//!
+//! The three steps of Fig. 2:
+//!
+//! 1. **Computation of critical paths** — two DDG traversals give each node
+//!    its depth and height; criticality = depth + height
+//!    ([`virtclust_ddg::Criticality`]).
+//! 2. **Partition of DDG into virtual clusters** — a top-down traversal
+//!    assigns each instruction to the VC with the best expected benefit,
+//!    where benefit is estimated completion time from dependences, static
+//!    latencies and resource contention ([`crate::cost::GreedyPlacer`]).
+//! 3. **Identification of chains and chain leaders** — connected groups per
+//!    VC ([`crate::chains::identify_chains`]); leaders get the special mark
+//!    that tells the hardware to re-read the workload counters.
+//!
+//! The pass writes `SteerHint::Vc { vc, leader }` on every instruction.
+
+use virtclust_ddg::{Criticality, Ddg, Partition};
+use virtclust_uarch::{LatencyModel, Program, Region, SteerHint};
+
+use crate::chains::identify_chains;
+use crate::cost::{GreedyPlacer, PlacerConfig};
+
+/// Configuration of the virtual-cluster partitioning pass.
+#[derive(Debug, Clone, Copy)]
+pub struct VcConfig {
+    /// Number of virtual clusters (paper: fixed by hardware, exposed via
+    /// the ISA; 2 performs best on both machine sizes).
+    pub num_vcs: u32,
+    /// Optional maximum chain length (None = unbounded, the paper's
+    /// behaviour; Some(n) is an ablation knob adding remap points).
+    pub max_chain_len: Option<usize>,
+    /// Cost-model knobs.
+    pub placer: PlacerConfig,
+}
+
+impl VcConfig {
+    /// Default configuration for `num_vcs` virtual clusters.
+    ///
+    /// The cost model is deliberately communication-averse compared to the
+    /// SPDI baseline's: virtual clusters exist so the *hardware* can fix
+    /// workload imbalance at run time, so the compile-time partition
+    /// spends its freedom on keeping dependence chains whole ("VC can send
+    /// critical dependence chains to one single cluster … at the expense
+    /// of increasing workload imbalance", Sec. 5.3).
+    pub fn new(num_vcs: u32) -> Self {
+        let mut placer = PlacerConfig::new(num_vcs);
+        placer.copy_penalty = 6;
+        placer.balance_weight = 0.15;
+        VcConfig { num_vcs, max_chain_len: None, placer }
+    }
+}
+
+/// Partition one region and return the (partition, chain count) for
+/// inspection; annotations are written into the region.
+pub fn partition_region(region: &mut Region, lat: &LatencyModel, cfg: &VcConfig) -> (Partition, usize) {
+    let ddg = Ddg::from_region(region, lat);
+    let crit = Criticality::compute(&ddg);
+    let parts = GreedyPlacer::new(cfg.placer).place(&ddg, &crit);
+    let chains = identify_chains(&ddg, &parts, cfg.max_chain_len);
+
+    // Mark everything as a follower first, then raise the leaders.
+    for (i, inst) in region.insts.iter_mut().enumerate() {
+        inst.hint = SteerHint::Vc { vc: parts.part(i as u32) as u8, leader: false };
+    }
+    for chain in &chains {
+        let leader = chain.leader() as usize;
+        region.insts[leader].hint = SteerHint::Vc { vc: chain.vc as u8, leader: true };
+    }
+    let n_chains = chains.len();
+    (parts, n_chains)
+}
+
+/// Run the full Fig. 2 pass over every region of `program`.
+pub fn partition_into_virtual_clusters(program: &mut Program, lat: &LatencyModel, cfg: &VcConfig) {
+    for region in &mut program.regions {
+        let _ = partition_region(region, lat, cfg);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use virtclust_uarch::{ArchReg, RegionBuilder};
+
+    fn r(i: u8) -> ArchReg {
+        ArchReg::int(i)
+    }
+
+    fn two_chain_region() -> Region {
+        let mut b = RegionBuilder::new(0, "2chains");
+        for _ in 0..6 {
+            b = b.alu(r(1), &[r(1)]).alu(r(2), &[r(2)]);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn every_instruction_gets_a_vc_hint() {
+        let mut region = two_chain_region();
+        partition_region(&mut region, &LatencyModel::default(), &VcConfig::new(2));
+        for inst in &region.insts {
+            assert!(inst.hint.vc_id().is_some(), "unannotated instruction");
+            assert!(inst.hint.vc_id().unwrap() < 2);
+        }
+    }
+
+    #[test]
+    fn independent_chains_get_different_vcs_with_one_leader_each() {
+        let mut region = two_chain_region();
+        let (parts, n_chains) =
+            partition_region(&mut region, &LatencyModel::default(), &VcConfig::new(2));
+        // Chain r1 = even indices, chain r2 = odd indices.
+        let vc_a = parts.part(0);
+        let vc_b = parts.part(1);
+        assert_ne!(vc_a, vc_b, "independent chains should split");
+        assert_eq!(n_chains, 2);
+        let leaders: Vec<usize> = region
+            .insts
+            .iter()
+            .enumerate()
+            .filter(|(_, i)| i.hint.is_chain_leader())
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(leaders, vec![0, 1], "first instruction of each chain leads");
+    }
+
+    #[test]
+    fn serial_chain_gets_single_vc_and_single_leader() {
+        let mut b = RegionBuilder::new(0, "serial");
+        for _ in 0..10 {
+            b = b.alu(r(1), &[r(1)]);
+        }
+        let mut region = b.build();
+        let (parts, n_chains) =
+            partition_region(&mut region, &LatencyModel::default(), &VcConfig::new(2));
+        let vc0 = parts.part(0);
+        assert!((0..10u32).all(|i| parts.part(i) == vc0));
+        assert_eq!(n_chains, 1);
+        assert_eq!(
+            region.insts.iter().filter(|i| i.hint.is_chain_leader()).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn leaders_vc_matches_their_own_partition() {
+        let mut region = two_chain_region();
+        let (parts, _) = partition_region(&mut region, &LatencyModel::default(), &VcConfig::new(2));
+        for (i, inst) in region.insts.iter().enumerate() {
+            assert_eq!(
+                inst.hint.vc_id().unwrap() as u32,
+                parts.part(i as u32),
+                "hint and partition disagree at {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn max_chain_len_inserts_extra_leaders() {
+        let mut b = RegionBuilder::new(0, "serial");
+        for _ in 0..12 {
+            b = b.alu(r(1), &[r(1)]);
+        }
+        let mut region = b.build();
+        let mut cfg = VcConfig::new(2);
+        cfg.max_chain_len = Some(4);
+        partition_region(&mut region, &LatencyModel::default(), &cfg);
+        assert_eq!(
+            region.insts.iter().filter(|i| i.hint.is_chain_leader()).count(),
+            3,
+            "12 / 4 leaders"
+        );
+    }
+
+    #[test]
+    fn whole_program_pass_annotates_all_regions() {
+        let mut p = Program::new("prog");
+        p.add_region(two_chain_region());
+        p.add_region(two_chain_region());
+        partition_into_virtual_clusters(&mut p, &LatencyModel::default(), &VcConfig::new(2));
+        for region in &p.regions {
+            assert!(region.insts.iter().all(|i| i.hint.vc_id().is_some()));
+        }
+    }
+}

@@ -1,0 +1,376 @@
+//! Generators for every figure of the paper's evaluation (Sec. 5).
+//!
+//! * [`fig5`] — 2-cluster slowdown vs `OP` per trace point plus the INT /
+//!   FP / CPU2000 averages (paper: one-cluster 12.19 %, OB 6.50 %,
+//!   RHOP 5.40 %, VC 2.62 %);
+//! * [`fig6`] — per-point scatter data: copy reduction and workload-balance
+//!   improvement vs speedup, for VC vs OB, VC vs RHOP and VC vs OP;
+//! * [`fig7`] — 4-cluster slowdowns (OB, RHOP, VC(4→4), VC(2→4)) plus the
+//!   VC(4→4) copy inflation relative to VC(2→4) (paper: ~28 %).
+//!
+//! Each generator consumes an [`EvalMatrix`] produced by
+//! [`crate::runner::run_matrix`] and returns plain data with `to_markdown`
+//! / `to_csv` renderers, so the bench binaries stay trivial.
+
+use virtclust_workloads::Suite;
+
+use crate::experiment::Configuration;
+use crate::metrics::{
+    reduction_pct, slowdown_pct, speedup_pct, suite_weighted_average, PointOutcome,
+};
+use crate::runner::EvalMatrix;
+
+/// One per-point row of Fig. 5 / Fig. 7: slowdown vs OP per configuration.
+#[derive(Debug, Clone)]
+pub struct SlowdownRow {
+    /// Trace point name.
+    pub point: String,
+    /// SPECint or SPECfp.
+    pub suite: Suite,
+    /// Slowdowns (%) vs the OP baseline, one per non-baseline column.
+    pub slowdowns: Vec<f64>,
+}
+
+/// Fig. 5: 2-cluster slowdown vs OP.
+#[derive(Debug, Clone)]
+pub struct Fig5Data {
+    /// Column labels (configurations other than OP).
+    pub configs: Vec<String>,
+    /// Per-point rows.
+    pub rows: Vec<SlowdownRow>,
+    /// Suite averages per column: INT, FP, CPU2000.
+    pub int_avg: Vec<f64>,
+    /// FP suite average per column.
+    pub fp_avg: Vec<f64>,
+    /// Whole-suite average per column.
+    pub cpu_avg: Vec<f64>,
+}
+
+fn slowdown_table(matrix: &EvalMatrix, baseline: Configuration) -> (Vec<String>, Vec<SlowdownRow>, Vec<usize>) {
+    let base_col = matrix
+        .config_index(&baseline)
+        .expect("matrix must include the OP baseline");
+    let other_cols: Vec<usize> =
+        (0..matrix.configs.len()).filter(|&c| c != base_col).collect();
+    let labels: Vec<String> = other_cols
+        .iter()
+        .map(|&c| matrix.configs[c].name(matrix.machine.num_clusters as u32))
+        .collect();
+    let rows = matrix
+        .points
+        .iter()
+        .enumerate()
+        .map(|(pi, point)| SlowdownRow {
+            point: point.name.clone(),
+            suite: point.suite,
+            slowdowns: other_cols
+                .iter()
+                .map(|&c| slowdown_pct(matrix.cell(pi, base_col).cycles, matrix.cell(pi, c).cycles))
+                .collect(),
+        })
+        .collect();
+    (labels, rows, other_cols)
+}
+
+fn averages(matrix: &EvalMatrix, rows: &[SlowdownRow], col: usize, suite: Option<Suite>) -> f64 {
+    let outcomes: Vec<PointOutcome> = matrix
+        .points
+        .iter()
+        .enumerate()
+        .map(|(pi, p)| PointOutcome::new(p, matrix.cell(pi, 0).clone()))
+        .collect();
+    let values: Vec<(&PointOutcome, f64)> = outcomes
+        .iter()
+        .zip(rows)
+        .map(|(o, r)| (o, r.slowdowns[col]))
+        .collect();
+    suite_weighted_average(&values, suite).unwrap_or(0.0)
+}
+
+/// Build Fig. 5 from a 2-cluster matrix containing OP plus the compared
+/// configurations.
+pub fn fig5(matrix: &EvalMatrix) -> Fig5Data {
+    let (configs, rows, other_cols) = slowdown_table(matrix, Configuration::Op);
+    let n = other_cols.len();
+    let mut int_avg = Vec::with_capacity(n);
+    let mut fp_avg = Vec::with_capacity(n);
+    let mut cpu_avg = Vec::with_capacity(n);
+    for col in 0..n {
+        int_avg.push(averages(matrix, &rows, col, Some(Suite::Int)));
+        fp_avg.push(averages(matrix, &rows, col, Some(Suite::Fp)));
+        cpu_avg.push(averages(matrix, &rows, col, None));
+    }
+    Fig5Data { configs, rows, int_avg, fp_avg, cpu_avg }
+}
+
+impl Fig5Data {
+    /// Render as a markdown table (per-point rows + average rows).
+    pub fn to_markdown(&self) -> String {
+        let mut s = String::new();
+        s.push_str("| point | suite |");
+        for c in &self.configs {
+            s.push_str(&format!(" {c} |"));
+        }
+        s.push_str("\n|---|---|");
+        s.push_str(&"---|".repeat(self.configs.len()));
+        s.push('\n');
+        for row in &self.rows {
+            s.push_str(&format!("| {} | {} |", row.point, row.suite.name()));
+            for v in &row.slowdowns {
+                s.push_str(&format!(" {v:.2} |"));
+            }
+            s.push('\n');
+        }
+        for (label, avgs) in
+            [("INT AVG", &self.int_avg), ("FP AVG", &self.fp_avg), ("CPU2000 AVG", &self.cpu_avg)]
+        {
+            s.push_str(&format!("| **{label}** | |"));
+            for v in avgs {
+                s.push_str(&format!(" **{v:.2}** |"));
+            }
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Render as CSV (`point,suite,<config...>`).
+    pub fn to_csv(&self) -> String {
+        let mut s = String::from("point,suite");
+        for c in &self.configs {
+            s.push_str(&format!(",{c}"));
+        }
+        s.push('\n');
+        for row in &self.rows {
+            s.push_str(&format!("{},{}", row.point, row.suite.name()));
+            for v in &row.slowdowns {
+                s.push_str(&format!(",{v:.4}"));
+            }
+            s.push('\n');
+        }
+        s
+    }
+}
+
+/// One scatter point of Fig. 6.
+#[derive(Debug, Clone)]
+pub struct Fig6Point {
+    /// Trace point name.
+    pub point: String,
+    /// Suite of the point.
+    pub suite: Suite,
+    /// VC speedup over the compared scheme (%; x-axis).
+    pub speedup: f64,
+    /// Copy reduction of VC vs the compared scheme (%; Fig. 6 a y-axis).
+    pub copy_reduction: f64,
+    /// Allocation-stall reduction of VC vs the compared scheme (%;
+    /// Fig. 6 b y-axis).
+    pub balance_improvement: f64,
+}
+
+/// Fig. 6: the three scatter comparisons.
+#[derive(Debug, Clone)]
+pub struct Fig6Data {
+    /// VC vs OB.
+    pub vs_ob: Vec<Fig6Point>,
+    /// VC vs RHOP.
+    pub vs_rhop: Vec<Fig6Point>,
+    /// VC vs OP.
+    pub vs_op: Vec<Fig6Point>,
+}
+
+fn fig6_comparison(matrix: &EvalMatrix, vc: usize, other: usize) -> Vec<Fig6Point> {
+    matrix
+        .points
+        .iter()
+        .enumerate()
+        .map(|(pi, point)| {
+            let v = matrix.cell(pi, vc);
+            let o = matrix.cell(pi, other);
+            Fig6Point {
+                point: point.name.clone(),
+                suite: point.suite,
+                speedup: speedup_pct(o.cycles, v.cycles),
+                copy_reduction: reduction_pct(o.copies_generated, v.copies_generated),
+                balance_improvement: reduction_pct(o.allocation_stalls(), v.allocation_stalls()),
+            }
+        })
+        .collect()
+}
+
+/// Build Fig. 6 from the same 2-cluster matrix as Fig. 5 (must contain
+/// VC(2), OB, RHOP and OP).
+pub fn fig6(matrix: &EvalMatrix) -> Fig6Data {
+    let vc = matrix
+        .config_index(&Configuration::Vc { num_vcs: 2 })
+        .expect("matrix must include VC(2)");
+    let ob = matrix.config_index(&Configuration::Ob).expect("matrix must include OB");
+    let rhop = matrix.config_index(&Configuration::Rhop).expect("matrix must include RHOP");
+    let op = matrix.config_index(&Configuration::Op).expect("matrix must include OP");
+    Fig6Data {
+        vs_ob: fig6_comparison(matrix, vc, ob),
+        vs_rhop: fig6_comparison(matrix, vc, rhop),
+        vs_op: fig6_comparison(matrix, vc, op),
+    }
+}
+
+impl Fig6Data {
+    /// Render all three comparisons as CSV
+    /// (`comparison,point,suite,speedup,copy_reduction,balance_improvement`).
+    pub fn to_csv(&self) -> String {
+        let mut s =
+            String::from("comparison,point,suite,speedup_pct,copy_reduction_pct,balance_improvement_pct\n");
+        for (label, list) in
+            [("VC_vs_OB", &self.vs_ob), ("VC_vs_RHOP", &self.vs_rhop), ("VC_vs_OP", &self.vs_op)]
+        {
+            for p in list {
+                s.push_str(&format!(
+                    "{label},{},{},{:.4},{:.4},{:.4}\n",
+                    p.point,
+                    p.suite.name(),
+                    p.speedup,
+                    p.copy_reduction,
+                    p.balance_improvement
+                ));
+            }
+        }
+        s
+    }
+
+    /// Fraction of points (per comparison) in which VC reduces copies /
+    /// improves balance — the quadrant summary the paper reads off the
+    /// scatter plots.
+    pub fn quadrant_summary(&self) -> String {
+        let mut s = String::from("| comparison | copies reduced | balance improved | speedup > 0 |\n|---|---|---|---|\n");
+        for (label, list) in
+            [("VC vs OB", &self.vs_ob), ("VC vs RHOP", &self.vs_rhop), ("VC vs OP", &self.vs_op)]
+        {
+            let n = list.len().max(1);
+            let copies = list.iter().filter(|p| p.copy_reduction > 0.0).count();
+            let balance = list.iter().filter(|p| p.balance_improvement > 0.0).count();
+            let speed = list.iter().filter(|p| p.speedup > 0.0).count();
+            s.push_str(&format!(
+                "| {label} | {copies}/{n} | {balance}/{n} | {speed}/{n} |\n"
+            ));
+        }
+        s
+    }
+}
+
+/// Fig. 7: 4-cluster slowdowns plus the VC(4→4) vs VC(2→4) copy comparison.
+#[derive(Debug, Clone)]
+pub struct Fig7Data {
+    /// The slowdown table (columns: OB, RHOP, VC(4→4), VC(2→4)).
+    pub table: Fig5Data,
+    /// Average % more copies generated by VC(4→4) relative to VC(2→4)
+    /// (paper reports ~28 %).
+    pub vc44_copy_inflation_pct: f64,
+}
+
+/// Build Fig. 7 from a 4-cluster matrix containing OP, OB, RHOP, VC(4)
+/// and VC(2).
+pub fn fig7(matrix: &EvalMatrix) -> Fig7Data {
+    assert_eq!(matrix.machine.num_clusters, 4, "Fig. 7 is the 4-cluster experiment");
+    let table = {
+        let (configs, rows, other_cols) = slowdown_table(matrix, Configuration::Op);
+        let n = other_cols.len();
+        let mut int_avg = Vec::with_capacity(n);
+        let mut fp_avg = Vec::with_capacity(n);
+        let mut cpu_avg = Vec::with_capacity(n);
+        for col in 0..n {
+            int_avg.push(averages(matrix, &rows, col, Some(Suite::Int)));
+            fp_avg.push(averages(matrix, &rows, col, Some(Suite::Fp)));
+            cpu_avg.push(averages(matrix, &rows, col, None));
+        }
+        Fig5Data { configs, rows, int_avg, fp_avg, cpu_avg }
+    };
+    let vc4 = matrix
+        .config_index(&Configuration::Vc { num_vcs: 4 })
+        .expect("matrix must include VC(4)");
+    let vc2 = matrix
+        .config_index(&Configuration::Vc { num_vcs: 2 })
+        .expect("matrix must include VC(2)");
+    let mut inflation = 0.0;
+    let mut counted = 0usize;
+    for pi in 0..matrix.points.len() {
+        let c2 = matrix.cell(pi, vc2).copies_generated;
+        let c4 = matrix.cell(pi, vc4).copies_generated;
+        if c2 > 0 {
+            inflation += (c4 as f64 / c2 as f64 - 1.0) * 100.0;
+            counted += 1;
+        }
+    }
+    Fig7Data {
+        table,
+        vc44_copy_inflation_pct: if counted > 0 { inflation / counted as f64 } else { 0.0 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run_matrix;
+    use virtclust_uarch::MachineConfig;
+    use virtclust_workloads::spec2000_points;
+
+    fn mini_matrix(clusters: usize, vcs: &[u32]) -> EvalMatrix {
+        let points: Vec<_> = spec2000_points()
+            .into_iter()
+            .filter(|p| ["gzip-1", "mcf", "galgel"].contains(&p.name.as_str()))
+            .collect();
+        let mut configs =
+            vec![Configuration::Op, Configuration::OneCluster, Configuration::Ob, Configuration::Rhop];
+        for &v in vcs {
+            configs.push(Configuration::Vc { num_vcs: v });
+        }
+        let machine = MachineConfig::default().with_clusters(clusters);
+        run_matrix(&machine, &configs, &points, 1_500, 0)
+    }
+
+    #[test]
+    fn fig5_has_rows_and_averages() {
+        let m = mini_matrix(2, &[2]);
+        let f = fig5(&m);
+        assert_eq!(f.rows.len(), 3);
+        assert_eq!(f.configs.len(), 4);
+        assert_eq!(f.int_avg.len(), 4);
+        let md = f.to_markdown();
+        assert!(md.contains("CPU2000 AVG"));
+        let csv = f.to_csv();
+        assert!(csv.lines().count() >= 4);
+    }
+
+    #[test]
+    fn fig5_op_baseline_excluded_from_columns() {
+        let m = mini_matrix(2, &[2]);
+        let f = fig5(&m);
+        assert!(!f.configs.iter().any(|c| c == "OP"));
+    }
+
+    #[test]
+    fn fig6_produces_three_comparisons() {
+        let m = mini_matrix(2, &[2]);
+        let f = fig6(&m);
+        assert_eq!(f.vs_ob.len(), 3);
+        assert_eq!(f.vs_rhop.len(), 3);
+        assert_eq!(f.vs_op.len(), 3);
+        let csv = f.to_csv();
+        assert!(csv.contains("VC_vs_RHOP"));
+        assert!(f.quadrant_summary().contains("VC vs OP"));
+    }
+
+    #[test]
+    fn fig7_reports_copy_inflation() {
+        let m = mini_matrix(4, &[4, 2]);
+        let f = fig7(&m);
+        assert_eq!(f.table.rows.len(), 3);
+        assert_eq!(f.table.configs.len(), 5, "one-cluster, OB, RHOP, VC(4->4), VC(2->4)");
+        assert!(f.vc44_copy_inflation_pct.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "4-cluster")]
+    fn fig7_rejects_two_cluster_matrices() {
+        let m = mini_matrix(2, &[4, 2]);
+        let _ = fig7(&m);
+    }
+}

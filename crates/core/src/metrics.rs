@@ -1,0 +1,156 @@
+//! The paper's evaluation metrics.
+//!
+//! * **slowdown vs OP** (Fig. 5, Fig. 7): `(cycles / cycles_OP − 1) × 100`;
+//! * **copy reduction** (Fig. 6 a): `(copies_other − copies_VC) /
+//!   copies_other × 100`;
+//! * **workload-balance improvement** (Fig. 6 b): *"computed as the total
+//!   reduction of the allocation stalls in the issue queues"* —
+//!   `(stalls_other − stalls_VC) / stalls_other × 100`;
+//! * **suite averages**: per-benchmark PinPoints-weighted means, then an
+//!   unweighted mean across benchmarks (the paper's INT AVG / FP AVG /
+//!   CPU2000 AVG bars).
+
+use std::collections::BTreeMap;
+
+use virtclust_sim::SimStats;
+use virtclust_workloads::{Suite, TracePoint};
+
+/// Slowdown of `cycles` relative to `base_cycles`, in percent (positive =
+/// slower than baseline).
+pub fn slowdown_pct(base_cycles: u64, cycles: u64) -> f64 {
+    assert!(base_cycles > 0, "baseline must have run");
+    (cycles as f64 / base_cycles as f64 - 1.0) * 100.0
+}
+
+/// Speedup of `cycles` over `other_cycles`, in percent (positive = faster
+/// than the other scheme). Used for Fig. 6's x-axes.
+pub fn speedup_pct(other_cycles: u64, cycles: u64) -> f64 {
+    assert!(cycles > 0);
+    (other_cycles as f64 / cycles as f64 - 1.0) * 100.0
+}
+
+/// Relative reduction `(other − ours) / other × 100`; 0 when `other` is 0.
+/// Used for copy reduction and allocation-stall (balance) improvement.
+pub fn reduction_pct(other: u64, ours: u64) -> f64 {
+    if other == 0 {
+        return 0.0;
+    }
+    (other as f64 - ours as f64) / other as f64 * 100.0
+}
+
+/// One evaluated (point, configuration) outcome paired with its point
+/// metadata — the row currency of the figure generators.
+#[derive(Debug, Clone)]
+pub struct PointOutcome {
+    /// Trace-point name (e.g. `"gzip-2"`).
+    pub point: String,
+    /// Benchmark family (e.g. `"gzip"`).
+    pub bench: &'static str,
+    /// SPECint or SPECfp.
+    pub suite: Suite,
+    /// PinPoints weight within the benchmark.
+    pub weight: f64,
+    /// Simulation statistics.
+    pub stats: SimStats,
+}
+
+impl PointOutcome {
+    /// Bundle a stats record with its point metadata.
+    pub fn new(point: &TracePoint, stats: SimStats) -> Self {
+        PointOutcome {
+            point: point.name.clone(),
+            bench: point.bench,
+            suite: point.suite,
+            weight: point.weight,
+            stats,
+        }
+    }
+}
+
+/// The paper's suite averaging: first average each benchmark's points with
+/// their PinPoints weights, then take the unweighted mean over benchmarks.
+/// `values` pairs each point with the metric value to average. Returns
+/// `None` when no point matches `suite_filter`.
+pub fn suite_weighted_average(
+    values: &[(&PointOutcome, f64)],
+    suite_filter: Option<Suite>,
+) -> Option<f64> {
+    let mut per_bench: BTreeMap<&str, (f64, f64)> = BTreeMap::new();
+    for (outcome, v) in values {
+        if let Some(s) = suite_filter {
+            if outcome.suite != s {
+                continue;
+            }
+        }
+        let e = per_bench.entry(outcome.bench).or_insert((0.0, 0.0));
+        e.0 += outcome.weight * v;
+        e.1 += outcome.weight;
+    }
+    if per_bench.is_empty() {
+        return None;
+    }
+    let mean = per_bench.values().map(|&(sum, w)| sum / w).sum::<f64>() / per_bench.len() as f64;
+    Some(mean)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use virtclust_workloads::spec2000_points;
+
+    #[test]
+    fn slowdown_and_speedup_are_inverse_views() {
+        assert!((slowdown_pct(100, 110) - 10.0).abs() < 1e-12);
+        assert!((slowdown_pct(100, 100)).abs() < 1e-12);
+        assert!((speedup_pct(110, 100) - 10.0).abs() < 1e-12);
+        assert!(speedup_pct(100, 110) < 0.0, "slower means negative speedup");
+    }
+
+    #[test]
+    fn reduction_handles_zero_baseline() {
+        assert_eq!(reduction_pct(0, 5), 0.0);
+        assert!((reduction_pct(100, 80) - 20.0).abs() < 1e-12);
+        assert!(reduction_pct(100, 120) < 0.0);
+    }
+
+    fn outcome(point_name: &str, v: f64) -> (PointOutcome, f64) {
+        let points = spec2000_points();
+        let p = points.iter().find(|p| p.name == point_name).unwrap();
+        (PointOutcome::new(p, SimStats::new(2)), v)
+    }
+
+    #[test]
+    fn suite_average_weights_points_within_benchmarks() {
+        // gzip has 5 points with weights summing to 1; a constant metric
+        // must average to that constant.
+        let rows: Vec<(PointOutcome, f64)> = ["gzip-1", "gzip-2", "gzip-3", "gzip-4", "gzip-5"]
+            .iter()
+            .map(|n| outcome(n, 8.0))
+            .collect();
+        let refs: Vec<(&PointOutcome, f64)> = rows.iter().map(|(o, v)| (o, *v)).collect();
+        let avg = suite_weighted_average(&refs, None).unwrap();
+        assert!((avg - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn suite_average_is_unweighted_across_benchmarks() {
+        // Two benchmarks with metric 10 and 20 -> mean 15, regardless of
+        // how many points each one has.
+        let mut rows = vec![outcome("mcf", 10.0)];
+        for n in ["gzip-1", "gzip-2", "gzip-3", "gzip-4", "gzip-5"] {
+            rows.push(outcome(n, 20.0));
+        }
+        let refs: Vec<(&PointOutcome, f64)> = rows.iter().map(|(o, v)| (o, *v)).collect();
+        let avg = suite_weighted_average(&refs, Some(Suite::Int)).unwrap();
+        assert!((avg - 15.0).abs() < 1e-9, "got {avg}");
+    }
+
+    #[test]
+    fn suite_filter_excludes_other_suite() {
+        let rows = [outcome("mcf", 10.0), outcome("galgel", 99.0)];
+        let refs: Vec<(&PointOutcome, f64)> = rows.iter().map(|(o, v)| (o, *v)).collect();
+        assert_eq!(suite_weighted_average(&refs, Some(Suite::Int)), Some(10.0));
+        assert_eq!(suite_weighted_average(&refs, Some(Suite::Fp)), Some(99.0));
+        assert_eq!(suite_weighted_average(&[], None), None);
+    }
+}

@@ -1,0 +1,141 @@
+//! Parallel evaluation runner: the full (trace-point × configuration)
+//! matrix, one simulation per cell, fanned out over worker threads.
+//!
+//! Simulations are completely independent (every cell builds its own
+//! program, trace and policy from seeds), so the runner is embarrassingly
+//! parallel: a crossbeam scope with one worker per CPU pulling cell indices
+//! from an atomic counter. Results are written into disjoint slots, so the
+//! output is deterministic regardless of scheduling.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use virtclust_sim::SimStats;
+use virtclust_uarch::MachineConfig;
+use virtclust_workloads::TracePoint;
+
+use crate::experiment::{run_point, Configuration};
+
+/// Results of a full evaluation matrix.
+#[derive(Debug, Clone)]
+pub struct EvalMatrix {
+    /// Machine the matrix ran on.
+    pub machine: MachineConfig,
+    /// Configurations, column order.
+    pub configs: Vec<Configuration>,
+    /// Trace points, row order.
+    pub points: Vec<TracePoint>,
+    /// `stats[point][config]`.
+    pub stats: Vec<Vec<SimStats>>,
+    /// Micro-op budget per cell.
+    pub uops: u64,
+}
+
+impl EvalMatrix {
+    /// Stats cell for (point row, config column).
+    pub fn cell(&self, point: usize, config: usize) -> &SimStats {
+        &self.stats[point][config]
+    }
+
+    /// Column index of `config`.
+    pub fn config_index(&self, config: &Configuration) -> Option<usize> {
+        self.configs.iter().position(|c| c == config)
+    }
+}
+
+/// Run all (point × config) cells, using up to `threads` worker threads
+/// (0 = one per available CPU).
+pub fn run_matrix(
+    machine: &MachineConfig,
+    configs: &[Configuration],
+    points: &[TracePoint],
+    uops: u64,
+    threads: usize,
+) -> EvalMatrix {
+    let n_cells = points.len() * configs.len();
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map_or(4, |n| n.get())
+    } else {
+        threads
+    }
+    .min(n_cells.max(1));
+
+    let mut flat: Vec<Option<SimStats>> = vec![None; n_cells];
+    if n_cells > 0 {
+        let next = AtomicUsize::new(0);
+        let slots: Vec<std::sync::Mutex<&mut Option<SimStats>>> =
+            flat.iter_mut().map(std::sync::Mutex::new).collect();
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|_| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n_cells {
+                        break;
+                    }
+                    let (pi, ci) = (i / configs.len(), i % configs.len());
+                    let stats = run_point(&points[pi], &configs[ci], machine, uops);
+                    **slots[i].lock().expect("slot lock") = Some(stats);
+                });
+            }
+        })
+        .expect("worker panicked");
+    }
+
+    let mut stats = Vec::with_capacity(points.len());
+    let mut it = flat.into_iter();
+    for _ in 0..points.len() {
+        let mut row = Vec::with_capacity(configs.len());
+        for _ in 0..configs.len() {
+            row.push(it.next().expect("cell count").expect("cell computed"));
+        }
+        stats.push(row);
+    }
+
+    EvalMatrix {
+        machine: machine.clone(),
+        configs: configs.to_vec(),
+        points: points.to_vec(),
+        stats,
+        uops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use virtclust_workloads::spec2000_points;
+
+    fn small_points(n: usize) -> Vec<TracePoint> {
+        spec2000_points().into_iter().take(n).collect()
+    }
+
+    #[test]
+    fn matrix_has_all_cells_in_order() {
+        let points = small_points(3);
+        let configs = vec![Configuration::Op, Configuration::OneCluster];
+        let m = run_matrix(&MachineConfig::paper_2cluster(), &configs, &points, 1_000, 2);
+        assert_eq!(m.stats.len(), 3);
+        for row in &m.stats {
+            assert_eq!(row.len(), 2);
+            for cell in row {
+                assert_eq!(cell.committed_uops, 1_000);
+            }
+        }
+        assert_eq!(m.config_index(&Configuration::OneCluster), Some(1));
+        assert_eq!(m.config_index(&Configuration::Rhop), None);
+    }
+
+    #[test]
+    fn parallel_and_serial_results_agree() {
+        let points = small_points(2);
+        let configs = vec![Configuration::Op, Configuration::Vc { num_vcs: 2 }];
+        let a = run_matrix(&MachineConfig::paper_2cluster(), &configs, &points, 800, 1);
+        let b = run_matrix(&MachineConfig::paper_2cluster(), &configs, &points, 800, 4);
+        assert_eq!(a.stats, b.stats, "thread count must not affect results");
+    }
+
+    #[test]
+    fn empty_matrix_is_fine() {
+        let m = run_matrix(&MachineConfig::paper_2cluster(), &[], &[], 100, 2);
+        assert!(m.stats.is_empty());
+    }
+}

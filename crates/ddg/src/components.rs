@@ -1,0 +1,204 @@
+//! Union-find and weakly-connected components.
+//!
+//! Chain identification (Sec. 4.2, "Identification of chains and chain
+//! leads") groups the instructions of one virtual cluster into *chains* —
+//! the weakly-connected components of the VC-induced subgraph. The first
+//! member of each component in program order becomes the chain leader.
+
+use crate::graph::Ddg;
+
+/// A classic union-find (disjoint-set) structure with path compression and
+/// union by size.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+    sets: usize,
+}
+
+impl UnionFind {
+    /// Create `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind { parent: (0..n as u32).collect(), size: vec![1; n], sets: n }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True if there are no elements.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint sets remaining.
+    pub fn set_count(&self) -> usize {
+        self.sets
+    }
+
+    /// Find the representative of `x`'s set (with path compression).
+    pub fn find(&mut self, x: u32) -> u32 {
+        let mut root = x;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        // Path compression.
+        let mut cur = x;
+        while self.parent[cur as usize] != root {
+            let next = self.parent[cur as usize];
+            self.parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Merge the sets containing `a` and `b`; returns true if they were
+    /// previously distinct.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (big, small) = if self.size[ra as usize] >= self.size[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small as usize] = big;
+        self.size[big as usize] += self.size[small as usize];
+        self.sets -= 1;
+        true
+    }
+
+    /// True if `a` and `b` are in the same set.
+    pub fn same(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+}
+
+/// Weakly-connected components of the subgraph of `ddg` induced by the nodes
+/// for which `in_subgraph(node)` is true.
+///
+/// Returns one `Vec<u32>` per component, nodes in ascending program order,
+/// components ordered by their first (leader) node. The paper's chain
+/// leaders are exactly `component[0]` of each returned component.
+pub fn weakly_connected_components(
+    ddg: &Ddg,
+    mut in_subgraph: impl FnMut(u32) -> bool,
+) -> Vec<Vec<u32>> {
+    let n = ddg.n();
+    let mut uf = UnionFind::new(n);
+    let mut included = vec![false; n];
+    for i in 0..n as u32 {
+        included[i as usize] = in_subgraph(i);
+    }
+    for i in 0..n as u32 {
+        if !included[i as usize] {
+            continue;
+        }
+        for &s in ddg.succs(i) {
+            if included[s as usize] {
+                uf.union(i, s);
+            }
+        }
+    }
+
+    // Gather components keyed by representative, preserving program order.
+    let mut comp_of_root: Vec<Option<usize>> = vec![None; n];
+    let mut comps: Vec<Vec<u32>> = Vec::new();
+    for i in 0..n as u32 {
+        if !included[i as usize] {
+            continue;
+        }
+        let root = uf.find(i) as usize;
+        let slot = match comp_of_root[root] {
+            Some(s) => s,
+            None => {
+                comp_of_root[root] = Some(comps.len());
+                comps.push(Vec::new());
+                comps.len() - 1
+            }
+        };
+        comps[slot].push(i);
+    }
+    comps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Ddg;
+    use virtclust_uarch::{ArchReg, LatencyModel, RegionBuilder};
+
+    fn r(i: u8) -> ArchReg {
+        ArchReg::int(i)
+    }
+
+    #[test]
+    fn union_find_basics() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.set_count(), 5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(3, 4));
+        assert!(!uf.union(1, 0), "already merged");
+        assert_eq!(uf.set_count(), 3);
+        assert!(uf.same(0, 1));
+        assert!(!uf.same(1, 2));
+        assert!(uf.union(1, 4));
+        assert!(uf.same(0, 3));
+        assert_eq!(uf.set_count(), 2);
+    }
+
+    #[test]
+    fn components_of_two_chains() {
+        // chain A: 0 -> 2 ; chain B: 1 -> 3
+        let region = RegionBuilder::new(0, "t")
+            .alu(r(1), &[r(1)])
+            .alu(r(2), &[r(2)])
+            .alu(r(1), &[r(1)])
+            .alu(r(2), &[r(2)])
+            .build();
+        let ddg = Ddg::from_region(&region, &LatencyModel::default());
+        let comps = weakly_connected_components(&ddg, |_| true);
+        assert_eq!(comps, vec![vec![0, 2], vec![1, 3]]);
+    }
+
+    #[test]
+    fn subgraph_filter_splits_components() {
+        // 0 -> 1 -> 2, but exclude node 1: components {0}, {2}.
+        let region = RegionBuilder::new(0, "t")
+            .alu(r(1), &[r(1)])
+            .alu(r(1), &[r(1)])
+            .alu(r(2), &[r(1)])
+            .build();
+        let ddg = Ddg::from_region(&region, &LatencyModel::default());
+        let comps = weakly_connected_components(&ddg, |i| i != 1);
+        assert_eq!(comps, vec![vec![0], vec![2]]);
+    }
+
+    #[test]
+    fn components_ordered_by_leader() {
+        let region = RegionBuilder::new(0, "t")
+            .alu(r(1), &[r(1)]) // comp A leader
+            .alu(r(2), &[r(2)]) // comp B leader
+            .alu(r(2), &[r(2)])
+            .alu(r(1), &[r(1)])
+            .build();
+        let ddg = Ddg::from_region(&region, &LatencyModel::default());
+        let comps = weakly_connected_components(&ddg, |_| true);
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0][0], 0);
+        assert_eq!(comps[1][0], 1);
+        for c in &comps {
+            assert!(c.windows(2).all(|w| w[0] < w[1]), "ascending order");
+        }
+    }
+
+    #[test]
+    fn empty_subgraph_has_no_components() {
+        let region = RegionBuilder::new(0, "t").alu(r(1), &[r(1)]).build();
+        let ddg = Ddg::from_region(&region, &LatencyModel::default());
+        assert!(weakly_connected_components(&ddg, |_| false).is_empty());
+    }
+}

@@ -1,0 +1,209 @@
+//! Critical-path analysis: the paper's depth/height computation.
+//!
+//! Sec. 4.2: *"This computation requires two traversals of a DDG: one for
+//! computing the depth and another for computing the height of each node
+//! in the DDG. The criticality of each node in the DDG is then defined to
+//! be the sum of its depth and height."*
+//!
+//! Definitions used here (standard dataflow form, latency-weighted):
+//!
+//! * `depth[i]`  — earliest start time of `i`: the longest latency-weighted
+//!   path from any root up to (but excluding) `i`;
+//! * `height[i]` — the longest latency-weighted path from `i` (inclusive)
+//!   to any leaf;
+//! * `criticality[i] = depth[i] + height[i]` — the length of the longest
+//!   path through `i`; nodes with `criticality == cp_length` lie on a
+//!   critical path;
+//! * `slack[i] = cp_length - criticality[i]` — how far `i` can slip without
+//!   lengthening the schedule (RHOP's node/edge weights derive from this).
+
+use crate::graph::Ddg;
+
+/// Result of critical-path analysis over a [`Ddg`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Criticality {
+    /// Earliest start time per node (longest path from roots, exclusive).
+    pub depth: Vec<u64>,
+    /// Longest path to a leaf per node (inclusive of the node's latency).
+    pub height: Vec<u64>,
+    /// `depth + height` per node.
+    pub criticality: Vec<u64>,
+    /// Length of the critical path (max criticality; 0 for empty graphs).
+    pub cp_length: u64,
+}
+
+impl Criticality {
+    /// Run the two traversals over `ddg`.
+    pub fn compute(ddg: &Ddg) -> Self {
+        let n = ddg.n();
+        let mut depth = vec![0u64; n];
+        let mut height = vec![0u64; n];
+
+        // Forward traversal (program order is topological): depth.
+        for i in ddg.topo_order() {
+            let di = depth[i as usize];
+            let complete = di + u64::from(ddg.latency(i));
+            for &s in ddg.succs(i) {
+                if depth[s as usize] < complete {
+                    depth[s as usize] = complete;
+                }
+            }
+        }
+
+        // Backward traversal: height.
+        for i in ddg.topo_order().rev() {
+            let mut h = 0u64;
+            for &s in ddg.succs(i) {
+                h = h.max(height[s as usize]);
+            }
+            height[i as usize] = h + u64::from(ddg.latency(i));
+        }
+
+        let criticality: Vec<u64> =
+            depth.iter().zip(&height).map(|(&d, &h)| d + h).collect();
+        let cp_length = criticality.iter().copied().max().unwrap_or(0);
+
+        Criticality { depth, height, criticality, cp_length }
+    }
+
+    /// Slack of node `i`: `cp_length - criticality[i]`.
+    #[inline]
+    pub fn slack(&self, i: u32) -> u64 {
+        self.cp_length - self.criticality[i as usize]
+    }
+
+    /// True if node `i` lies on a critical path.
+    #[inline]
+    pub fn is_critical(&self, i: u32) -> bool {
+        self.criticality[i as usize] == self.cp_length
+    }
+
+    /// Node ids sorted by descending criticality, ties broken by program
+    /// order. This is the visit order of the paper's top-down VC partition
+    /// ("takes into account the criticality of the instructions").
+    pub fn by_criticality(&self) -> Vec<u32> {
+        let mut order: Vec<u32> = (0..self.criticality.len() as u32).collect();
+        order.sort_by(|&a, &b| {
+            self.criticality[b as usize]
+                .cmp(&self.criticality[a as usize])
+                .then(a.cmp(&b))
+        });
+        order
+    }
+
+    /// Number of nodes analysed.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.criticality.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use virtclust_uarch::{ArchReg, LatencyModel, Region, RegionBuilder};
+
+    fn r(i: u8) -> ArchReg {
+        ArchReg::int(i)
+    }
+
+    fn chain3() -> Region {
+        // alu(1) -> load(1+cache…; static latency 1) -> load; all latency 1 statically
+        RegionBuilder::new(0, "chain")
+            .alu(r(1), &[r(1), r(2)])
+            .load(r(3), r(1))
+            .load(r(4), r(3))
+            .build()
+    }
+
+    #[test]
+    fn chain_depths_accumulate_latency() {
+        let ddg = Ddg::from_region(&chain3(), &LatencyModel::default());
+        let c = Criticality::compute(&ddg);
+        // latencies: alu=1, load=1 (AGU only at compile time)
+        assert_eq!(c.depth, vec![0, 1, 2]);
+        assert_eq!(c.height, vec![3, 2, 1]);
+        assert_eq!(c.criticality, vec![3, 3, 3]);
+        assert_eq!(c.cp_length, 3);
+        assert!(c.is_critical(0) && c.is_critical(1) && c.is_critical(2));
+        assert_eq!(c.slack(1), 0);
+    }
+
+    #[test]
+    fn diamond_assigns_slack_to_short_arm() {
+        // n0 -> n1 (mul, lat 3) -> n3 ; n0 -> n2 (alu, lat 1) -> n3
+        let region = RegionBuilder::new(0, "diamond")
+            .alu(r(1), &[r(1)])
+            .mul(r(2), r(1), r(1))
+            .alu(r(3), &[r(1)])
+            .alu(r(4), &[r(2), r(3)])
+            .build();
+        let ddg = Ddg::from_region(&region, &LatencyModel::default());
+        let c = Criticality::compute(&ddg);
+        assert_eq!(c.cp_length, 1 + 3 + 1);
+        assert!(c.is_critical(0));
+        assert!(c.is_critical(1));
+        assert!(!c.is_critical(2), "short arm has slack");
+        assert!(c.is_critical(3));
+        assert_eq!(c.slack(2), 2);
+    }
+
+    #[test]
+    fn independent_nodes_have_their_own_path_lengths() {
+        let region = RegionBuilder::new(0, "indep")
+            .mul(r(1), r(1), r(1)) // lat 3
+            .alu(r(2), &[r(2)]) // lat 1
+            .build();
+        let ddg = Ddg::from_region(&region, &LatencyModel::default());
+        let c = Criticality::compute(&ddg);
+        assert_eq!(c.cp_length, 3);
+        assert!(c.is_critical(0));
+        assert!(!c.is_critical(1));
+        assert_eq!(c.slack(1), 2);
+    }
+
+    #[test]
+    fn by_criticality_orders_critical_first() {
+        let region = RegionBuilder::new(0, "order")
+            .alu(r(2), &[r(2)])
+            .mul(r(1), r(1), r(1))
+            .alu(r(3), &[r(1)])
+            .build();
+        let ddg = Ddg::from_region(&region, &LatencyModel::default());
+        let c = Criticality::compute(&ddg);
+        let order = c.by_criticality();
+        // critical chain is 1 -> 2 (3+1 = 4); node 0 has criticality 1.
+        assert_eq!(order[0], 1);
+        assert_eq!(order[1], 2);
+        assert_eq!(order[2], 0);
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let ddg = Ddg::from_region(&Region::new(0, "e"), &LatencyModel::default());
+        let c = Criticality::compute(&ddg);
+        assert_eq!(c.cp_length, 0);
+        assert_eq!(c.n(), 0);
+        assert!(c.by_criticality().is_empty());
+    }
+
+    #[test]
+    fn criticality_is_depth_plus_height_everywhere() {
+        let region = RegionBuilder::new(0, "mix")
+            .alu(r(1), &[r(1)])
+            .mul(r(2), r(1), r(1))
+            .load(r(3), r(2))
+            .alu(r(4), &[r(4)])
+            .store(r(3), r(4))
+            .build();
+        let ddg = Ddg::from_region(&region, &LatencyModel::default());
+        let c = Criticality::compute(&ddg);
+        for i in 0..c.n() as u32 {
+            assert_eq!(
+                c.criticality[i as usize],
+                c.depth[i as usize] + c.height[i as usize]
+            );
+            assert!(c.slack(i) <= c.cp_length);
+        }
+    }
+}

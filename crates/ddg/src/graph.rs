@@ -1,0 +1,313 @@
+//! Dependence-graph construction over a region.
+//!
+//! Nodes are the region's static instructions (indexed by their position in
+//! program order); edges are register def→use dependences plus, optionally,
+//! conservative memory-order dependences (store→load, store→store on the
+//! same region). Because a def always precedes its uses within a region,
+//! edges point forward in program order — program order is a topological
+//! order, a property the analyses exploit.
+
+use virtclust_uarch::{ArchReg, LatencyModel, OpClass, Region, NUM_ARCH_REGS};
+
+/// The kind of dependence an edge represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DepKind {
+    /// True register data dependence (def → use).
+    Data,
+    /// Conservative memory ordering (store → later load/store).
+    Memory,
+}
+
+/// A node in the dependence graph: one static instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DdgNode {
+    /// Instruction index within the region (also the node id).
+    pub index: u32,
+    /// Operation class.
+    pub op: OpClass,
+    /// Static execution latency used by compile-time cost models.
+    pub latency: u32,
+}
+
+/// A directed dependence edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DdgEdge {
+    /// Producer node id.
+    pub from: u32,
+    /// Consumer node id.
+    pub to: u32,
+    /// Register carrying the value for [`DepKind::Data`] edges.
+    pub reg: Option<ArchReg>,
+    /// Dependence kind.
+    pub kind: DepKind,
+}
+
+/// A data-dependence graph over one region.
+#[derive(Debug, Clone)]
+pub struct Ddg {
+    nodes: Vec<DdgNode>,
+    edges: Vec<DdgEdge>,
+    succs: Vec<Vec<u32>>,
+    preds: Vec<Vec<u32>>,
+}
+
+impl Ddg {
+    /// Build the DDG of `region` with register dependences only.
+    pub fn from_region(region: &Region, lat: &LatencyModel) -> Self {
+        Self::build(region, lat, false)
+    }
+
+    /// Build the DDG of `region` including conservative memory-order edges:
+    /// every store depends on the previous store, and every load depends on
+    /// the most recent store. (The hardware disambiguates by address at run
+    /// time; compile-time passes that want to be safe use this variant.)
+    pub fn from_region_with_mem(region: &Region, lat: &LatencyModel) -> Self {
+        Self::build(region, lat, true)
+    }
+
+    fn build(region: &Region, lat: &LatencyModel, mem_edges: bool) -> Self {
+        let n = region.insts.len();
+        let mut nodes = Vec::with_capacity(n);
+        let mut edges = Vec::new();
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![Vec::new(); n];
+
+        // Last writer of each architectural register, by flat index.
+        let mut last_writer: [Option<u32>; NUM_ARCH_REGS] = [None; NUM_ARCH_REGS];
+        let mut last_store: Option<u32> = None;
+
+        let push_edge = |edges: &mut Vec<DdgEdge>,
+                             succs: &mut Vec<Vec<u32>>,
+                             preds: &mut Vec<Vec<u32>>,
+                             e: DdgEdge| {
+            // Deduplicate identical (from, to) pairs: multiple registers
+            // between the same pair still mean one scheduling dependence,
+            // but keep the edge list exact for communication counting.
+            if !succs[e.from as usize].contains(&e.to) {
+                succs[e.from as usize].push(e.to);
+                preds[e.to as usize].push(e.from);
+            }
+            edges.push(e);
+        };
+
+        for (i, inst) in region.insts.iter().enumerate() {
+            let i = i as u32;
+            nodes.push(DdgNode { index: i, op: inst.op, latency: lat.of(inst.op) });
+
+            for src in inst.srcs.iter() {
+                if let Some(w) = last_writer[src.flat()] {
+                    push_edge(
+                        &mut edges,
+                        &mut succs,
+                        &mut preds,
+                        DdgEdge { from: w, to: i, reg: Some(src), kind: DepKind::Data },
+                    );
+                }
+            }
+
+            if mem_edges && inst.op.is_mem() {
+                if let Some(s) = last_store {
+                    push_edge(
+                        &mut edges,
+                        &mut succs,
+                        &mut preds,
+                        DdgEdge { from: s, to: i, reg: None, kind: DepKind::Memory },
+                    );
+                }
+                if inst.op == OpClass::Store {
+                    last_store = Some(i);
+                }
+            } else if inst.op == OpClass::Store {
+                last_store = Some(i);
+            }
+
+            if let Some(dst) = inst.dst {
+                last_writer[dst.flat()] = Some(i);
+            }
+        }
+
+        Ddg { nodes, edges, succs, preds }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The nodes, indexed by instruction position.
+    #[inline]
+    pub fn nodes(&self) -> &[DdgNode] {
+        &self.nodes
+    }
+
+    /// All edges (may contain parallel edges for distinct registers).
+    #[inline]
+    pub fn edges(&self) -> &[DdgEdge] {
+        &self.edges
+    }
+
+    /// Unique successor node ids of `i`.
+    #[inline]
+    pub fn succs(&self, i: u32) -> &[u32] {
+        &self.succs[i as usize]
+    }
+
+    /// Unique predecessor node ids of `i`.
+    #[inline]
+    pub fn preds(&self, i: u32) -> &[u32] {
+        &self.preds[i as usize]
+    }
+
+    /// Node ids with no predecessors (DDG roots).
+    pub fn roots(&self) -> impl Iterator<Item = u32> + '_ {
+        (0..self.n() as u32).filter(|&i| self.preds(i).is_empty())
+    }
+
+    /// Node ids with no successors (DDG leaves).
+    pub fn leaves(&self) -> impl Iterator<Item = u32> + '_ {
+        (0..self.n() as u32).filter(|&i| self.succs(i).is_empty())
+    }
+
+    /// A topological order of the nodes. Because every dependence points
+    /// forward in program order, program order itself is topological.
+    pub fn topo_order(&self) -> impl DoubleEndedIterator<Item = u32> {
+        0..self.n() as u32
+    }
+
+    /// Latency of node `i` (convenience accessor).
+    #[inline]
+    pub fn latency(&self, i: u32) -> u32 {
+        self.nodes[i as usize].latency
+    }
+
+    /// Verify structural invariants (edges forward in program order,
+    /// adjacency consistent with the edge list). Used by tests.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for e in &self.edges {
+            if e.from >= e.to {
+                return Err(format!("edge {}->{} not forward", e.from, e.to));
+            }
+            if !self.succs[e.from as usize].contains(&e.to) {
+                return Err(format!("edge {}->{} missing from succs", e.from, e.to));
+            }
+            if !self.preds[e.to as usize].contains(&e.from) {
+                return Err(format!("edge {}->{} missing from preds", e.from, e.to));
+            }
+        }
+        for (i, ss) in self.succs.iter().enumerate() {
+            for &s in ss {
+                if !self.preds[s as usize].contains(&(i as u32)) {
+                    return Err(format!("succ {i}->{s} lacks mirror pred"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use virtclust_uarch::RegionBuilder;
+
+    fn r(i: u8) -> ArchReg {
+        ArchReg::int(i)
+    }
+
+    /// The Sec. 2.1 example: I1: r1 <- r1+r2; I2: r3 <- load(r1); I3: r4 <- load(r3).
+    fn sec21_region() -> Region {
+        RegionBuilder::new(0, "sec2.1")
+            .alu(r(1), &[r(1), r(2)])
+            .load(r(3), r(1))
+            .load(r(4), r(3))
+            .build()
+    }
+
+    #[test]
+    fn sec21_chain_has_expected_edges() {
+        let ddg = Ddg::from_region(&sec21_region(), &LatencyModel::default());
+        assert_eq!(ddg.n(), 3);
+        assert_eq!(ddg.succs(0), &[1]);
+        assert_eq!(ddg.succs(1), &[2]);
+        assert!(ddg.succs(2).is_empty());
+        assert_eq!(ddg.roots().collect::<Vec<_>>(), vec![0]);
+        assert_eq!(ddg.leaves().collect::<Vec<_>>(), vec![2]);
+        ddg.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn redefinition_breaks_dependence() {
+        // i0 writes r1; i1 overwrites r1; i2 reads r1 -> depends only on i1.
+        let region = RegionBuilder::new(0, "redef")
+            .alu(r(1), &[r(2)])
+            .alu(r(1), &[r(3)])
+            .alu(r(4), &[r(1)])
+            .build();
+        let ddg = Ddg::from_region(&region, &LatencyModel::default());
+        assert!(ddg.succs(0).is_empty());
+        assert_eq!(ddg.succs(1), &[2]);
+    }
+
+    #[test]
+    fn two_sources_from_same_producer_are_one_scheduling_edge() {
+        let region = RegionBuilder::new(0, "dup")
+            .alu(r(1), &[r(2)])
+            .mul(r(3), r(1), r(1))
+            .build();
+        let ddg = Ddg::from_region(&region, &LatencyModel::default());
+        assert_eq!(ddg.succs(0), &[1]);
+        // ...but both register reads appear in the edge list.
+        assert_eq!(ddg.edges().iter().filter(|e| e.from == 0 && e.to == 1).count(), 2);
+    }
+
+    #[test]
+    fn memory_edges_connect_stores_and_loads() {
+        let region = RegionBuilder::new(0, "mem")
+            .store(r(1), r(2))
+            .load(r(3), r(4))
+            .store(r(5), r(6))
+            .build();
+        let plain = Ddg::from_region(&region, &LatencyModel::default());
+        assert!(plain.succs(0).is_empty(), "no register deps here");
+        let mem = Ddg::from_region_with_mem(&region, &LatencyModel::default());
+        assert_eq!(mem.succs(0), &[1, 2]);
+        assert_eq!(
+            mem.edges().iter().filter(|e| e.kind == DepKind::Memory).count(),
+            2
+        );
+        mem.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn independent_chains_have_no_cross_edges() {
+        let region = RegionBuilder::new(0, "par")
+            .alu(r(1), &[r(1)])
+            .alu(r(2), &[r(2)])
+            .alu(r(1), &[r(1)])
+            .alu(r(2), &[r(2)])
+            .build();
+        let ddg = Ddg::from_region(&region, &LatencyModel::default());
+        assert_eq!(ddg.succs(0), &[2]);
+        assert_eq!(ddg.succs(1), &[3]);
+        assert_eq!(ddg.roots().count(), 2);
+        assert_eq!(ddg.leaves().count(), 2);
+    }
+
+    #[test]
+    fn latencies_come_from_model() {
+        let lat = LatencyModel::default().with(OpClass::IntAlu, 7);
+        let region = RegionBuilder::new(0, "lat").alu(r(1), &[r(2)]).build();
+        let ddg = Ddg::from_region(&region, &lat);
+        assert_eq!(ddg.latency(0), 7);
+    }
+
+    #[test]
+    fn empty_region_builds_empty_graph() {
+        let region = Region::new(0, "empty");
+        let ddg = Ddg::from_region(&region, &LatencyModel::default());
+        assert_eq!(ddg.n(), 0);
+        assert_eq!(ddg.edges().len(), 0);
+        ddg.check_invariants().unwrap();
+    }
+}

@@ -1,0 +1,31 @@
+//! # virtclust-ddg
+//!
+//! Data-dependence-graph (DDG) machinery shared by every *software* steering
+//! pass in the reproduction of Cai et al., IPDPS 2008:
+//!
+//! * [`graph::Ddg`] — build a dependence graph over a
+//!   [`virtclust_uarch::Region`] (register def→use edges, optional
+//!   conservative memory-order edges);
+//! * [`critical`] — the paper's two-traversal depth/height computation and
+//!   node criticality (Sec. 4.2, "Computation of critical paths");
+//! * [`components`] — union-find and weakly-connected components (chain
+//!   identification groups each virtual cluster's connected subgraphs);
+//! * [`partition`] — partition containers plus the cut/balance metrics every
+//!   partitioner optimises;
+//! * [`coarsen`] — multilevel coarsening (heavy-edge matching + projection),
+//!   the substrate for the RHOP baseline's coarsen/refine scheme.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coarsen;
+pub mod components;
+pub mod critical;
+pub mod graph;
+pub mod partition;
+
+pub use coarsen::{coarsen_once, coarsen_until, CoarseLevel, Hierarchy, WGraph};
+pub use components::{weakly_connected_components, UnionFind};
+pub use critical::Criticality;
+pub use graph::{Ddg, DdgEdge, DdgNode, DepKind};
+pub use partition::Partition;

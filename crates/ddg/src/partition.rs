@@ -1,0 +1,209 @@
+//! Partition containers and quality metrics.
+//!
+//! Every steering pass ultimately produces a partition of a region's nodes
+//! into `k` parts (virtual clusters for VC, physical clusters for OB/RHOP).
+//! The two quality metrics the paper's Sec. 5.3 analyses trade off are both
+//! defined here: the **edge cut** (a static proxy for copy instructions) and
+//! the **imbalance** (a static proxy for issue-queue allocation stalls).
+
+use crate::graph::Ddg;
+
+/// An assignment of `n` nodes to `k` parts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    parts: Vec<u32>,
+    k: u32,
+}
+
+impl Partition {
+    /// All nodes start in part 0.
+    pub fn new(n: usize, k: u32) -> Self {
+        assert!(k >= 1, "at least one part required");
+        Partition { parts: vec![0; n], k }
+    }
+
+    /// Wrap an existing assignment.
+    ///
+    /// # Panics
+    /// Panics if any entry is `>= k`.
+    pub fn from_assign(parts: Vec<u32>, k: u32) -> Self {
+        assert!(k >= 1, "at least one part required");
+        assert!(parts.iter().all(|&p| p < k), "assignment out of range");
+        Partition { parts, k }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Number of parts.
+    #[inline]
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// Part of node `i`.
+    #[inline]
+    pub fn part(&self, i: u32) -> u32 {
+        self.parts[i as usize]
+    }
+
+    /// Raw assignment slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[u32] {
+        &self.parts
+    }
+
+    /// Move node `i` to part `p`.
+    ///
+    /// # Panics
+    /// Panics if `p >= k`.
+    #[inline]
+    pub fn set(&mut self, i: u32, p: u32) {
+        assert!(p < self.k, "part {p} out of range (k={})", self.k);
+        self.parts[i as usize] = p;
+    }
+
+    /// Node count per part.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.k as usize];
+        for &p in &self.parts {
+            sizes[p as usize] += 1;
+        }
+        sizes
+    }
+
+    /// Sum of `weight[i]` per part.
+    pub fn weights(&self, weight: &[f64]) -> Vec<f64> {
+        assert_eq!(weight.len(), self.parts.len());
+        let mut w = vec![0.0; self.k as usize];
+        for (i, &p) in self.parts.iter().enumerate() {
+            w[p as usize] += weight[i];
+        }
+        w
+    }
+
+    /// Number of DDG edges whose endpoints lie in different parts — the
+    /// compile-time proxy for the copy instructions the hardware will have
+    /// to generate. Parallel edges (distinct registers) count separately,
+    /// since each distinct value needs its own copy.
+    pub fn edge_cut(&self, ddg: &Ddg) -> usize {
+        ddg.edges()
+            .iter()
+            .filter(|e| self.parts[e.from as usize] != self.parts[e.to as usize])
+            .count()
+    }
+
+    /// Imbalance of `weight` across parts: `max_part / mean_part - 1`
+    /// (0.0 means perfectly balanced). Empty partitions return 0.0.
+    pub fn imbalance(&self, weight: &[f64]) -> f64 {
+        let w = self.weights(weight);
+        let total: f64 = w.iter().sum();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        let mean = total / w.len() as f64;
+        let max = w.iter().cloned().fold(0.0f64, f64::max);
+        max / mean - 1.0
+    }
+
+    /// Verify that every node is assigned a valid part. (Trivially true by
+    /// construction; exists so property tests can assert it after passes.)
+    pub fn is_valid(&self) -> bool {
+        self.parts.iter().all(|&p| p < self.k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Ddg;
+    use virtclust_uarch::{ArchReg, LatencyModel, RegionBuilder};
+
+    fn r(i: u8) -> ArchReg {
+        ArchReg::int(i)
+    }
+
+    fn chain4() -> Ddg {
+        let region = RegionBuilder::new(0, "c4")
+            .alu(r(1), &[r(1)])
+            .alu(r(1), &[r(1)])
+            .alu(r(1), &[r(1)])
+            .alu(r(1), &[r(1)])
+            .build();
+        Ddg::from_region(&region, &LatencyModel::default())
+    }
+
+    #[test]
+    fn edge_cut_counts_cross_part_edges() {
+        let ddg = chain4();
+        let mut p = Partition::new(4, 2);
+        assert_eq!(p.edge_cut(&ddg), 0);
+        p.set(2, 1);
+        p.set(3, 1);
+        assert_eq!(p.edge_cut(&ddg), 1); // only edge 1->2 crosses
+        p.set(1, 1);
+        p.set(2, 0);
+        assert_eq!(p.edge_cut(&ddg), 3); // 0->1, 1->2, 2->3 all cross
+    }
+
+    #[test]
+    fn parallel_edges_count_separately_in_cut() {
+        let region = RegionBuilder::new(0, "dup")
+            .alu(r(1), &[r(2)])
+            .mul(r(3), r(1), r(1))
+            .build();
+        let ddg = Ddg::from_region(&region, &LatencyModel::default());
+        let mut p = Partition::new(2, 2);
+        p.set(1, 1);
+        assert_eq!(p.edge_cut(&ddg), 2);
+    }
+
+    #[test]
+    fn sizes_and_weights() {
+        let mut p = Partition::new(4, 2);
+        p.set(3, 1);
+        assert_eq!(p.sizes(), vec![3, 1]);
+        let w = p.weights(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(w, vec![6.0, 4.0]);
+    }
+
+    #[test]
+    fn imbalance_zero_when_even() {
+        let mut p = Partition::new(4, 2);
+        p.set(1, 1);
+        p.set(3, 1);
+        assert!(p.imbalance(&[1.0; 4]).abs() < 1e-12);
+        // All in one part: max = total, mean = total/2 -> imbalance 1.0
+        let p1 = Partition::new(4, 2);
+        assert!((p1.imbalance(&[1.0; 4]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_assign_validates() {
+        let p = Partition::from_assign(vec![0, 1, 1, 0], 2);
+        assert_eq!(p.part(1), 1);
+        assert!(p.is_valid());
+    }
+
+    #[test]
+    #[should_panic(expected = "assignment out of range")]
+    fn from_assign_rejects_out_of_range() {
+        let _ = Partition::from_assign(vec![0, 2], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_rejects_out_of_range() {
+        let mut p = Partition::new(2, 2);
+        p.set(0, 2);
+    }
+
+    #[test]
+    fn zero_weight_imbalance_is_zero() {
+        let p = Partition::new(3, 2);
+        assert_eq!(p.imbalance(&[0.0; 3]), 0.0);
+    }
+}

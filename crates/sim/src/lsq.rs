@@ -1,0 +1,226 @@
+//! The unified load/store queue.
+//!
+//! Per the paper (Sec. 2): *"The Load/Store Queue (LSQ) and the data cache
+//! are unified and accessed by clusters through dedicated buses. At dispatch
+//! time, loads and stores reserve a slot in LSQ and they are steered to the
+//! corresponding cluster, where the effective address is computed. Memory
+//! operations are stored in the LSQ, and remain there until they access the
+//! data cache."*
+//!
+//! The model: entries are allocated in program order at dispatch (dispatch
+//! stalls when the 256 entries are exhausted), addresses arrive when the
+//! cluster computes them, store data readiness is tracked, and loads may
+//! forward from the youngest older store with a matching address and ready
+//! data. Loads free their entry at commit; stores free it when their
+//! post-commit cache write drains.
+
+use std::collections::VecDeque;
+
+/// One LSQ entry.
+#[derive(Debug, Clone, Copy)]
+struct LsqEntry {
+    seq: u64,
+    is_store: bool,
+    addr: Option<u64>,
+    data_ready: bool,
+    alive: bool,
+}
+
+/// Outcome of a load's LSQ search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadCheck {
+    /// No older store matches: go to the cache.
+    GoToCache,
+    /// The youngest older matching store has its data: forward.
+    Forward,
+    /// The youngest older matching store's data is not ready yet: retry.
+    WaitOnStore,
+}
+
+/// The unified load/store queue.
+#[derive(Debug, Clone)]
+pub struct Lsq {
+    entries: VecDeque<LsqEntry>,
+    live: usize,
+    capacity: usize,
+}
+
+impl Lsq {
+    /// Create an LSQ with `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1);
+        Lsq { entries: VecDeque::with_capacity(capacity.min(4096)), live: 0, capacity }
+    }
+
+    /// Entries currently allocated.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True if no entries are allocated.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// True if a new memory op can be allocated.
+    pub fn has_space(&self) -> bool {
+        self.live < self.capacity
+    }
+
+    /// Allocate an entry for the memory op `seq` (must be called in
+    /// ascending `seq` order — program order, as dispatch does).
+    ///
+    /// # Panics
+    /// Panics if full or out of order.
+    pub fn alloc(&mut self, seq: u64, is_store: bool) {
+        assert!(self.has_space(), "LSQ overflow");
+        if let Some(back) = self.entries.back() {
+            assert!(back.seq < seq, "LSQ allocations must be in program order");
+        }
+        self.entries.push_back(LsqEntry { seq, is_store, addr: None, data_ready: !is_store, alive: true });
+        self.live += 1;
+    }
+
+    fn position(&self, seq: u64) -> Option<usize> {
+        self.entries.binary_search_by_key(&seq, |e| e.seq).ok()
+    }
+
+    /// Record the computed effective address of `seq`.
+    pub fn set_addr(&mut self, seq: u64, addr: u64) {
+        let i = self.position(seq).expect("set_addr on unknown LSQ entry");
+        self.entries[i].addr = Some(addr);
+    }
+
+    /// Mark the store `seq`'s data as ready to forward.
+    pub fn set_data_ready(&mut self, seq: u64) {
+        let i = self.position(seq).expect("set_data_ready on unknown LSQ entry");
+        debug_assert!(self.entries[i].is_store);
+        self.entries[i].data_ready = true;
+    }
+
+    /// Resolve the load `seq` at address `addr` against older stores.
+    ///
+    /// Older stores with *unknown* addresses are optimistically assumed not
+    /// to conflict (no replay machinery is modelled; see DESIGN.md).
+    pub fn check_load(&self, seq: u64, addr: u64) -> LoadCheck {
+        let end = match self.position(seq) {
+            Some(i) => i,
+            None => self.entries.len(),
+        };
+        for e in self.entries.iter().take(end).rev() {
+            if !e.alive || !e.is_store {
+                continue;
+            }
+            if e.addr == Some(addr) {
+                return if e.data_ready { LoadCheck::Forward } else { LoadCheck::WaitOnStore };
+            }
+        }
+        LoadCheck::GoToCache
+    }
+
+    /// Free the entry of `seq` (load commit or store drain completion).
+    pub fn free(&mut self, seq: u64) {
+        let i = self.position(seq).expect("free of unknown LSQ entry");
+        debug_assert!(self.entries[i].alive, "double free of LSQ entry");
+        self.entries[i].alive = false;
+        self.live -= 1;
+        while matches!(self.entries.front(), Some(e) if !e.alive) {
+            self.entries.pop_front();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_capacity() {
+        let mut q = Lsq::new(2);
+        assert!(q.has_space());
+        q.alloc(1, false);
+        q.alloc(2, true);
+        assert!(!q.has_space());
+        assert_eq!(q.len(), 2);
+        q.free(1);
+        assert!(q.has_space());
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "LSQ overflow")]
+    fn overflow_panics() {
+        let mut q = Lsq::new(1);
+        q.alloc(1, false);
+        q.alloc(2, false);
+    }
+
+    #[test]
+    #[should_panic(expected = "program order")]
+    fn out_of_order_alloc_panics() {
+        let mut q = Lsq::new(4);
+        q.alloc(5, false);
+        q.alloc(3, false);
+    }
+
+    #[test]
+    fn forwarding_from_youngest_older_store() {
+        let mut q = Lsq::new(8);
+        q.alloc(1, true);
+        q.alloc(2, true);
+        q.alloc(3, false);
+        q.set_addr(1, 0x100);
+        q.set_data_ready(1);
+        q.set_addr(2, 0x100);
+        // store 2 is younger-older and matching, but data not ready
+        assert_eq!(q.check_load(3, 0x100), LoadCheck::WaitOnStore);
+        q.set_data_ready(2);
+        assert_eq!(q.check_load(3, 0x100), LoadCheck::Forward);
+        assert_eq!(q.check_load(3, 0x200), LoadCheck::GoToCache);
+    }
+
+    #[test]
+    fn younger_stores_do_not_forward() {
+        let mut q = Lsq::new(8);
+        q.alloc(1, false);
+        q.alloc(2, true);
+        q.set_addr(2, 0x40);
+        q.set_data_ready(2);
+        assert_eq!(q.check_load(1, 0x40), LoadCheck::GoToCache);
+    }
+
+    #[test]
+    fn dead_stores_are_ignored() {
+        let mut q = Lsq::new(8);
+        q.alloc(1, true);
+        q.alloc(2, false);
+        q.set_addr(1, 0x80);
+        q.set_data_ready(1);
+        assert_eq!(q.check_load(2, 0x80), LoadCheck::Forward);
+        q.free(1);
+        assert_eq!(q.check_load(2, 0x80), LoadCheck::GoToCache);
+    }
+
+    #[test]
+    fn unknown_address_stores_are_optimistic() {
+        let mut q = Lsq::new(8);
+        q.alloc(1, true); // address never computed yet
+        q.alloc(2, false);
+        assert_eq!(q.check_load(2, 0x123), LoadCheck::GoToCache);
+    }
+
+    #[test]
+    fn free_compacts_front() {
+        let mut q = Lsq::new(3);
+        q.alloc(1, false);
+        q.alloc(2, false);
+        q.alloc(3, false);
+        q.free(2);
+        q.free(1);
+        // Front compaction must leave room for two new entries.
+        assert_eq!(q.len(), 1);
+        q.alloc(4, true);
+        q.alloc(5, false);
+        assert_eq!(q.len(), 3);
+    }
+}

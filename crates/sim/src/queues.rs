@@ -1,0 +1,269 @@
+//! Per-cluster issue queues and the copy-op slab.
+//!
+//! Each cluster owns a 48-entry INT queue (2 issues/cycle), a 48-entry FP
+//! queue (2 issues/cycle) and a 24-entry COPY queue (1 issue/cycle) —
+//! Table 2. Entries are kept in allocation (age) order; the scheduler scans
+//! oldest-first, the classic age-ordered select.
+
+use std::collections::VecDeque;
+
+use crate::value::ValueTag;
+
+/// An age-ordered issue queue holding opaque ids (ROB sequence numbers for
+/// INT/FP queues, copy-slab ids for COPY queues).
+#[derive(Debug, Clone)]
+pub struct IssueQueue {
+    entries: VecDeque<u64>,
+    capacity: usize,
+}
+
+impl IssueQueue {
+    /// Create a queue with `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1);
+        IssueQueue { entries: VecDeque::with_capacity(capacity), capacity }
+    }
+
+    /// Entries currently waiting.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// True if another entry can be allocated.
+    pub fn has_space(&self) -> bool {
+        self.entries.len() < self.capacity
+    }
+
+    /// Capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Allocate an entry (dispatch).
+    ///
+    /// # Panics
+    /// Panics if the queue is full — dispatch must check
+    /// [`IssueQueue::has_space`] first (that check *is* the allocation-stall
+    /// condition the paper measures).
+    pub fn push(&mut self, id: u64) {
+        assert!(self.has_space(), "issue-queue overflow");
+        self.entries.push_back(id);
+    }
+
+    /// Iterate waiting entries oldest-first without removing them.
+    pub fn ids(&self) -> impl Iterator<Item = u64> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Remove the given ids (which must be present), preserving the age
+    /// order of the remaining entries.
+    pub fn remove_ids(&mut self, ids: &[u64]) {
+        if ids.is_empty() {
+            return;
+        }
+        let before = self.entries.len();
+        self.entries.retain(|e| !ids.contains(e));
+        debug_assert_eq!(before - self.entries.len(), ids.len(), "remove_ids: id not found");
+    }
+
+    /// Scan entries oldest-first, issuing up to `max_issue` whose `ready`
+    /// predicate holds; issued entries are removed and passed to `on_issue`.
+    /// Non-ready entries are skipped (full out-of-order select within the
+    /// queue).
+    pub fn select(
+        &mut self,
+        max_issue: usize,
+        mut ready: impl FnMut(u64) -> bool,
+        mut on_issue: impl FnMut(u64),
+    ) -> usize {
+        let mut issued = 0;
+        let mut i = 0;
+        while i < self.entries.len() && issued < max_issue {
+            let id = self.entries[i];
+            if ready(id) {
+                self.entries.remove(i);
+                on_issue(id);
+                issued += 1;
+            } else {
+                i += 1;
+            }
+        }
+        issued
+    }
+}
+
+/// A pending inter-cluster copy micro-op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CopyOp {
+    /// The value being transferred.
+    pub tag: ValueTag,
+    /// Source cluster (where the copy executes, consuming link bandwidth).
+    pub from: u8,
+    /// Destination cluster.
+    pub to: u8,
+}
+
+/// Slab of in-flight copies (from allocation until link delivery).
+#[derive(Debug, Clone, Default)]
+pub struct CopySlab {
+    ops: Vec<CopyOp>,
+    free: Vec<u32>,
+    live: usize,
+}
+
+impl CopySlab {
+    /// Empty slab.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocate a copy op, returning its id.
+    pub fn alloc(&mut self, op: CopyOp) -> u32 {
+        self.live += 1;
+        match self.free.pop() {
+            Some(id) => {
+                self.ops[id as usize] = op;
+                id
+            }
+            None => {
+                self.ops.push(op);
+                (self.ops.len() - 1) as u32
+            }
+        }
+    }
+
+    /// Look up a live copy.
+    pub fn get(&self, id: u32) -> CopyOp {
+        self.ops[id as usize]
+    }
+
+    /// Free a delivered copy.
+    pub fn release(&mut self, id: u32) {
+        debug_assert!(!self.free.contains(&id), "double free of copy {id}");
+        self.free.push(id);
+        self.live -= 1;
+    }
+
+    /// Copies still in flight.
+    pub fn live(&self) -> usize {
+        self.live
+    }
+}
+
+/// Per-cycle inter-cluster link bandwidth tracker: each ordered (from, to)
+/// pair is an independent link direction with a fixed per-cycle copy budget
+/// ("bi-directional point-to-point link, … 1 copy/cycle").
+#[derive(Debug, Clone)]
+pub struct LinkArbiter {
+    used: [[u8; 8]; 8],
+    per_cycle: u8,
+}
+
+impl LinkArbiter {
+    /// Create an arbiter allowing `per_cycle` copies per link direction.
+    pub fn new(per_cycle: usize) -> Self {
+        LinkArbiter { used: [[0; 8]; 8], per_cycle: per_cycle.min(255) as u8 }
+    }
+
+    /// Reset budgets; call once per cycle.
+    pub fn begin_cycle(&mut self) {
+        self.used = [[0; 8]; 8];
+    }
+
+    /// Try to reserve a slot on the `from → to` direction this cycle.
+    pub fn try_send(&mut self, from: u8, to: u8) -> bool {
+        debug_assert_ne!(from, to, "no self-links");
+        let slot = &mut self.used[from as usize][to as usize];
+        if *slot < self.per_cycle {
+            *slot += 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_capacity_and_overflow() {
+        let mut q = IssueQueue::new(2);
+        q.push(1);
+        assert!(q.has_space());
+        q.push(2);
+        assert!(!q.has_space());
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn push_past_capacity_panics() {
+        let mut q = IssueQueue::new(1);
+        q.push(1);
+        q.push(2);
+    }
+
+    #[test]
+    fn select_is_oldest_first_and_skips_not_ready() {
+        let mut q = IssueQueue::new(8);
+        for id in 0..5 {
+            q.push(id);
+        }
+        let mut issued = Vec::new();
+        // Only even ids ready; width 2 -> issue 0 and 2.
+        let n = q.select(2, |id| id % 2 == 0, |id| issued.push(id));
+        assert_eq!(n, 2);
+        assert_eq!(issued, vec![0, 2]);
+        assert_eq!(q.len(), 3);
+        // Remaining order preserved: 1, 3, 4.
+        let mut rest = Vec::new();
+        q.select(10, |_| true, |id| rest.push(id));
+        assert_eq!(rest, vec![1, 3, 4]);
+    }
+
+    #[test]
+    fn select_respects_width() {
+        let mut q = IssueQueue::new(8);
+        for id in 0..6 {
+            q.push(id);
+        }
+        let n = q.select(2, |_| true, |_| {});
+        assert_eq!(n, 2);
+        assert_eq!(q.len(), 4);
+    }
+
+    #[test]
+    fn copy_slab_reuses_ids() {
+        let mut s = CopySlab::new();
+        let a = s.alloc(CopyOp { tag: 1, from: 0, to: 1 });
+        let b = s.alloc(CopyOp { tag: 2, from: 1, to: 0 });
+        assert_ne!(a, b);
+        assert_eq!(s.live(), 2);
+        s.release(a);
+        let c = s.alloc(CopyOp { tag: 3, from: 0, to: 1 });
+        assert_eq!(c, a);
+        assert_eq!(s.get(c).tag, 3);
+        assert_eq!(s.live(), 2);
+        s.release(b);
+        s.release(c);
+        assert_eq!(s.live(), 0);
+    }
+
+    #[test]
+    fn link_arbiter_limits_per_direction() {
+        let mut l = LinkArbiter::new(1);
+        assert!(l.try_send(0, 1));
+        assert!(!l.try_send(0, 1), "direction budget spent");
+        assert!(l.try_send(1, 0), "opposite direction independent");
+        assert!(l.try_send(0, 2), "other destination independent");
+        l.begin_cycle();
+        assert!(l.try_send(0, 1), "budget restored");
+    }
+}

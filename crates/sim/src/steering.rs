@@ -1,0 +1,218 @@
+//! The steering interface between the machine and pluggable policies.
+//!
+//! The simulator calls the policy once per micro-op, *in program order,
+//! applying each decision's effects (rename-table location updates, copy
+//! insertion) before the next call*. A policy that reads
+//! [`SteerView::location`] therefore implements the paper's **sequential**
+//! steering; one that reads [`SteerView::location_stale`] sees only the
+//! bundle-entry snapshot and reproduces the cheap **parallel**
+//! (renaming-style) steering of Sec. 2.1. The hybrid VC policy reads
+//! neither — just its mapping table and the workload counters
+//! ([`SteerView::inflight`]), which is the whole point of the paper.
+
+use virtclust_uarch::{ArchReg, DynUop, QueueKind, NUM_ARCH_REGS};
+
+use crate::value::{ClusterMask, RenameTable, ValueTracker};
+
+/// A steering decision for one micro-op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SteerDecision {
+    /// Send the micro-op to this physical cluster.
+    Cluster(u8),
+    /// Stall the front-end this cycle (the occupancy-aware
+    /// "stall-over-steer" behaviour of [González et al.]).
+    Stall,
+}
+
+/// The machine state a steering policy may inspect — deliberately exactly
+/// what the paper's hardware proposals can see: register location bits
+/// (from the rename table), issue-queue occupancies, and the per-cluster
+/// workload counters.
+pub struct SteerView<'a> {
+    pub(crate) num_clusters: usize,
+    pub(crate) rename: &'a RenameTable,
+    pub(crate) values: &'a ValueTracker,
+    pub(crate) stale_loc: &'a [ClusterMask; NUM_ARCH_REGS],
+    /// `occ[cluster][QueueKind::index()]`.
+    pub(crate) iq_occ: &'a [[usize; 3]],
+    pub(crate) iq_cap: [usize; 3],
+    pub(crate) inflight: &'a [u32],
+    pub(crate) busy_threshold: f64,
+}
+
+impl SteerView<'_> {
+    /// Number of physical clusters.
+    #[inline]
+    pub fn num_clusters(&self) -> usize {
+        self.num_clusters
+    }
+
+    /// Up-to-date location mask of `reg`'s current value (reflects all
+    /// previous steering decisions, including earlier ops of this bundle) —
+    /// sequential steering information.
+    #[inline]
+    pub fn location(&self, reg: ArchReg) -> ClusterMask {
+        self.rename.location(reg, self.values)
+    }
+
+    /// Bundle-entry location snapshot — the stale information a fully
+    /// parallel steering implementation would be limited to (Sec. 2.1).
+    #[inline]
+    pub fn location_stale(&self, reg: ArchReg) -> ClusterMask {
+        self.stale_loc[reg.flat()]
+    }
+
+    /// Current occupancy of `cluster`'s queue of `kind`.
+    #[inline]
+    pub fn occupancy(&self, cluster: u8, kind: QueueKind) -> usize {
+        self.iq_occ[cluster as usize][kind.index()]
+    }
+
+    /// Capacity of queues of `kind`.
+    #[inline]
+    pub fn capacity(&self, kind: QueueKind) -> usize {
+        self.iq_cap[kind.index()]
+    }
+
+    /// True if `cluster` still has a free entry in its `kind` queue.
+    #[inline]
+    pub fn has_queue_space(&self, cluster: u8, kind: QueueKind) -> bool {
+        self.occupancy(cluster, kind) < self.capacity(kind)
+    }
+
+    /// The paper's workload counters: in-flight micro-ops per cluster.
+    #[inline]
+    pub fn inflight(&self, cluster: u8) -> u32 {
+        self.inflight[cluster as usize]
+    }
+
+    /// The least-loaded cluster by in-flight count (ties → lowest index).
+    pub fn least_loaded(&self) -> u8 {
+        (0..self.num_clusters as u8)
+            .min_by_key(|&c| (self.inflight(c), c))
+            .expect("at least one cluster")
+    }
+
+    /// True if `cluster` counts as "busy" for stall-over-steer decisions:
+    /// its queue occupancy for `kind` exceeds the configured threshold.
+    pub fn is_busy(&self, cluster: u8, kind: QueueKind) -> bool {
+        let cap = self.capacity(kind);
+        self.occupancy(cluster, kind) as f64 >= self.busy_threshold * cap as f64
+    }
+
+    /// Count of set bits of `mask` restricted to real clusters.
+    #[inline]
+    pub fn mask_count(&self, mask: ClusterMask) -> u32 {
+        (mask & crate::value::all_clusters(self.num_clusters)).count_ones()
+    }
+}
+
+/// A steering policy: decides the physical cluster of every micro-op.
+pub trait SteeringPolicy {
+    /// Human-readable policy name (used in reports).
+    fn name(&self) -> String;
+
+    /// Decide where `uop` goes. Called in program order; effects of prior
+    /// decisions are visible through `view`.
+    fn steer(&mut self, uop: &DynUop, view: &SteerView<'_>) -> SteerDecision;
+
+    /// Reset internal state (mapping tables, counters) before a new run.
+    fn reset(&mut self) {}
+}
+
+/// Blanket impl so `&mut P` works wherever a policy is needed.
+impl<P: SteeringPolicy + ?Sized> SteeringPolicy for &mut P {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn steer(&mut self, uop: &DynUop, view: &SteerView<'_>) -> SteerDecision {
+        (**self).steer(uop, view)
+    }
+
+    fn reset(&mut self) {
+        (**self).reset()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::{RenameTable, ValueTracker};
+    use virtclust_uarch::RegClass;
+
+    fn fixture(num_clusters: usize) -> (ValueTracker, RenameTable) {
+        let mut vt = ValueTracker::new(num_clusters);
+        let rt = RenameTable::new(&mut vt);
+        (vt, rt)
+    }
+
+    #[test]
+    fn view_exposes_locations_and_occupancy() {
+        let (mut vt, mut rt) = fixture(2);
+        let reg = ArchReg::int(5);
+        let t = vt.alloc(RegClass::Int, 1);
+        rt.redefine(reg, t, &mut vt);
+        let stale = [0b11u8; NUM_ARCH_REGS];
+        let occ = vec![[3, 0, 0], [10, 2, 1]];
+        let inflight = vec![4, 20];
+        let view = SteerView {
+            num_clusters: 2,
+            rename: &rt,
+            values: &vt,
+            stale_loc: &stale,
+            iq_occ: &occ,
+            iq_cap: [48, 48, 24],
+            inflight: &inflight,
+            busy_threshold: 0.75,
+        };
+        assert_eq!(view.location(reg), 0b10);
+        assert_eq!(view.location_stale(reg), 0b11);
+        assert_eq!(view.occupancy(1, QueueKind::Int), 10);
+        assert!(view.has_queue_space(1, QueueKind::Int));
+        assert_eq!(view.least_loaded(), 0);
+        assert_eq!(view.inflight(1), 20);
+        assert!(!view.is_busy(0, QueueKind::Int));
+        assert_eq!(view.mask_count(0b11), 2);
+        vt.mark_produced(t);
+    }
+
+    #[test]
+    fn busy_threshold_triggers() {
+        let (vt, rt) = fixture(2);
+        let stale = [0u8; NUM_ARCH_REGS];
+        let occ = vec![[36, 0, 0], [35, 0, 0]];
+        let inflight = vec![0, 0];
+        let view = SteerView {
+            num_clusters: 2,
+            rename: &rt,
+            values: &vt,
+            stale_loc: &stale,
+            iq_occ: &occ,
+            iq_cap: [48, 48, 24],
+            inflight: &inflight,
+            busy_threshold: 0.75,
+        };
+        assert!(view.is_busy(0, QueueKind::Int), "36 >= 0.75*48");
+        assert!(!view.is_busy(1, QueueKind::Int), "35 < 36");
+    }
+
+    #[test]
+    fn least_loaded_breaks_ties_low() {
+        let (vt, rt) = fixture(4);
+        let stale = [0u8; NUM_ARCH_REGS];
+        let occ = vec![[0, 0, 0]; 4];
+        let inflight = vec![5, 3, 3, 9];
+        let view = SteerView {
+            num_clusters: 4,
+            rename: &rt,
+            values: &vt,
+            stale_loc: &stale,
+            iq_occ: &occ,
+            iq_cap: [48, 48, 24],
+            inflight: &inflight,
+            busy_threshold: 0.75,
+        };
+        assert_eq!(view.least_loaded(), 1);
+    }
+}

@@ -1,0 +1,456 @@
+//! Value tracking: where every register value lives among the clusters.
+//!
+//! In the paper's machine every renamed value physically lives in the
+//! register file of the cluster that produced it, and becomes visible to
+//! another cluster only after an explicit copy micro-op transfers it across
+//! a point-to-point link. Steering heuristics consult "the location of a
+//! register value", a facility the paper says "can be attached to the rename
+//! table with a negligible complexity increase".
+//!
+//! [`ValueTracker`] is a reference-counted slab of in-flight and architected
+//! values; each value carries two per-cluster bit masks: `ready` (the value
+//! sits in that cluster's register file) and `pending` (the value *will*
+//! appear there: its producer was steered there, or a copy is in flight).
+//! The steering-visible *location mask* is their union — exactly what the
+//! rename-table location bits would hold in hardware. [`RenameTable`] maps
+//! architectural registers to the current value.
+
+use virtclust_uarch::{ArchReg, RegClass, NUM_ARCH_REGS};
+
+/// Identifies a live value in the [`ValueTracker`] slab.
+pub type ValueTag = u32;
+
+/// Cluster bit-mask type (supports up to 8 clusters).
+pub type ClusterMask = u8;
+
+/// Bit for cluster `c`.
+#[inline]
+pub fn cluster_bit(c: u8) -> ClusterMask {
+    1u8 << c
+}
+
+/// Mask with the lowest `n` cluster bits set.
+#[inline]
+pub fn all_clusters(n: usize) -> ClusterMask {
+    debug_assert!(n <= 8);
+    if n >= 8 {
+        u8::MAX
+    } else {
+        (1u8 << n) - 1
+    }
+}
+
+#[derive(Debug, Clone)]
+struct ValueState {
+    ready: ClusterMask,
+    pending: ClusterMask,
+    refs: u32,
+    class: RegClass,
+    home: u8,
+    live: bool,
+}
+
+/// Reference-counted tracker of register values and their cluster locations.
+///
+/// Reference discipline (each `add_ref`/implicit ref must be matched by one
+/// `release`):
+/// * the producer holds a ref from [`ValueTracker::alloc`] until
+///   [`ValueTracker::mark_produced`];
+/// * the rename table holds a ref while the value is the current mapping of
+///   an architectural register;
+/// * every dispatched consumer holds a ref per source read until it issues;
+/// * every in-flight copy holds a ref until it delivers.
+///
+/// When the count reaches zero the slot is recycled and its register-file
+/// occupancy is returned to every cluster that held the value.
+#[derive(Debug, Clone)]
+pub struct ValueTracker {
+    slots: Vec<ValueState>,
+    free: Vec<ValueTag>,
+    /// `rf_used[cluster][class.index]` — live register count.
+    rf_used: Vec<[u32; 2]>,
+    num_clusters: usize,
+}
+
+fn class_index(class: RegClass) -> usize {
+    match class {
+        RegClass::Int => 0,
+        RegClass::Flt => 1,
+    }
+}
+
+impl ValueTracker {
+    /// Create a tracker for a machine with `num_clusters` clusters.
+    pub fn new(num_clusters: usize) -> Self {
+        assert!((1..=8).contains(&num_clusters));
+        ValueTracker {
+            slots: Vec::with_capacity(1024),
+            free: Vec::new(),
+            rf_used: vec![[0; 2]; num_clusters],
+            num_clusters,
+        }
+    }
+
+    fn alloc_slot(&mut self, st: ValueState) -> ValueTag {
+        let occupancy = st.ready | st.pending;
+        let class = st.class;
+        let tag = match self.free.pop() {
+            Some(t) => {
+                self.slots[t as usize] = st;
+                t
+            }
+            None => {
+                self.slots.push(st);
+                (self.slots.len() - 1) as ValueTag
+            }
+        };
+        self.charge_rf(occupancy, class, 1);
+        tag
+    }
+
+    fn charge_rf(&mut self, mask: ClusterMask, class: RegClass, delta: i64) {
+        for c in 0..self.num_clusters {
+            if mask & cluster_bit(c as u8) != 0 {
+                let slot = &mut self.rf_used[c][class_index(class)];
+                *slot = (*slot as i64 + delta) as u32;
+            }
+        }
+    }
+
+    /// Allocate a new value that cluster `home` will produce.
+    /// The producer implicitly holds one reference (dropped by
+    /// [`ValueTracker::mark_produced`]).
+    pub fn alloc(&mut self, class: RegClass, home: u8) -> ValueTag {
+        debug_assert!((home as usize) < self.num_clusters);
+        self.alloc_slot(ValueState {
+            ready: 0,
+            pending: cluster_bit(home),
+            refs: 1,
+            class,
+            home,
+            live: true,
+        })
+    }
+
+    /// Allocate an architected value already present in every cluster
+    /// (initial machine state). Starts with **zero** references — bind it to
+    /// the rename table immediately.
+    pub fn alloc_ready_everywhere(&mut self, class: RegClass) -> ValueTag {
+        self.alloc_slot(ValueState {
+            ready: all_clusters(self.num_clusters),
+            pending: 0,
+            refs: 0,
+            class,
+            home: 0,
+            live: true,
+        })
+    }
+
+    /// Allocate an architected value resident in exactly one cluster — used
+    /// to set up scenarios like the paper's Sec. 2.1 example ("R1 was in
+    /// cluster 0, R2 and R3 were in cluster 1"). Starts with zero
+    /// references; bind it to the rename table immediately.
+    pub fn alloc_ready_in(&mut self, class: RegClass, cluster: u8) -> ValueTag {
+        debug_assert!((cluster as usize) < self.num_clusters);
+        self.alloc_slot(ValueState {
+            ready: cluster_bit(cluster),
+            pending: 0,
+            refs: 0,
+            class,
+            home: cluster,
+            live: true,
+        })
+    }
+
+    fn state(&self, tag: ValueTag) -> &ValueState {
+        let st = &self.slots[tag as usize];
+        debug_assert!(st.live, "use of freed value tag {tag}");
+        st
+    }
+
+    fn state_mut(&mut self, tag: ValueTag) -> &mut ValueState {
+        let st = &mut self.slots[tag as usize];
+        debug_assert!(st.live, "use of freed value tag {tag}");
+        st
+    }
+
+    /// Take a reference on `tag`.
+    pub fn add_ref(&mut self, tag: ValueTag) {
+        self.state_mut(tag).refs += 1;
+    }
+
+    /// Drop a reference; frees the slot (returning register-file space) when
+    /// the count reaches zero.
+    pub fn release(&mut self, tag: ValueTag) {
+        let st = self.state_mut(tag);
+        debug_assert!(st.refs > 0, "release of unreferenced value {tag}");
+        st.refs -= 1;
+        if st.refs == 0 {
+            let mask = st.ready | st.pending;
+            let class = st.class;
+            st.live = false;
+            self.charge_rf(mask, class, -1);
+            self.free.push(tag);
+        }
+    }
+
+    /// The producer finished executing: the value is now readable in its
+    /// home cluster. Drops the producer's reference.
+    pub fn mark_produced(&mut self, tag: ValueTag) {
+        let st = self.state_mut(tag);
+        let home_bit = cluster_bit(st.home);
+        st.pending &= !home_bit;
+        st.ready |= home_bit;
+        self.release(tag);
+    }
+
+    /// Register an in-flight copy of `tag` towards `dest`: sets the pending
+    /// location bit (so later consumers do not request duplicate copies),
+    /// charges a destination register, and takes the copy's reference.
+    pub fn begin_copy(&mut self, tag: ValueTag, dest: u8) {
+        debug_assert!((dest as usize) < self.num_clusters);
+        let bit = cluster_bit(dest);
+        let st = self.state_mut(tag);
+        debug_assert!(st.ready & bit == 0 && st.pending & bit == 0, "duplicate copy to {dest}");
+        st.pending |= bit;
+        st.refs += 1;
+        let class = st.class;
+        self.charge_rf(bit, class, 1);
+    }
+
+    /// A copy of `tag` arrived at `dest`: the value is now readable there.
+    /// Drops the copy's reference.
+    pub fn deliver_copy(&mut self, tag: ValueTag, dest: u8) {
+        let bit = cluster_bit(dest);
+        let st = self.state_mut(tag);
+        debug_assert!(st.pending & bit != 0, "copy delivered without begin_copy");
+        st.pending &= !bit;
+        st.ready |= bit;
+        self.release(tag);
+    }
+
+    /// Is the value readable in `cluster` right now?
+    #[inline]
+    pub fn ready_in(&self, tag: ValueTag, cluster: u8) -> bool {
+        self.state(tag).ready & cluster_bit(cluster) != 0
+    }
+
+    /// Steering-visible location mask: clusters where the value is or will
+    /// be available (ready ∪ pending).
+    #[inline]
+    pub fn location_mask(&self, tag: ValueTag) -> ClusterMask {
+        let st = self.state(tag);
+        st.ready | st.pending
+    }
+
+    /// Clusters where the value is ready *now*.
+    #[inline]
+    pub fn ready_mask(&self, tag: ValueTag) -> ClusterMask {
+        self.state(tag).ready
+    }
+
+    /// Home (producing) cluster of the value.
+    #[inline]
+    pub fn home(&self, tag: ValueTag) -> u8 {
+        self.state(tag).home
+    }
+
+    /// Register class of the value.
+    #[inline]
+    pub fn class(&self, tag: ValueTag) -> RegClass {
+        self.state(tag).class
+    }
+
+    /// Live register count of `cluster` for `class` (register-file pressure).
+    #[inline]
+    pub fn rf_used(&self, cluster: u8, class: RegClass) -> u32 {
+        self.rf_used[cluster as usize][class_index(class)]
+    }
+
+    /// Number of live value slots (diagnostics / leak tests).
+    pub fn live_values(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+
+    /// Number of clusters this tracker was built for.
+    pub fn num_clusters(&self) -> usize {
+        self.num_clusters
+    }
+}
+
+/// The rename table: architectural register → current value tag, plus the
+/// per-register location bits the steering heuristics read.
+#[derive(Debug, Clone)]
+pub struct RenameTable {
+    map: [ValueTag; NUM_ARCH_REGS],
+}
+
+impl RenameTable {
+    /// Create the initial mapping: every architectural register bound to a
+    /// fresh value that is ready in all clusters.
+    pub fn new(tracker: &mut ValueTracker) -> Self {
+        let mut map = [0; NUM_ARCH_REGS];
+        for (flat, slot) in map.iter_mut().enumerate() {
+            let reg = ArchReg::from_flat(flat);
+            let tag = tracker.alloc_ready_everywhere(reg.class);
+            tracker.add_ref(tag); // the table's own reference
+            *slot = tag;
+        }
+        RenameTable { map }
+    }
+
+    /// Current value tag of `reg`.
+    #[inline]
+    pub fn tag(&self, reg: ArchReg) -> ValueTag {
+        self.map[reg.flat()]
+    }
+
+    /// Rebind `reg` to `new_tag` (the destination of a newly steered
+    /// micro-op). Takes a table reference on the new value and releases the
+    /// old one.
+    pub fn redefine(&mut self, reg: ArchReg, new_tag: ValueTag, tracker: &mut ValueTracker) {
+        tracker.add_ref(new_tag);
+        let old = std::mem::replace(&mut self.map[reg.flat()], new_tag);
+        tracker.release(old);
+    }
+
+    /// Location mask of the *current* value of `reg`.
+    #[inline]
+    pub fn location(&self, reg: ArchReg, tracker: &ValueTracker) -> ClusterMask {
+        tracker.location_mask(self.tag(reg))
+    }
+
+    /// Snapshot of every register's location mask — the *stale* view a
+    /// parallel (renaming-style) steering implementation would use for a
+    /// whole decode bundle (Sec. 2.1 of the paper).
+    pub fn location_snapshot(&self, tracker: &ValueTracker) -> [ClusterMask; NUM_ARCH_REGS] {
+        let mut snap = [0; NUM_ARCH_REGS];
+        for (flat, s) in snap.iter_mut().enumerate() {
+            *s = tracker.location_mask(self.map[flat]);
+        }
+        snap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_produce_lifecycle() {
+        let mut vt = ValueTracker::new(2);
+        let t = vt.alloc(RegClass::Int, 1);
+        assert!(!vt.ready_in(t, 1));
+        assert_eq!(vt.location_mask(t), 0b10);
+        assert_eq!(vt.rf_used(1, RegClass::Int), 1);
+        assert_eq!(vt.rf_used(0, RegClass::Int), 0);
+
+        vt.add_ref(t); // a consumer
+        vt.mark_produced(t); // producer done (drops producer ref)
+        assert!(vt.ready_in(t, 1));
+        assert!(!vt.ready_in(t, 0));
+        assert_eq!(vt.live_values(), 1);
+
+        vt.release(t); // consumer issues
+        assert_eq!(vt.live_values(), 0);
+        assert_eq!(vt.rf_used(1, RegClass::Int), 0);
+    }
+
+    #[test]
+    fn copy_moves_value_between_clusters() {
+        let mut vt = ValueTracker::new(2);
+        let t = vt.alloc(RegClass::Flt, 0);
+        vt.add_ref(t); // keep alive
+        vt.mark_produced(t);
+        assert_eq!(vt.location_mask(t), 0b01);
+
+        vt.begin_copy(t, 1);
+        assert_eq!(vt.location_mask(t), 0b11, "pending counts for steering");
+        assert!(!vt.ready_in(t, 1));
+        assert_eq!(vt.rf_used(1, RegClass::Flt), 1);
+
+        vt.deliver_copy(t, 1);
+        assert!(vt.ready_in(t, 1));
+        assert_eq!(vt.location_mask(t), 0b11);
+
+        vt.release(t);
+        assert_eq!(vt.rf_used(0, RegClass::Flt), 0);
+        assert_eq!(vt.rf_used(1, RegClass::Flt), 0);
+    }
+
+    #[test]
+    fn slab_recycles_slots() {
+        let mut vt = ValueTracker::new(2);
+        let a = vt.alloc(RegClass::Int, 0);
+        vt.mark_produced(a); // refs -> 0, freed
+        assert_eq!(vt.live_values(), 0);
+        let b = vt.alloc(RegClass::Int, 0);
+        assert_eq!(a, b, "slot recycled");
+        assert_eq!(vt.live_values(), 1);
+    }
+
+    #[test]
+    fn rename_table_initial_state_ready_everywhere() {
+        let mut vt = ValueTracker::new(4);
+        let rt = RenameTable::new(&mut vt);
+        for reg in ArchReg::all() {
+            assert_eq!(rt.location(reg, &vt), all_clusters(4));
+            for c in 0..4u8 {
+                assert!(vt.ready_in(rt.tag(reg), c));
+            }
+        }
+        // 16 INT + 16 FP architected values per cluster.
+        for c in 0..4u8 {
+            assert_eq!(vt.rf_used(c, RegClass::Int), 16);
+            assert_eq!(vt.rf_used(c, RegClass::Flt), 16);
+        }
+    }
+
+    #[test]
+    fn redefine_releases_old_value() {
+        let mut vt = ValueTracker::new(2);
+        let mut rt = RenameTable::new(&mut vt);
+        let reg = ArchReg::int(3);
+        let before = vt.live_values();
+
+        let t = vt.alloc(RegClass::Int, 1);
+        rt.redefine(reg, t, &mut vt);
+        vt.mark_produced(t);
+        // Old architected value of r3 had only the table ref -> freed.
+        assert_eq!(vt.live_values(), before);
+        assert_eq!(rt.location(reg, &vt), 0b10);
+    }
+
+    #[test]
+    fn snapshot_is_stale_after_redefine() {
+        let mut vt = ValueTracker::new(2);
+        let mut rt = RenameTable::new(&mut vt);
+        let reg = ArchReg::int(0);
+        let snap = rt.location_snapshot(&vt);
+        assert_eq!(snap[reg.flat()], 0b11);
+
+        let t = vt.alloc(RegClass::Int, 1);
+        rt.redefine(reg, t, &mut vt);
+        assert_eq!(rt.location(reg, &vt), 0b10, "live view updated");
+        assert_eq!(snap[reg.flat()], 0b11, "snapshot unchanged");
+        vt.mark_produced(t);
+    }
+
+    #[test]
+    fn all_clusters_mask() {
+        assert_eq!(all_clusters(1), 0b1);
+        assert_eq!(all_clusters(2), 0b11);
+        assert_eq!(all_clusters(4), 0b1111);
+        assert_eq!(all_clusters(8), 0xff);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "duplicate copy")]
+    fn duplicate_copy_panics_in_debug() {
+        let mut vt = ValueTracker::new(2);
+        let t = vt.alloc(RegClass::Int, 0);
+        vt.begin_copy(t, 1);
+        vt.begin_copy(t, 1);
+    }
+}

@@ -1,0 +1,272 @@
+//! The steering-unit complexity model behind the paper's Table 1.
+//!
+//! Table 1 compares, qualitatively, which hardware components each scheme
+//! needs:
+//!
+//! | component                   | hardware-only (OP) | hybrid (VC) |
+//! |-----------------------------|--------------------|-------------|
+//! | dependence check            | yes                | no          |
+//! | workload balance management | yes                | yes         |
+//! | vote unit                   | yes                | no          |
+//! | copy generator              | yes                | yes         |
+//!
+//! This module also produces a rough *quantitative* estimate (storage bits,
+//! comparator count, serialization depth) so the claim "the hybrid scheme
+//! removes most of the steering complexity" becomes a number. The estimates
+//! use simple structural formulas — table entries × entry width, one
+//! comparator per simultaneous compare — not a synthesis flow; they are for
+//! *relative* comparison between schemes, matching how the paper argues.
+
+use virtclust_uarch::{MachineConfig, NUM_ARCH_REGS};
+
+/// Which steering-unit components a scheme requires (a row set of Table 1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComplexityProfile {
+    /// Scheme name as in Table 3.
+    pub name: &'static str,
+    /// Dependence checking: a table mapping each architectural register to
+    /// the cluster that holds/produces its value, read per source operand.
+    pub dependence_check: bool,
+    /// Workload balance management: per-cluster occupancy/in-flight
+    /// counters.
+    pub workload_balance: bool,
+    /// Vote unit: combines input locations + balance into a destination,
+    /// serialized across the decode bundle.
+    pub vote_unit: bool,
+    /// Copy generator: compares each source's location against the chosen
+    /// destination and inserts copy micro-ops.
+    pub copy_generator: bool,
+    /// VC→PC mapping table (hybrid scheme only).
+    pub mapping_table: bool,
+    /// Whether the destination decision of micro-op *i* depends on the
+    /// decision of micro-op *i−1* in the same bundle (the serialization the
+    /// paper says "may not meet the cycle time").
+    pub serialized: bool,
+}
+
+impl ComplexityProfile {
+    /// The hardware-only occupancy-aware scheme (`OP`): everything, and
+    /// serialized within the bundle.
+    pub fn hardware_op() -> Self {
+        ComplexityProfile {
+            name: "OP (hardware-only)",
+            dependence_check: true,
+            workload_balance: true,
+            vote_unit: true,
+            copy_generator: true,
+            mapping_table: false,
+            serialized: true,
+        }
+    }
+
+    /// The paper's hybrid virtual-clustering scheme: dependence checking
+    /// and voting removed; balance counters, mapping table and copy
+    /// generator remain; no serialization.
+    pub fn hybrid_vc() -> Self {
+        ComplexityProfile {
+            name: "VC (hybrid)",
+            dependence_check: false,
+            workload_balance: true,
+            vote_unit: false,
+            copy_generator: true,
+            mapping_table: true,
+            serialized: false,
+        }
+    }
+
+    /// Software-only schemes (OB, RHOP): the hardware only follows the
+    /// static assignment; the copy generator remains.
+    pub fn software_only() -> Self {
+        ComplexityProfile {
+            name: "OB/RHOP (software-only)",
+            dependence_check: false,
+            workload_balance: false,
+            vote_unit: false,
+            copy_generator: true,
+            mapping_table: false,
+            serialized: false,
+        }
+    }
+
+    /// The one-cluster straw-man: nothing at all (and no copies, so no copy
+    /// generator either).
+    pub fn one_cluster() -> Self {
+        ComplexityProfile {
+            name: "one-cluster",
+            dependence_check: false,
+            workload_balance: false,
+            vote_unit: false,
+            copy_generator: false,
+            mapping_table: false,
+            serialized: false,
+        }
+    }
+
+    /// Quantitative estimate for a given machine configuration.
+    pub fn estimate(&self, cfg: &MachineConfig, num_vcs: usize) -> ComplexityEstimate {
+        let clusters = cfg.num_clusters as u64;
+        let cluster_bits = (64 - (clusters.max(2) - 1).leading_zeros()) as u64;
+        let width = cfg.dispatch_width() as u64;
+        let max_srcs = virtclust_uarch::inst::MAX_SRCS as u64;
+
+        let mut bits = 0u64;
+        let mut comparators = 0u64;
+        let mut ports = 0u64;
+
+        if self.dependence_check {
+            // One location entry per architectural register; in a clustered
+            // machine the location is a cluster *set* (values can be
+            // replicated), so `clusters` bits per entry.
+            bits += NUM_ARCH_REGS as u64 * clusters;
+            // Read per source of every bundle slot, written per destination.
+            ports += width * max_srcs + width;
+        }
+        if self.workload_balance {
+            // The paper: counters = clusters − 1 suffice for the hybrid
+            // scheme (relative balance); the full scheme keeps one per
+            // cluster. 16-bit counters cover the in-flight window.
+            let n_counters = if self.mapping_table { clusters - 1 } else { clusters };
+            bits += n_counters * 16;
+            comparators += clusters - 1; // min-tree over counters
+        }
+        if self.vote_unit {
+            // Per bundle slot: compare each source's location set against
+            // each cluster, plus the balance tie-break.
+            comparators += width * max_srcs * clusters + width * (clusters - 1);
+        }
+        if self.mapping_table {
+            bits += num_vcs as u64 * cluster_bits;
+            ports += width; // one lookup per bundle slot
+        }
+        if self.copy_generator {
+            // Compare each source location against the destination cluster.
+            comparators += width * max_srcs;
+        }
+
+        let serial_stages = if self.serialized { width } else { 1 };
+
+        ComplexityEstimate { table_bits: bits, comparators, ports, serial_stages }
+    }
+}
+
+/// Rough structural cost of a steering unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ComplexityEstimate {
+    /// Storage bits in steering-owned tables (location table, counters,
+    /// mapping table).
+    pub table_bits: u64,
+    /// Simultaneous comparators in the decision logic.
+    pub comparators: u64,
+    /// Table read/write ports required per cycle.
+    pub ports: u64,
+    /// Dependent decision stages per cycle (1 = fully parallel decode;
+    /// `dispatch_width` = fully serialized, the OP problem).
+    pub serial_stages: u64,
+}
+
+fn yn(b: bool) -> &'static str {
+    if b {
+        "yes"
+    } else {
+        "no"
+    }
+}
+
+/// Render the paper's Table 1 (plus the quantitative extension) as markdown
+/// for the given configuration.
+pub fn table1_markdown(cfg: &MachineConfig, num_vcs: usize) -> String {
+    let profiles =
+        [ComplexityProfile::hardware_op(), ComplexityProfile::hybrid_vc(), ComplexityProfile::software_only()];
+    let mut out = String::new();
+    out.push_str("| steering algorithm |");
+    for p in &profiles {
+        out.push_str(&format!(" {} |", p.name));
+    }
+    out.push('\n');
+    out.push_str("|---|---|---|---|\n");
+    type RowGetter = fn(&ComplexityProfile) -> bool;
+    let rows: [(&str, RowGetter); 4] = [
+        ("dependence check", |p| p.dependence_check),
+        ("workload balance management", |p| p.workload_balance),
+        ("vote unit", |p| p.vote_unit),
+        ("copy generator", |p| p.copy_generator),
+    ];
+    for (label, get) in rows {
+        out.push_str(&format!("| {label} |"));
+        for p in &profiles {
+            out.push_str(&format!(" {} |", yn(get(p))));
+        }
+        out.push('\n');
+    }
+    out.push('\n');
+    out.push_str("Quantitative estimate (structural):\n\n");
+    out.push_str("| scheme | table bits | comparators | ports | serial stages |\n|---|---|---|---|---|\n");
+    for p in &profiles {
+        let e = p.estimate(cfg, num_vcs);
+        out.push_str(&format!(
+            "| {} | {} | {} | {} | {} |\n",
+            p.name, e.table_bits, e.comparators, e.ports, e.serial_stages
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_qualitative_rows_match_paper() {
+        let op = ComplexityProfile::hardware_op();
+        let vc = ComplexityProfile::hybrid_vc();
+        assert!(op.dependence_check && !vc.dependence_check);
+        assert!(op.workload_balance && vc.workload_balance);
+        assert!(op.vote_unit && !vc.vote_unit);
+        assert!(op.copy_generator && vc.copy_generator);
+        assert!(op.serialized && !vc.serialized);
+        assert!(vc.mapping_table && !op.mapping_table);
+    }
+
+    #[test]
+    fn hybrid_is_strictly_cheaper_than_hardware_only() {
+        let cfg = MachineConfig::default();
+        let op = ComplexityProfile::hardware_op().estimate(&cfg, 2);
+        let vc = ComplexityProfile::hybrid_vc().estimate(&cfg, 2);
+        assert!(vc.table_bits < op.table_bits);
+        assert!(vc.comparators < op.comparators);
+        assert!(vc.ports < op.ports);
+        assert!(vc.serial_stages < op.serial_stages);
+        assert_eq!(op.serial_stages, cfg.dispatch_width() as u64);
+        assert_eq!(vc.serial_stages, 1);
+    }
+
+    #[test]
+    fn mapping_table_grows_with_vcs_and_clusters() {
+        let cfg2 = MachineConfig::paper_2cluster();
+        let cfg4 = MachineConfig::paper_4cluster();
+        let a = ComplexityProfile::hybrid_vc().estimate(&cfg2, 2);
+        let b = ComplexityProfile::hybrid_vc().estimate(&cfg2, 4);
+        assert!(b.table_bits > a.table_bits, "more VC entries");
+        let c = ComplexityProfile::hybrid_vc().estimate(&cfg4, 4);
+        assert!(c.table_bits > b.table_bits, "wider entries for 4 clusters");
+    }
+
+    #[test]
+    fn one_cluster_needs_nothing() {
+        let e = ComplexityProfile::one_cluster().estimate(&MachineConfig::default(), 2);
+        assert_eq!(e.table_bits, 0);
+        assert_eq!(e.comparators, 0);
+        assert_eq!(e.ports, 0);
+        assert_eq!(e.serial_stages, 1);
+    }
+
+    #[test]
+    fn markdown_renders_all_rows() {
+        let md = table1_markdown(&MachineConfig::default(), 2);
+        for needle in
+            ["dependence check", "workload balance", "vote unit", "copy generator", "serial stages"]
+        {
+            assert!(md.contains(needle), "missing `{needle}` in:\n{md}");
+        }
+    }
+}

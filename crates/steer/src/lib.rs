@@ -1,0 +1,32 @@
+//! # virtclust-steer
+//!
+//! Steering policies for the clustered out-of-order machine of Cai et al.,
+//! IPDPS 2008 — the hardware half of every configuration in the paper's
+//! Table 3:
+//!
+//! | Config       | Type              | Implementation |
+//! |--------------|-------------------|----------------|
+//! | `OP`         | hardware-only     | [`OccupancyAware`] (sequential, stall-over-steer) |
+//! | `one-cluster`| hardware-only     | [`OneCluster`] |
+//! | `OB`         | software-only     | [`StaticFollow`] over SPDI annotations |
+//! | `RHOP`       | software-only     | [`StaticFollow`] over RHOP annotations |
+//! | `VC`         | **hybrid**        | [`VcMapper`] over virtual-cluster annotations |
+//!
+//! plus [`OccupancyAware::parallel`], the renaming-style *parallel* steering
+//! straw-man of Sec. 2.1 (it reads only stale bundle-entry locations), and
+//! the [`complexity`] model behind the paper's Table 1.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod complexity;
+pub mod modn;
+pub mod occupancy;
+pub mod simple;
+pub mod vc;
+
+pub use complexity::{table1_markdown, ComplexityEstimate, ComplexityProfile};
+pub use modn::ModN;
+pub use occupancy::{LocationMode, OccupancyAware};
+pub use simple::{OneCluster, StaticFollow};
+pub use vc::VcMapper;

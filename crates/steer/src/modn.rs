@@ -1,0 +1,131 @@
+//! Mod-N steering [Baniasadi & Moshovos, MICRO'00 — the paper's ref. 3]:
+//! send every run of N consecutive micro-ops to the next cluster in
+//! round-robin order.
+//!
+//! Historically the simplest hardware distribution heuristic for clustered
+//! superscalars: perfect long-run balance, zero dependence awareness. It is
+//! not part of the paper's Table 3 but is the classic point of comparison
+//! for *why* dependence-based steering (OP) and chain-based steering (VC)
+//! exist at all — Mod-N pays a copy for nearly every cross-slice
+//! dependence.
+
+use virtclust_sim::{SteerDecision, SteerView, SteeringPolicy};
+use virtclust_uarch::DynUop;
+
+/// Round-robin steering with a configurable slice length.
+#[derive(Debug, Clone)]
+pub struct ModN {
+    n: u64,
+    count: u64,
+    cluster: u8,
+}
+
+impl ModN {
+    /// Steer in slices of `n` micro-ops (Mod-3 was the published sweet
+    /// spot for 4-cluster machines).
+    pub fn new(n: u64) -> Self {
+        assert!(n >= 1, "slice length must be positive");
+        ModN { n, count: 0, cluster: 0 }
+    }
+
+    /// Slice length.
+    pub fn slice_len(&self) -> u64 {
+        self.n
+    }
+}
+
+impl SteeringPolicy for ModN {
+    fn name(&self) -> String {
+        format!("mod-{}", self.n)
+    }
+
+    fn steer(&mut self, _uop: &DynUop, view: &SteerView<'_>) -> SteerDecision {
+        if self.count == self.n {
+            self.count = 0;
+            self.cluster = (self.cluster + 1) % view.num_clusters() as u8;
+        }
+        self.count += 1;
+        SteerDecision::Cluster(self.cluster)
+    }
+
+    fn reset(&mut self) {
+        self.count = 0;
+        self.cluster = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use virtclust_sim::{simulate, RunLimits};
+    use virtclust_uarch::{ArchReg, MachineConfig, RegionBuilder, SliceTrace};
+
+    fn r(i: u8) -> ArchReg {
+        ArchReg::int(i)
+    }
+
+    fn serial_trace(len: usize) -> Vec<virtclust_uarch::DynUop> {
+        let mut b = RegionBuilder::new(0, "serial");
+        for _ in 0..len {
+            b = b.alu(r(1), &[r(1)]);
+        }
+        let region = b.build();
+        let mut uops = Vec::new();
+        virtclust_uarch::trace::expand_region(&region, 0, &mut uops, |_, _| 0, |_, _| true);
+        uops
+    }
+
+    #[test]
+    fn slices_rotate_round_robin() {
+        let uops = serial_trace(12);
+        let mut trace = SliceTrace::new(&uops);
+        let stats = simulate(
+            &MachineConfig::default(),
+            &mut trace,
+            &mut ModN::new(3),
+            &RunLimits::unlimited(),
+        );
+        // 12 uops in slices of 3 over 2 clusters: 6 per cluster.
+        assert_eq!(stats.clusters[0].dispatched, 6);
+        assert_eq!(stats.clusters[1].dispatched, 6);
+    }
+
+    #[test]
+    fn serial_chain_pays_one_copy_per_slice_boundary() {
+        let uops = serial_trace(12);
+        let mut trace = SliceTrace::new(&uops);
+        let stats = simulate(
+            &MachineConfig::default(),
+            &mut trace,
+            &mut ModN::new(3),
+            &RunLimits::unlimited(),
+        );
+        // 4 slice boundaries in 12 uops -> 3 cluster switches after the
+        // first slice, each forcing a copy of the chain value.
+        assert_eq!(stats.copies_generated, 3);
+    }
+
+    #[test]
+    fn dependence_blind_is_worse_than_dependence_aware() {
+        let uops = serial_trace(400);
+        let run = |policy: &mut dyn SteeringPolicy| {
+            let mut trace = SliceTrace::new(&uops);
+            simulate(&MachineConfig::default(), &mut trace, policy, &RunLimits::unlimited())
+        };
+        let modn = run(&mut ModN::new(3));
+        let op = run(&mut crate::OccupancyAware::new());
+        assert!(modn.copies_generated > op.copies_generated);
+        assert!(modn.cycles > op.cycles, "Mod-N must lose on a serial chain");
+    }
+
+    #[test]
+    fn reset_restarts_the_rotation() {
+        let mut p = ModN::new(2);
+        p.count = 1;
+        p.cluster = 1;
+        p.reset();
+        assert_eq!(p.count, 0);
+        assert_eq!(p.cluster, 0);
+        assert_eq!(p.slice_len(), 2);
+    }
+}

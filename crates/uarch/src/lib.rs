@@ -1,0 +1,40 @@
+//! # virtclust-uarch
+//!
+//! Micro-op ISA, static program model, dynamic trace model and machine
+//! configuration for the `virtclust` framework — a reproduction of
+//! *"A Software-Hardware Hybrid Steering Mechanism for Clustered
+//! Microarchitectures"* (Cai, Codina, González, González; IPDPS 2008).
+//!
+//! The paper simulates traces of IA-32 binaries decomposed into micro-ops.
+//! This crate models exactly the information that flows between the three
+//! parties of that system:
+//!
+//! * the **compiler** sees [`Program`]s — lists of [`Region`]s whose
+//!   [`StaticInst`]s it may annotate with a [`SteerHint`] (the paper extends
+//!   the x86 ISA to carry a virtual-cluster id and a chain-leader mark);
+//! * the **trace expander** (in `virtclust-workloads`) turns a program plus an
+//!   execution profile into a stream of [`DynUop`]s;
+//! * the **simulator** (`virtclust-sim`) consumes the stream under a
+//!   [`MachineConfig`] describing the clustered microarchitecture of the
+//!   paper's Table 2.
+//!
+//! The crate is dependency-free and everything in it is `Copy`-friendly and
+//! deterministic, so the same program and profile always produce the same
+//! trace and the same simulation outcome.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod inst;
+pub mod op;
+pub mod program;
+pub mod reg;
+pub mod trace;
+
+pub use config::{CacheConfig, ConfigError, LatencyModel, MachineConfig};
+pub use inst::{InstId, SrcList, StaticInst, SteerHint};
+pub use op::{OpClass, QueueKind};
+pub use program::{Program, Region, RegionBuilder};
+pub use reg::{ArchReg, RegClass, NUM_ARCH_REGS, NUM_FLT_ARCH_REGS, NUM_INT_ARCH_REGS};
+pub use trace::{BranchInfo, DynUop, SliceTrace, TraceSource, VecTrace};

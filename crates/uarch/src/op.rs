@@ -1,0 +1,220 @@
+//! Micro-op classes.
+//!
+//! Traces of IA-32 binaries are decomposed into micro-ops. For steering and
+//! timing purposes the simulator only needs the *class* of each micro-op:
+//! which issue queue it occupies (INT / FP / COPY — Table 2 gives each
+//! cluster separate 48-entry INT, 48-entry FP and 24-entry COPY queues),
+//! which functional unit it needs, and its execution latency.
+
+use std::fmt;
+
+/// The issue queue a micro-op is allocated into (per cluster).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueueKind {
+    /// 48-entry integer queue, 2 issues/cycle. Also holds memory and branch
+    /// micro-ops (their address generation runs on integer ports).
+    Int,
+    /// 48-entry floating-point queue, 2 issues/cycle.
+    Fp,
+    /// 24-entry copy queue, 1 issue/cycle; feeds the inter-cluster links.
+    Copy,
+}
+
+impl QueueKind {
+    /// All queue kinds, in a fixed order usable for indexing.
+    pub const ALL: [QueueKind; 3] = [QueueKind::Int, QueueKind::Fp, QueueKind::Copy];
+
+    /// Dense index (0 = Int, 1 = Fp, 2 = Copy) for per-queue tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            QueueKind::Int => 0,
+            QueueKind::Fp => 1,
+            QueueKind::Copy => 2,
+        }
+    }
+}
+
+impl fmt::Display for QueueKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueueKind::Int => write!(f, "INT"),
+            QueueKind::Fp => write!(f, "FP"),
+            QueueKind::Copy => write!(f, "COPY"),
+        }
+    }
+}
+
+/// Micro-op operation classes.
+///
+/// The set is deliberately small — it is the cross-product the steering
+/// mechanisms and the timing model care about, not a faithful x86 decoder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// Single-cycle integer ALU operation (add, sub, logic, compare, lea…).
+    IntAlu,
+    /// Integer multiply.
+    IntMul,
+    /// Integer divide.
+    IntDiv,
+    /// Memory load (address generation + cache access).
+    Load,
+    /// Memory store (address generation; data written at commit).
+    Store,
+    /// Conditional or unconditional branch.
+    Branch,
+    /// Floating-point add/sub/convert.
+    FpAdd,
+    /// Floating-point multiply.
+    FpMul,
+    /// Floating-point divide / sqrt.
+    FpDiv,
+    /// Inter-cluster copy micro-op. Never appears in a program or trace —
+    /// the simulator's copy generator inserts these at steer time, exactly
+    /// as the hardware in the paper does.
+    Copy,
+    /// No-op (pipeline filler; occupies a ROB entry only).
+    Nop,
+}
+
+impl OpClass {
+    /// All program-visible op classes (everything except [`OpClass::Copy`],
+    /// which only the hardware creates).
+    pub const PROGRAM_CLASSES: [OpClass; 10] = [
+        OpClass::IntAlu,
+        OpClass::IntMul,
+        OpClass::IntDiv,
+        OpClass::Load,
+        OpClass::Store,
+        OpClass::Branch,
+        OpClass::FpAdd,
+        OpClass::FpMul,
+        OpClass::FpDiv,
+        OpClass::Nop,
+    ];
+
+    /// Which per-cluster issue queue this class occupies.
+    #[inline]
+    pub fn queue(self) -> QueueKind {
+        match self {
+            OpClass::IntAlu
+            | OpClass::IntMul
+            | OpClass::IntDiv
+            | OpClass::Load
+            | OpClass::Store
+            | OpClass::Branch
+            | OpClass::Nop => QueueKind::Int,
+            OpClass::FpAdd | OpClass::FpMul | OpClass::FpDiv => QueueKind::Fp,
+            OpClass::Copy => QueueKind::Copy,
+        }
+    }
+
+    /// True for the floating-point pipe (used for the paper's "3+3"
+    /// decode/rename/steer width: 3 INT-pipe + 3 FP-pipe micro-ops/cycle).
+    #[inline]
+    pub fn is_fp(self) -> bool {
+        matches!(self, OpClass::FpAdd | OpClass::FpMul | OpClass::FpDiv)
+    }
+
+    /// True for loads and stores (they reserve an LSQ slot at dispatch).
+    #[inline]
+    pub fn is_mem(self) -> bool {
+        matches!(self, OpClass::Load | OpClass::Store)
+    }
+
+    /// True for branches.
+    #[inline]
+    pub fn is_branch(self) -> bool {
+        matches!(self, OpClass::Branch)
+    }
+
+    /// Baseline execution latency in cycles, excluding cache access time for
+    /// memory operations (the memory hierarchy adds that dynamically).
+    /// Overridable via [`crate::config::LatencyModel`].
+    #[inline]
+    pub fn default_latency(self) -> u32 {
+        match self {
+            OpClass::IntAlu => 1,
+            OpClass::IntMul => 3,
+            OpClass::IntDiv => 20,
+            // Address generation; the cache access is added by the memory model.
+            OpClass::Load => 1,
+            OpClass::Store => 1,
+            OpClass::Branch => 1,
+            OpClass::FpAdd => 3,
+            OpClass::FpMul => 5,
+            OpClass::FpDiv => 20,
+            OpClass::Copy => 1,
+            OpClass::Nop => 1,
+        }
+    }
+
+    /// Short mnemonic used in disassembly-style output.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            OpClass::IntAlu => "alu",
+            OpClass::IntMul => "mul",
+            OpClass::IntDiv => "div",
+            OpClass::Load => "ld",
+            OpClass::Store => "st",
+            OpClass::Branch => "br",
+            OpClass::FpAdd => "fadd",
+            OpClass::FpMul => "fmul",
+            OpClass::FpDiv => "fdiv",
+            OpClass::Copy => "copy",
+            OpClass::Nop => "nop",
+        }
+    }
+}
+
+impl fmt::Display for OpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queues_partition_the_classes() {
+        for op in OpClass::PROGRAM_CLASSES {
+            assert_ne!(op.queue(), QueueKind::Copy, "{op} must not use the copy queue");
+        }
+        assert_eq!(OpClass::Copy.queue(), QueueKind::Copy);
+    }
+
+    #[test]
+    fn fp_classes_use_fp_queue() {
+        for op in OpClass::PROGRAM_CLASSES {
+            assert_eq!(op.is_fp(), op.queue() == QueueKind::Fp);
+        }
+    }
+
+    #[test]
+    fn memory_classes() {
+        assert!(OpClass::Load.is_mem());
+        assert!(OpClass::Store.is_mem());
+        assert!(!OpClass::IntAlu.is_mem());
+        assert!(!OpClass::Copy.is_mem());
+    }
+
+    #[test]
+    fn latencies_are_positive() {
+        for op in OpClass::PROGRAM_CLASSES {
+            assert!(op.default_latency() >= 1);
+        }
+        assert_eq!(OpClass::Copy.default_latency(), 1);
+    }
+
+    #[test]
+    fn queue_indices_are_dense() {
+        let mut seen = [false; 3];
+        for q in QueueKind::ALL {
+            assert!(!seen[q.index()]);
+            seen[q.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

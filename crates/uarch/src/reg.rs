@@ -1,0 +1,187 @@
+//! Architectural registers.
+//!
+//! The paper's machine renames x86 architectural registers into per-cluster
+//! physical register files. Steering heuristics only need to know *which*
+//! architectural register a micro-op reads or writes and whether it lives in
+//! the integer or floating-point space (the backend has separate INT and FP
+//! register files, issue queues and functional units). We model a flat
+//! x86-like space of 16 integer and 16 floating-point (SSE-style)
+//! architectural registers.
+
+use std::fmt;
+
+/// Number of integer architectural registers (x86-64-like: 16 GPRs).
+pub const NUM_INT_ARCH_REGS: usize = 16;
+/// Number of floating-point architectural registers (SSE-like: 16 XMMs).
+pub const NUM_FLT_ARCH_REGS: usize = 16;
+/// Total architectural register count across both classes.
+pub const NUM_ARCH_REGS: usize = NUM_INT_ARCH_REGS + NUM_FLT_ARCH_REGS;
+
+/// The two register classes of the clustered backend.
+///
+/// Each cluster has a separate 256-entry INT register file and a 256-entry FP
+/// register file (Table 2 of the paper), so every architectural register
+/// belongs to exactly one class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RegClass {
+    /// Integer / general-purpose registers.
+    Int,
+    /// Floating-point / SIMD registers.
+    Flt,
+}
+
+impl RegClass {
+    /// Number of architectural registers in this class.
+    #[inline]
+    pub fn arch_count(self) -> usize {
+        match self {
+            RegClass::Int => NUM_INT_ARCH_REGS,
+            RegClass::Flt => NUM_FLT_ARCH_REGS,
+        }
+    }
+}
+
+impl fmt::Display for RegClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegClass::Int => write!(f, "INT"),
+            RegClass::Flt => write!(f, "FP"),
+        }
+    }
+}
+
+/// An architectural register: a class plus an index within the class.
+///
+/// `ArchReg` is the currency of steering: the dependence-based heuristics
+/// look up, per architectural register, which cluster will produce (or
+/// already holds) its current value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ArchReg {
+    /// Register class (integer or floating-point).
+    pub class: RegClass,
+    /// Index within the class; must be `< class.arch_count()`.
+    pub index: u8,
+}
+
+impl ArchReg {
+    /// Integer register `r{i}`.
+    ///
+    /// # Panics
+    /// Panics if `i >= NUM_INT_ARCH_REGS`.
+    #[inline]
+    pub fn int(i: u8) -> Self {
+        assert!(
+            (i as usize) < NUM_INT_ARCH_REGS,
+            "integer register index {i} out of range"
+        );
+        ArchReg { class: RegClass::Int, index: i }
+    }
+
+    /// Floating-point register `f{i}`.
+    ///
+    /// # Panics
+    /// Panics if `i >= NUM_FLT_ARCH_REGS`.
+    #[inline]
+    pub fn flt(i: u8) -> Self {
+        assert!(
+            (i as usize) < NUM_FLT_ARCH_REGS,
+            "floating-point register index {i} out of range"
+        );
+        ArchReg { class: RegClass::Flt, index: i }
+    }
+
+    /// Flat index into a table covering both classes: integer registers come
+    /// first, then floating-point registers. Useful for rename/location
+    /// tables sized [`NUM_ARCH_REGS`].
+    #[inline]
+    pub fn flat(self) -> usize {
+        match self.class {
+            RegClass::Int => self.index as usize,
+            RegClass::Flt => NUM_INT_ARCH_REGS + self.index as usize,
+        }
+    }
+
+    /// Inverse of [`ArchReg::flat`].
+    ///
+    /// # Panics
+    /// Panics if `flat >= NUM_ARCH_REGS`.
+    #[inline]
+    pub fn from_flat(flat: usize) -> Self {
+        assert!(flat < NUM_ARCH_REGS, "flat register index {flat} out of range");
+        if flat < NUM_INT_ARCH_REGS {
+            ArchReg { class: RegClass::Int, index: flat as u8 }
+        } else {
+            ArchReg { class: RegClass::Flt, index: (flat - NUM_INT_ARCH_REGS) as u8 }
+        }
+    }
+
+    /// Iterator over every architectural register (both classes).
+    pub fn all() -> impl Iterator<Item = ArchReg> {
+        (0..NUM_ARCH_REGS).map(ArchReg::from_flat)
+    }
+}
+
+impl fmt::Display for ArchReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.class {
+            RegClass::Int => write!(f, "r{}", self.index),
+            RegClass::Flt => write!(f, "f{}", self.index),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_roundtrip_covers_all_registers() {
+        for flat in 0..NUM_ARCH_REGS {
+            let r = ArchReg::from_flat(flat);
+            assert_eq!(r.flat(), flat);
+        }
+    }
+
+    #[test]
+    fn int_and_flt_flat_ranges_are_disjoint() {
+        let max_int = ArchReg::int((NUM_INT_ARCH_REGS - 1) as u8).flat();
+        let min_flt = ArchReg::flt(0).flat();
+        assert!(max_int < min_flt);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(ArchReg::int(3).to_string(), "r3");
+        assert_eq!(ArchReg::flt(11).to_string(), "f11");
+    }
+
+    #[test]
+    fn all_yields_each_register_once() {
+        let regs: Vec<_> = ArchReg::all().collect();
+        assert_eq!(regs.len(), NUM_ARCH_REGS);
+        let mut seen = [false; NUM_ARCH_REGS];
+        for r in regs {
+            assert!(!seen[r.flat()]);
+            seen[r.flat()] = true;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn int_index_out_of_range_panics() {
+        let _ = ArchReg::int(NUM_INT_ARCH_REGS as u8);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn flat_index_out_of_range_panics() {
+        let _ = ArchReg::from_flat(NUM_ARCH_REGS);
+    }
+
+    #[test]
+    fn class_counts() {
+        assert_eq!(RegClass::Int.arch_count(), NUM_INT_ARCH_REGS);
+        assert_eq!(RegClass::Flt.arch_count(), NUM_FLT_ARCH_REGS);
+        assert_eq!(NUM_ARCH_REGS, NUM_INT_ARCH_REGS + NUM_FLT_ARCH_REGS);
+    }
+}

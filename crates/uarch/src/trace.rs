@@ -1,0 +1,252 @@
+//! Dynamic micro-op traces.
+//!
+//! The paper's hardware side is "an event-driven simulator that executes
+//! traces of IA32 binaries" (Sec. 5.1). A trace here is a stream of
+//! [`DynUop`]s: static instructions instantiated with dynamic facts (memory
+//! address, branch outcome) and carrying the compiler's [`SteerHint`]
+//! (the paper's ISA extension).
+
+use crate::inst::{InstId, SrcList, SteerHint};
+use crate::op::OpClass;
+use crate::reg::ArchReg;
+
+/// Dynamic branch information attached to branch micro-ops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BranchInfo {
+    /// Whether the branch was taken in this dynamic instance.
+    pub taken: bool,
+    /// A stable identifier for the static branch (PC surrogate), used to
+    /// index the branch predictor tables.
+    pub pc: u64,
+}
+
+/// One dynamic micro-op in a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DynUop {
+    /// Sequence number in the dynamic stream (0-based, strictly increasing).
+    pub seq: u64,
+    /// The static instruction this dynamic op instantiates.
+    pub inst: InstId,
+    /// Operation class (copied from the static instruction so the simulator
+    /// does not need the program at hand).
+    pub op: OpClass,
+    /// Source registers.
+    pub srcs: SrcList,
+    /// Destination register, if any.
+    pub dst: Option<ArchReg>,
+    /// Steering annotation (copied from the static instruction).
+    pub hint: SteerHint,
+    /// Effective memory address for loads/stores.
+    pub mem_addr: Option<u64>,
+    /// Branch outcome for branches.
+    pub branch: Option<BranchInfo>,
+}
+
+impl DynUop {
+    /// Build a dynamic op from a static instruction.
+    pub fn from_static(
+        seq: u64,
+        inst_id: InstId,
+        inst: &crate::inst::StaticInst,
+        mem_addr: Option<u64>,
+        branch: Option<BranchInfo>,
+    ) -> Self {
+        debug_assert_eq!(inst.op.is_mem(), mem_addr.is_some(), "memory ops need an address");
+        debug_assert_eq!(inst.op.is_branch(), branch.is_some(), "branches need an outcome");
+        DynUop {
+            seq,
+            inst: inst_id,
+            op: inst.op,
+            srcs: inst.srcs,
+            dst: inst.dst,
+            hint: inst.hint,
+            mem_addr,
+            branch,
+        }
+    }
+}
+
+/// A source of dynamic micro-ops the simulator pulls from.
+///
+/// Implementations must be deterministic: repeated full traversals (after
+/// re-construction with the same inputs) must yield identical streams.
+pub trait TraceSource {
+    /// Produce the next micro-op, or `None` at end of trace.
+    fn next_uop(&mut self) -> Option<DynUop>;
+
+    /// Optional total length hint (number of micro-ops), when known.
+    fn len_hint(&self) -> Option<u64> {
+        None
+    }
+
+    /// Static micro-op count of `region`, used by the front-end's
+    /// trace-cache model. Implementations that know the program should
+    /// override this; the default assumes a mid-sized region.
+    fn region_uops(&self, _region: u32) -> usize {
+        64
+    }
+}
+
+/// A trace fully materialised in memory, consumed by value.
+#[derive(Debug, Clone)]
+pub struct VecTrace {
+    uops: std::vec::IntoIter<DynUop>,
+    total: u64,
+}
+
+impl VecTrace {
+    /// Wrap a vector of micro-ops.
+    pub fn new(uops: Vec<DynUop>) -> Self {
+        let total = uops.len() as u64;
+        VecTrace { uops: uops.into_iter(), total }
+    }
+}
+
+impl TraceSource for VecTrace {
+    fn next_uop(&mut self) -> Option<DynUop> {
+        self.uops.next()
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        Some(self.total)
+    }
+}
+
+/// A trace borrowed from a slice (cheap to reset; used by tests and
+/// benchmarks that replay the same trace under several policies).
+#[derive(Debug, Clone)]
+pub struct SliceTrace<'a> {
+    uops: &'a [DynUop],
+    pos: usize,
+}
+
+impl<'a> SliceTrace<'a> {
+    /// Wrap a slice of micro-ops.
+    pub fn new(uops: &'a [DynUop]) -> Self {
+        SliceTrace { uops, pos: 0 }
+    }
+
+    /// Rewind to the beginning.
+    pub fn reset(&mut self) {
+        self.pos = 0;
+    }
+}
+
+impl TraceSource for SliceTrace<'_> {
+    fn next_uop(&mut self) -> Option<DynUop> {
+        let u = self.uops.get(self.pos).copied();
+        self.pos += 1;
+        u
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        Some(self.uops.len() as u64)
+    }
+}
+
+/// Expand a [`crate::Region`] once into dynamic micro-ops, appending to
+/// `out`, starting at sequence number `seq0`; returns the next sequence
+/// number. Loads/stores receive addresses from `addr_fn(seq, inst_id)`;
+/// branches receive outcomes from `taken_fn(seq, inst_id)`.
+///
+/// This is the minimal building block used by tests; the full workload
+/// expander in `virtclust-workloads` drives it with realistic address and
+/// branch models.
+pub fn expand_region(
+    region: &crate::Region,
+    seq0: u64,
+    out: &mut Vec<DynUop>,
+    mut addr_fn: impl FnMut(u64, InstId) -> u64,
+    mut taken_fn: impl FnMut(u64, InstId) -> bool,
+) -> u64 {
+    let mut seq = seq0;
+    for (id, inst) in region.iter_ids() {
+        let mem_addr = inst.op.is_mem().then(|| addr_fn(seq, id));
+        let branch = inst.op.is_branch().then(|| BranchInfo {
+            taken: taken_fn(seq, id),
+            pc: (u64::from(id.region) << 32) | u64::from(id.index),
+        });
+        out.push(DynUop::from_static(seq, id, inst, mem_addr, branch));
+        seq += 1;
+    }
+    seq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::RegionBuilder;
+
+    fn demo_region() -> crate::Region {
+        let r = ArchReg::int;
+        RegionBuilder::new(0, "demo")
+            .alu(r(1), &[r(1), r(2)])
+            .load(r(3), r(1))
+            .store(r(3), r(4))
+            .branch(r(3))
+            .build()
+    }
+
+    #[test]
+    fn expand_region_assigns_sequential_seq_numbers() {
+        let region = demo_region();
+        let mut out = Vec::new();
+        let next = expand_region(&region, 10, &mut out, |s, _| s * 8, |_, _| true);
+        assert_eq!(next, 14);
+        assert_eq!(out.len(), 4);
+        for (i, u) in out.iter().enumerate() {
+            assert_eq!(u.seq, 10 + i as u64);
+        }
+    }
+
+    #[test]
+    fn expand_region_attaches_memory_and_branch_facts() {
+        let region = demo_region();
+        let mut out = Vec::new();
+        expand_region(&region, 0, &mut out, |s, _| 0x1000 + s, |_, _| false);
+        assert_eq!(out[0].mem_addr, None);
+        assert_eq!(out[1].mem_addr, Some(0x1001));
+        assert_eq!(out[2].mem_addr, Some(0x1002));
+        let b = out[3].branch.expect("branch info");
+        assert!(!b.taken);
+        assert_eq!(out[3].mem_addr, None);
+    }
+
+    #[test]
+    fn vec_trace_yields_all_then_none() {
+        let region = demo_region();
+        let mut uops = Vec::new();
+        expand_region(&region, 0, &mut uops, |_, _| 0, |_, _| true);
+        let mut t = VecTrace::new(uops.clone());
+        assert_eq!(t.len_hint(), Some(4));
+        let mut n = 0;
+        while let Some(u) = t.next_uop() {
+            assert_eq!(u, uops[n]);
+            n += 1;
+        }
+        assert_eq!(n, 4);
+        assert!(t.next_uop().is_none());
+    }
+
+    #[test]
+    fn slice_trace_reset_replays_identically() {
+        let region = demo_region();
+        let mut uops = Vec::new();
+        expand_region(&region, 0, &mut uops, |s, _| s, |_, _| true);
+        let mut t = SliceTrace::new(&uops);
+        let first: Vec<_> = std::iter::from_fn(|| t.next_uop()).collect();
+        t.reset();
+        let second: Vec<_> = std::iter::from_fn(|| t.next_uop()).collect();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn branch_pc_is_stable_per_static_instruction() {
+        let region = demo_region();
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        expand_region(&region, 0, &mut a, |_, _| 0, |_, _| true);
+        expand_region(&region, 100, &mut b, |_, _| 0, |_, _| false);
+        assert_eq!(a[3].branch.unwrap().pc, b[3].branch.unwrap().pc);
+    }
+}

@@ -1,0 +1,369 @@
+//! Trace expansion: from a static [`Program`] to the dynamic micro-op
+//! stream the simulator consumes.
+//!
+//! The expander plays the role of the paper's traced IA-32 binary: it walks
+//! regions with loop-like behaviour (hot regions revisited, geometric
+//! iteration counts), attaches effective addresses to memory ops (strided
+//! streams per static instruction, or uniform-random within the footprint
+//! for pointer-chasing loads) and branch outcomes (structured loop
+//! behaviour perturbed by the configured entropy).
+//!
+//! Everything derives from the seed: two expanders with the same program
+//! shape, parameters and seed yield byte-identical streams even if the
+//! program's *annotations* differ — which is what makes cross-policy
+//! comparisons apples-to-apples.
+
+use std::collections::VecDeque;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use virtclust_uarch::{
+    BranchInfo, DynUop, InstId, OpClass, Program, TraceSource,
+};
+
+use crate::params::KernelParams;
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// An endless, deterministic dynamic micro-op stream over a program.
+///
+/// Implements [`TraceSource`]; bound the simulation with
+/// [`virtclust_sim::RunLimits::uops`](https://docs.rs/) (`max_uops`) rather
+/// than expecting the stream to end.
+pub struct TraceExpander<'p> {
+    program: &'p Program,
+    params: KernelParams,
+    seed: u64,
+    rng: SmallRng,
+    queue: VecDeque<DynUop>,
+    seq: u64,
+    /// Per static memory instruction: dynamic access counter (drives the
+    /// strided cursor).
+    cursors: Vec<Vec<u64>>,
+    footprint_mask: u64,
+}
+
+impl<'p> TraceExpander<'p> {
+    /// Create an expander over `program` with the dynamic behaviour of
+    /// `params`, seeded by `seed`.
+    pub fn new(program: &'p Program, params: &KernelParams, seed: u64) -> Self {
+        params.validate();
+        let cursors = program.regions.iter().map(|r| vec![0u64; r.len()]).collect();
+        TraceExpander {
+            program,
+            params: *params,
+            seed,
+            rng: SmallRng::seed_from_u64(seed),
+            queue: VecDeque::with_capacity(4096),
+            seq: 0,
+            cursors,
+            footprint_mask: (1u64 << params.footprint_log2) - 1,
+        }
+    }
+
+    /// Stable per-static-instruction hash (decides per-site behaviour such
+    /// as base address and branch bias).
+    fn site_hash(&self, id: InstId) -> u64 {
+        splitmix(self.seed ^ ((u64::from(id.region) << 32) | u64::from(id.index)))
+    }
+
+    /// Pick the next region to visit: hot-region behaviour via a Zipf-ish
+    /// weighting (region r has weight 1/(r+1)).
+    fn pick_region(&mut self) -> u32 {
+        let n = self.program.regions.len() as u32;
+        if n == 1 {
+            return 0;
+        }
+        let total: f64 = (0..n).map(|r| 1.0 / f64::from(r + 1)).sum();
+        let mut roll: f64 = self.rng.gen::<f64>() * total;
+        for r in 0..n {
+            roll -= 1.0 / f64::from(r + 1);
+            if roll <= 0.0 {
+                return r;
+            }
+        }
+        n - 1
+    }
+
+    /// Geometric-ish iteration count with the configured mean.
+    fn pick_iters(&mut self) -> u32 {
+        let mean = self.params.mean_iters.max(1);
+        1 + self.rng.gen_range(0..2 * mean)
+    }
+
+    fn expand_one_visit(&mut self) {
+        let region_idx = self.pick_region();
+        let iters = self.pick_iters();
+        let region = &self.program.regions[region_idx as usize];
+        let n = region.insts.len();
+        for iter in 0..iters {
+            let last_iteration = iter + 1 == iters;
+            let mut pos = 0usize;
+            while pos < n {
+                let inst = &region.insts[pos];
+                let id = InstId::new(region_idx, pos as u32);
+                let mem_addr = if inst.op.is_mem() {
+                    Some(self.gen_addr(id, inst.op))
+                } else {
+                    None
+                };
+                let is_loop_branch = pos + 1 == n;
+                let branch = if inst.op.is_branch() {
+                    Some(self.gen_branch(id, is_loop_branch, last_iteration))
+                } else {
+                    None
+                };
+                self.queue.push_back(DynUop::from_static(self.seq, id, inst, mem_addr, branch));
+                self.seq += 1;
+
+                // Hammock control flow: an inner branch that is NOT taken
+                // skips its per-site hammock (the next few instructions).
+                // This is the dynamic-work variability that compile-time
+                // balance estimates cannot see (Sec. 3.2 of the paper) —
+                // the static passes always schedule the whole region.
+                if let Some(b) = branch {
+                    if !is_loop_branch && !b.taken {
+                        let h = self.site_hash(id);
+                        let hammock = 2 + ((h >> 12) % 6) as usize; // 2..=7
+                        pos += hammock;
+                    }
+                }
+                pos += 1;
+            }
+        }
+    }
+
+    fn gen_addr(&mut self, id: InstId, _op: OpClass) -> u64 {
+        let h = self.site_hash(id);
+        // Sites are pointer-chasing with probability `pointer_chase`
+        // (deterministic per site, like a compiler knows a load walks a
+        // list).
+        let chasing = (h & 0xffff) as f64 / 65536.0 < self.params.pointer_chase;
+        let cursor = &mut self.cursors[id.region as usize][id.index as usize];
+        *cursor += 1;
+        let addr = if chasing {
+            // Irregular: a new pseudo-random cache line every access.
+            splitmix(h ^ *cursor) & self.footprint_mask
+        } else {
+            // Regular: strided stream from a per-site base.
+            (h.wrapping_add(*cursor * self.params.stride)) & self.footprint_mask
+        };
+        addr & !0x7 // 8-byte aligned
+    }
+
+    fn gen_branch(&mut self, id: InstId, is_loop_branch: bool, last_iteration: bool) -> BranchInfo {
+        let pc = (u64::from(id.region) << 32) | u64::from(id.index);
+        let taken = if is_loop_branch {
+            // Loop back-edge: taken until the visit's last iteration.
+            !last_iteration
+        } else {
+            let h = self.site_hash(id);
+            // `branch_entropy` selects the *fraction of sites* that are
+            // data-dependent (hard to predict); the rest follow per-site
+            // periodic patterns a local-history predictor learns. Noise is
+            // a site property, not a per-instance coin flip — otherwise
+            // every site's history gets polluted and nothing is learnable.
+            let noisy_site =
+                ((h >> 8) & 0xffff) as f64 / 65536.0 < self.params.branch_entropy * 1.5;
+            if noisy_site {
+                // Biased random: partially predictable, like real
+                // data-dependent branches.
+                let bias = 0.60 + 0.25 * ((h >> 48 & 0xff) as f64 / 255.0);
+                self.rng.gen_bool(bias)
+            } else {
+                // Per-site periodic if/else rhythm.
+                let period = 2 + (h >> 24) % 6; // 2..=7
+                let split = 1 + (h >> 40) % (period - 1).max(1); // 1..period
+                let cursor = &mut self.cursors[id.region as usize][id.index as usize];
+                *cursor += 1;
+                (*cursor % period) < split
+            }
+        };
+        BranchInfo { taken, pc }
+    }
+}
+
+impl TraceSource for TraceExpander<'_> {
+    fn next_uop(&mut self) -> Option<DynUop> {
+        if self.queue.is_empty() {
+            self.expand_one_visit();
+        }
+        self.queue.pop_front()
+    }
+
+    fn region_uops(&self, region: u32) -> usize {
+        self.program
+            .regions
+            .get(region as usize)
+            .map_or(64, |r| r.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::build_program;
+    use crate::params::KernelParams;
+
+    fn collect(n: usize, params: &KernelParams, prog_seed: u64, trace_seed: u64) -> Vec<DynUop> {
+        let program = build_program("t", params, prog_seed);
+        let mut ex = TraceExpander::new(&program, params, trace_seed);
+        (0..n).map(|_| ex.next_uop().expect("endless")).collect()
+    }
+
+    #[test]
+    fn stream_is_endless_and_sequential() {
+        let p = KernelParams::base_int();
+        let uops = collect(5000, &p, 1, 2);
+        assert_eq!(uops.len(), 5000);
+        for (i, u) in uops.iter().enumerate() {
+            assert_eq!(u.seq, i as u64);
+        }
+    }
+
+    #[test]
+    fn expansion_is_deterministic_and_seed_sensitive() {
+        let p = KernelParams::base_int();
+        let a = collect(2000, &p, 1, 7);
+        let b = collect(2000, &p, 1, 7);
+        assert_eq!(a, b);
+        let c = collect(2000, &p, 1, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn annotations_do_not_change_the_dynamic_stream() {
+        let p = KernelParams::base_int();
+        let program = build_program("t", &p, 1);
+        let mut annotated = program.clone();
+        for region in &mut annotated.regions {
+            for inst in &mut region.insts {
+                inst.hint = virtclust_uarch::SteerHint::Static { cluster: 1 };
+            }
+        }
+        let mut ex_a = TraceExpander::new(&program, &p, 3);
+        let mut ex_b = TraceExpander::new(&annotated, &p, 3);
+        for _ in 0..2000 {
+            let ua = ex_a.next_uop().unwrap();
+            let ub = ex_b.next_uop().unwrap();
+            assert_eq!(ua.seq, ub.seq);
+            assert_eq!(ua.inst, ub.inst);
+            assert_eq!(ua.op, ub.op);
+            assert_eq!(ua.mem_addr, ub.mem_addr);
+            assert_eq!(ua.branch, ub.branch);
+            assert_ne!(ua.hint, ub.hint, "only the hints differ");
+        }
+    }
+
+    #[test]
+    fn memory_ops_have_aligned_addresses_within_footprint() {
+        let mut p = KernelParams::base_int();
+        p.footprint_log2 = 16;
+        let uops = collect(5000, &p, 2, 3);
+        for u in uops.iter().filter(|u| u.op.is_mem()) {
+            let addr = u.mem_addr.expect("mem op has address");
+            assert_eq!(addr % 8, 0);
+            assert!(addr < (1 << 16));
+        }
+    }
+
+    #[test]
+    fn loop_branches_are_mostly_taken() {
+        let mut p = KernelParams::base_int();
+        p.branch_entropy = 0.0;
+        let uops = collect(20000, &p, 3, 4);
+        let (mut taken, mut total) = (0u64, 0u64);
+        for u in &uops {
+            if let Some(b) = u.branch {
+                total += 1;
+                taken += u64::from(b.taken);
+            }
+        }
+        assert!(total > 0);
+        let rate = taken as f64 / total as f64;
+        assert!(rate > 0.5, "loop back-edges keep the stream taken-biased: {rate}");
+    }
+
+    #[test]
+    fn entropy_selects_noisy_sites() {
+        // entropy = 1 makes every inner-branch site data-dependent (biased
+        // random); entropy = 0 makes them all periodic. The same seeds must
+        // then produce different outcome streams.
+        let mut noisy = KernelParams::base_int();
+        noisy.branch_entropy = 1.0;
+        let mut clean = noisy;
+        clean.branch_entropy = 0.0;
+        let a = collect(20000, &noisy, 3, 4);
+        let b = collect(20000, &clean, 3, 4);
+        let outcomes = |uops: &[DynUop]| -> Vec<bool> {
+            uops.iter().filter_map(|u| u.branch.map(|br| br.taken)).collect()
+        };
+        assert_ne!(outcomes(&a), outcomes(&b), "entropy must change branch behaviour");
+        // Noisy sites are taken-biased but not deterministic.
+        let rate =
+            outcomes(&a).iter().filter(|&&t| t).count() as f64 / outcomes(&a).len() as f64;
+        assert!((0.45..0.95).contains(&rate), "biased-random stream: rate {rate}");
+    }
+
+    #[test]
+    fn hammocks_skip_instructions_on_not_taken_branches() {
+        // With branchy regions, some dynamic iterations must be shorter
+        // than the static region (skipped hammocks) — so over a long run,
+        // per-static-instruction execution counts diverge.
+        let mut p = KernelParams::base_int();
+        p.branch_frac = 0.15;
+        p.branch_entropy = 0.5;
+        let program = build_program("t", &p, 1);
+        let mut ex = TraceExpander::new(&program, &p, 2);
+        let mut counts: std::collections::HashMap<InstId, u64> = Default::default();
+        for _ in 0..30000 {
+            let u = ex.next_uop().unwrap();
+            *counts.entry(u.inst).or_default() += 1;
+        }
+        // Within region 0, instruction execution counts must not all be
+        // equal (hammock members execute less often).
+        let region0: Vec<u64> = counts
+            .iter()
+            .filter(|(id, _)| id.region == 0)
+            .map(|(_, &c)| c)
+            .collect();
+        assert!(region0.len() > 4);
+        let min = region0.iter().min().unwrap();
+        let max = region0.iter().max().unwrap();
+        assert!(max > min, "hammocks create non-uniform execution counts");
+    }
+
+    #[test]
+    fn region_uops_reports_static_sizes() {
+        let p = KernelParams::base_int();
+        let program = build_program("t", &p, 1);
+        let ex = TraceExpander::new(&program, &p, 2);
+        for (i, r) in program.regions.iter().enumerate() {
+            assert_eq!(ex.region_uops(i as u32), r.len());
+        }
+        assert_eq!(ex.region_uops(999), 64, "unknown region falls back");
+    }
+
+    #[test]
+    fn hot_regions_are_visited_more() {
+        let mut p = KernelParams::base_int();
+        p.regions = 6;
+        let program = build_program("t", &p, 1);
+        let mut ex = TraceExpander::new(&program, &p, 9);
+        let mut per_region = vec![0u64; 6];
+        for _ in 0..50000 {
+            let u = ex.next_uop().unwrap();
+            per_region[u.inst.region as usize] += 1;
+        }
+        assert!(
+            per_region[0] > per_region[5],
+            "region 0 is hotter: {per_region:?}"
+        );
+    }
+}

@@ -1,0 +1,258 @@
+//! Static program generation from [`KernelParams`].
+//!
+//! The generator builds regions the way a compiler's scheduler sees loop
+//! bodies: `chains` interleaved dependence chains, each carried by a
+//! dedicated value register, with loads/stores attached to per-chain address
+//! streams, occasional cross-chain reads, and a loop-closing branch. The
+//! result is a [`Program`] whose DDGs have controllable width, length,
+//! criticality and tangling — the properties the steering passes consume.
+//!
+//! Register convention (16 INT + 16 FP architectural registers):
+//! * `r0`, `r1` — read-only "constants" (never redefined);
+//! * `r2..r9` — integer chain value registers (chain *i* → `r(2+i)`);
+//! * `r10..r15` — address-stream registers (chain *i* → `r(10 + i%6)`);
+//! * `f0..f7` — FP chain value registers;
+//! * `f8` — FP constant.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use virtclust_uarch::{ArchReg, OpClass, Program, Region, StaticInst};
+
+use crate::params::KernelParams;
+
+/// Mixing constant for per-region seeds (splitmix64 increment).
+const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Is chain `i` a floating-point chain under `params`?
+pub(crate) fn chain_is_fp(params: &KernelParams, chain: u32) -> bool {
+    let n_fp = (params.chains as f64 * params.fp_frac).round() as u32;
+    chain < n_fp
+}
+
+/// Value register of chain `i`.
+pub(crate) fn chain_value_reg(params: &KernelParams, chain: u32) -> ArchReg {
+    if chain_is_fp(params, chain) {
+        ArchReg::flt(chain as u8)
+    } else {
+        ArchReg::int(2 + chain as u8)
+    }
+}
+
+/// Address-stream register of chain `i`.
+pub(crate) fn chain_addr_reg(chain: u32) -> ArchReg {
+    ArchReg::int(10 + (chain % 6) as u8)
+}
+
+fn const_reg(fp: bool) -> ArchReg {
+    if fp {
+        ArchReg::flt(8)
+    } else {
+        ArchReg::int(0)
+    }
+}
+
+fn gen_region(params: &KernelParams, region_idx: u32, seed: u64) -> Region {
+    let mut rng = SmallRng::seed_from_u64(seed ^ (u64::from(region_idx)).wrapping_mul(GOLDEN));
+    let jitter = (params.region_insts / 4).max(1);
+    let n = params.region_insts + rng.gen_range(0..=2 * jitter) - jitter;
+    let n = n.max(4);
+
+    let mut region = Region::new(region_idx, format!("region{region_idx}"));
+    for _ in 0..n - 1 {
+        // Chains carry Zipf-skewed work (chain 0 is the hot one), like real
+        // loop bodies where one recurrence dominates. Skewed chains are
+        // what forces balance-driven partitioners to cut dependences.
+        let chain = {
+            let total: f64 = (0..params.chains).map(|c| 1.0 / f64::from(c + 1)).sum();
+            let mut roll = rng.gen::<f64>() * total;
+            let mut pick = params.chains - 1;
+            for c in 0..params.chains {
+                roll -= 1.0 / f64::from(c + 1);
+                if roll <= 0.0 {
+                    pick = c;
+                    break;
+                }
+            }
+            pick
+        };
+        let fp = chain_is_fp(params, chain);
+        let value = chain_value_reg(params, chain);
+        let addr = chain_addr_reg(chain);
+        let roll: f64 = rng.gen();
+
+        let inst = if roll < params.load_frac {
+            // Load into the chain's value register. Pointer-chasing loads
+            // derive the address from the previous value (serial chain);
+            // regular loads read the address stream register.
+            let addr_src = if rng.gen_bool(params.pointer_chase) && !fp {
+                value
+            } else {
+                addr
+            };
+            StaticInst::new(OpClass::Load, &[addr_src], Some(value))
+        } else if roll < params.load_frac + params.store_frac {
+            StaticInst::new(OpClass::Store, &[addr, value], None)
+        } else if roll < params.load_frac + params.store_frac + params.branch_frac {
+            StaticInst::new(OpClass::Branch, &[value], None)
+        } else if rng.gen_bool(0.15) {
+            // Address-stream advance (pointer bump).
+            StaticInst::new(OpClass::IntAlu, &[addr, ArchReg::int(1)], Some(addr))
+        } else {
+            // Chain compute op, occasionally tangled with another chain.
+            let partner = if params.chains > 1 && rng.gen_bool(params.cross_links) {
+                let mut other = rng.gen_range(0..params.chains - 1);
+                if other >= chain {
+                    other += 1;
+                }
+                chain_value_reg(params, other)
+            } else {
+                const_reg(fp)
+            };
+            let op_roll: f64 = rng.gen();
+            let op = if fp {
+                if op_roll < params.div_frac {
+                    OpClass::FpDiv
+                } else if op_roll < params.div_frac + params.mul_frac {
+                    OpClass::FpMul
+                } else {
+                    OpClass::FpAdd
+                }
+            } else if op_roll < params.div_frac {
+                OpClass::IntDiv
+            } else if op_roll < params.div_frac + params.mul_frac {
+                OpClass::IntMul
+            } else {
+                OpClass::IntAlu
+            };
+            // FP chains tangled with INT chains would mix register classes
+            // in one op; keep partners class-consistent.
+            let partner = if partner.class != value.class { const_reg(fp) } else { partner };
+            // Chain breaks start a fresh value (intra-chain parallelism):
+            // the op reads only constants, not the chain's previous value.
+            // The hot chain (0) is a recurrence — it almost never breaks,
+            // so balancing it away *must* pay communication.
+            let break_p =
+                if chain == 0 { params.chain_break * 0.25 } else { params.chain_break };
+            let first = if rng.gen_bool(break_p) { const_reg(fp) } else { value };
+            StaticInst::new(op, &[first, partner], Some(value))
+        };
+        region.push(inst);
+    }
+    // Loop-closing branch on chain 0's value.
+    region.push(StaticInst::new(
+        OpClass::Branch,
+        &[chain_value_reg(params, 0)],
+        None,
+    ));
+    region
+}
+
+/// Deterministically generate the static program for `params` from `seed`.
+pub fn build_program(name: &str, params: &KernelParams, seed: u64) -> Program {
+    params.validate();
+    let mut program = Program::new(name);
+    for r in 0..params.regions {
+        program.add_region(gen_region(params, r, seed));
+    }
+    program
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use virtclust_uarch::RegClass;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = KernelParams::base_int();
+        let a = build_program("a", &p, 42);
+        let b = build_program("b", &p, 42);
+        assert_eq!(a.regions, b.regions);
+        let c = build_program("c", &p, 43);
+        assert_ne!(a.regions, c.regions, "different seed, different program");
+    }
+
+    #[test]
+    fn regions_end_with_loop_branch() {
+        let p = KernelParams::base_int();
+        let prog = build_program("t", &p, 1);
+        for region in &prog.regions {
+            let last = region.insts.last().expect("non-empty");
+            assert_eq!(last.op, OpClass::Branch);
+        }
+    }
+
+    #[test]
+    fn op_mix_roughly_matches_params() {
+        let mut p = KernelParams::base_int();
+        p.regions = 20;
+        p.region_insts = 100;
+        let prog = build_program("mix", &p, 7);
+        let total: usize = prog.static_len();
+        let loads = prog
+            .regions
+            .iter()
+            .flat_map(|r| &r.insts)
+            .filter(|i| i.op == OpClass::Load)
+            .count();
+        let frac = loads as f64 / total as f64;
+        assert!(
+            (frac - p.load_frac).abs() < 0.06,
+            "load fraction {frac} vs configured {}",
+            p.load_frac
+        );
+    }
+
+    #[test]
+    fn fp_kernel_emits_fp_ops_on_fp_registers() {
+        let p = KernelParams::base_fp();
+        let prog = build_program("fp", &p, 3);
+        let mut fp_ops = 0;
+        for inst in prog.regions.iter().flat_map(|r| &r.insts) {
+            if inst.op.is_fp() {
+                fp_ops += 1;
+                assert_eq!(inst.dst.expect("fp compute has dst").class, RegClass::Flt);
+                for s in inst.srcs.iter() {
+                    assert_eq!(s.class, RegClass::Flt, "fp op reads fp regs");
+                }
+            }
+        }
+        assert!(fp_ops > 0, "fp kernel must generate fp ops");
+    }
+
+    #[test]
+    fn chains_use_disjoint_value_registers() {
+        let p = KernelParams::base_int();
+        let regs: Vec<ArchReg> = (0..p.chains).map(|c| chain_value_reg(&p, c)).collect();
+        for (i, a) in regs.iter().enumerate() {
+            for b in regs.iter().skip(i + 1) {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn constants_are_never_redefined() {
+        let p = KernelParams::base_int();
+        let prog = build_program("c", &p, 9);
+        for inst in prog.regions.iter().flat_map(|r| &r.insts) {
+            if let Some(d) = inst.dst {
+                assert_ne!(d, ArchReg::int(0), "r0 is read-only");
+                assert_ne!(d, ArchReg::int(1), "r1 is read-only");
+                assert_ne!(d, ArchReg::flt(8), "f8 is read-only");
+            }
+        }
+    }
+
+    #[test]
+    fn region_count_and_size_follow_params() {
+        let mut p = KernelParams::base_int();
+        p.regions = 12;
+        p.region_insts = 40;
+        let prog = build_program("sz", &p, 5);
+        assert_eq!(prog.regions.len(), 12);
+        for r in &prog.regions {
+            assert!(r.len() >= 4 && r.len() <= 60, "len={}", r.len());
+        }
+    }
+}

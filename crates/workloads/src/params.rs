@@ -1,0 +1,175 @@
+//! Workload parameterisation: the structural axes steering quality
+//! depends on.
+
+/// Which half of SPEC CPU2000 a benchmark belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// SPECint 2000.
+    Int,
+    /// SPECfp 2000.
+    Fp,
+}
+
+impl Suite {
+    /// Display name ("INT" / "FP").
+    pub fn name(self) -> &'static str {
+        match self {
+            Suite::Int => "INT",
+            Suite::Fp => "FP",
+        }
+    }
+}
+
+/// Structural parameters of a synthetic benchmark kernel.
+///
+/// These are the axes the steering mechanisms of the paper are sensitive
+/// to; each SPEC benchmark analogue in [`crate::spec`] is a point in this
+/// space chosen to match the real program's published character (pointer
+/// chasing for `mcf`, wide independent FP loops for `galgel`, …).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelParams {
+    /// Static scheduling regions in the program (loop bodies /
+    /// superblocks).
+    pub regions: u32,
+    /// Approximate static micro-ops per region.
+    pub region_insts: u32,
+    /// Independent dependence chains interleaved per region — the region's
+    /// intrinsic ILP width, the axis that decides how much clustering can
+    /// help at all.
+    pub chains: u32,
+    /// Probability that a compute op additionally reads another chain's
+    /// register (cross-chain tangles force communication under any split).
+    pub cross_links: f64,
+    /// Fraction of chains carrying floating-point values.
+    pub fp_frac: f64,
+    /// Among compute ops: probability of a multiply (latency 3–5).
+    pub mul_frac: f64,
+    /// Among compute ops: probability of a divide (latency ~20).
+    pub div_frac: f64,
+    /// Fraction of ops that are loads.
+    pub load_frac: f64,
+    /// Fraction of ops that are stores.
+    pub store_frac: f64,
+    /// Fraction of ops (besides the loop-closing branch) that are branches.
+    pub branch_frac: f64,
+    /// log2 of the data footprint in bytes (15 → L1-resident, 21 →
+    /// L2-resident, 26 → memory-bound).
+    pub footprint_log2: u32,
+    /// Fraction of loads whose address depends on the previous load of the
+    /// same chain (pointer chasing: serial and cache-hostile).
+    pub pointer_chase: f64,
+    /// Branch outcome entropy: 0 = perfectly predictable loop branches,
+    /// 1 = coin flips.
+    pub branch_entropy: f64,
+    /// Stride in bytes for regular (non-chasing) memory streams.
+    pub stride: u64,
+    /// Mean loop iterations executed per region visit.
+    pub mean_iters: u32,
+    /// Probability that a compute op starts a fresh value (reads a constant
+    /// instead of the chain's previous value) — intra-chain parallelism.
+    /// 0 = each chain fully serial; higher values let issue width matter.
+    pub chain_break: f64,
+}
+
+impl KernelParams {
+    /// A neutral mid-sized integer kernel; named benchmarks override
+    /// fields from here.
+    pub fn base_int() -> Self {
+        KernelParams {
+            regions: 8,
+            region_insts: 48,
+            chains: 4,
+            cross_links: 0.16,
+            fp_frac: 0.0,
+            mul_frac: 0.08,
+            div_frac: 0.01,
+            load_frac: 0.22,
+            store_frac: 0.10,
+            branch_frac: 0.10,
+            footprint_log2: 19,
+            pointer_chase: 0.06,
+            branch_entropy: 0.10,
+            stride: 8,
+            mean_iters: 24,
+            chain_break: 0.12,
+        }
+    }
+
+    /// A neutral mid-sized floating-point kernel.
+    pub fn base_fp() -> Self {
+        KernelParams {
+            regions: 6,
+            region_insts: 64,
+            chains: 5,
+            cross_links: 0.10,
+            fp_frac: 0.7,
+            mul_frac: 0.35,
+            div_frac: 0.02,
+            load_frac: 0.24,
+            store_frac: 0.12,
+            branch_frac: 0.03,
+            footprint_log2: 22,
+            pointer_chase: 0.02,
+            branch_entropy: 0.03,
+            stride: 8,
+            mean_iters: 48,
+            chain_break: 0.20,
+        }
+    }
+
+    /// Sanity-check ranges; panics on nonsense (used by property tests).
+    pub fn validate(&self) {
+        assert!(self.regions >= 1 && self.region_insts >= 4);
+        assert!(self.chains >= 1 && self.chains <= 8, "chains out of range");
+        for (name, v) in [
+            ("cross_links", self.cross_links),
+            ("fp_frac", self.fp_frac),
+            ("mul_frac", self.mul_frac),
+            ("div_frac", self.div_frac),
+            ("load_frac", self.load_frac),
+            ("store_frac", self.store_frac),
+            ("branch_frac", self.branch_frac),
+            ("pointer_chase", self.pointer_chase),
+            ("branch_entropy", self.branch_entropy),
+            ("chain_break", self.chain_break),
+        ] {
+            assert!((0.0..=1.0).contains(&v), "{name}={v} out of [0,1]");
+        }
+        assert!(self.load_frac + self.store_frac + self.branch_frac < 0.9);
+        assert!((12..=28).contains(&self.footprint_log2));
+        assert!(self.stride >= 1 && self.mean_iters >= 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_params_validate() {
+        KernelParams::base_int().validate();
+        KernelParams::base_fp().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "chains out of range")]
+    fn too_many_chains_rejected() {
+        let mut p = KernelParams::base_int();
+        p.chains = 9;
+        p.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0,1]")]
+    fn bad_fraction_rejected() {
+        let mut p = KernelParams::base_int();
+        p.load_frac = 1.5;
+        p.validate();
+    }
+
+    #[test]
+    fn suite_names() {
+        assert_eq!(Suite::Int.name(), "INT");
+        assert_eq!(Suite::Fp.name(), "FP");
+    }
+}

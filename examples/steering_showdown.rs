@@ -1,0 +1,50 @@
+//! Run all five Table 3 steering configurations on one benchmark point and
+//! print the comparison the paper's Figure 5 makes per trace.
+//!
+//! ```sh
+//! cargo run --release --example steering_showdown [point-name]
+//! ```
+//!
+//! Defaults to `galgel`, the paper's best case for clustering.
+
+use virtclust::core::{run_point, Configuration};
+use virtclust::uarch::MachineConfig;
+use virtclust::workloads::spec2000_points;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "galgel".into());
+    let points = spec2000_points();
+    let Some(point) = points.iter().find(|p| p.name == name) else {
+        eprintln!("unknown point `{name}`; available:");
+        for p in &points {
+            eprint!("{} ", p.name);
+        }
+        eprintln!();
+        std::process::exit(1);
+    };
+
+    let machine = MachineConfig::paper_2cluster();
+    let budget = 50_000;
+
+    println!("point {} ({:?} suite), 2-cluster machine, {budget} uops\n", point.name, point.suite);
+    println!(
+        "{:<14} {:>9} {:>7} {:>11} {:>12} {:>10}",
+        "config", "cycles", "IPC", "copies/kuop", "alloc-stalls", "vs OP (%)"
+    );
+
+    let base = run_point(point, &Configuration::Op, &machine, budget);
+    for config in Configuration::table3() {
+        let stats =
+            if config == Configuration::Op { base.clone() } else { run_point(point, &config, &machine, budget) };
+        let slowdown = (stats.cycles as f64 / base.cycles as f64 - 1.0) * 100.0;
+        println!(
+            "{:<14} {:>9} {:>7.3} {:>11.1} {:>12} {:>+10.2}",
+            config.name(machine.num_clusters as u32),
+            stats.cycles,
+            stats.ipc(),
+            stats.copies_per_kuop(),
+            stats.allocation_stalls(),
+            slowdown
+        );
+    }
+}

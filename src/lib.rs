@@ -1,0 +1,52 @@
+//! # virtclust
+//!
+//! A from-scratch reproduction of *"A Software-Hardware Hybrid Steering
+//! Mechanism for Clustered Microarchitectures"* (Qiong Cai, Josep M. Codina,
+//! José González, Antonio González — IPDPS 2008).
+//!
+//! The paper proposes **virtual-cluster steering**: the compiler partitions
+//! each region's data-dependence graph into *virtual clusters* and marks
+//! *chain leaders*; at run time a tiny steering unit (a mapping table plus
+//! per-cluster workload counters) maps virtual clusters onto physical
+//! clusters — removing the dependence-checking and voting logic that makes
+//! hardware-only steering slower than register renaming, while staying
+//! within ~2–4 % of its performance.
+//!
+//! This crate re-exports the whole stack:
+//!
+//! * [`uarch`] — micro-op ISA, programs/regions, traces, Table 2 machine
+//!   configuration;
+//! * [`ddg`] — dependence graphs, criticality/slack, components, multilevel
+//!   coarsening;
+//! * [`compiler`] — the VC partitioning pass (Fig. 2/3) and the OB (SPDI)
+//!   and RHOP baselines;
+//! * [`sim`] — the cycle-level clustered out-of-order simulator (Fig. 1);
+//! * [`steer`] — the steering policies (Table 3) and the complexity model
+//!   (Table 1);
+//! * [`workloads`] — the synthetic SPEC CPU2000 suite with PinPoints-style
+//!   trace points;
+//! * [`core`] — experiment driver, metrics and figure generators
+//!   (Figs. 5–7).
+//!
+//! ```
+//! use virtclust::core::{run_point, Configuration};
+//! use virtclust::uarch::MachineConfig;
+//! use virtclust::workloads::spec2000_points;
+//!
+//! let points = spec2000_points();
+//! let galgel = points.iter().find(|p| p.name == "galgel").unwrap();
+//! let machine = MachineConfig::paper_2cluster();
+//! let vc = run_point(galgel, &Configuration::Vc { num_vcs: 2 }, &machine, 5_000);
+//! println!("galgel under hybrid VC steering: {}", vc.summary());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use virtclust_compiler as compiler;
+pub use virtclust_core as core;
+pub use virtclust_ddg as ddg;
+pub use virtclust_sim as sim;
+pub use virtclust_steer as steer;
+pub use virtclust_uarch as uarch;
+pub use virtclust_workloads as workloads;

@@ -1,0 +1,187 @@
+//! Property-based tests (proptest) over randomly generated regions and
+//! traces: structural invariants of the analyses, validity of every
+//! partitioner's output, and conservation laws of the simulator under
+//! arbitrary (even adversarial) steering.
+
+use proptest::prelude::*;
+use virtclust::compiler::{identify_chains, GreedyPlacer, PlacerConfig, RhopConfig, RhopPartitioner};
+use virtclust::ddg::{Criticality, Ddg};
+use virtclust::sim::{simulate, RunLimits, SteerDecision, SteerView, SteeringPolicy};
+use virtclust::uarch::{
+    ArchReg, DynUop, LatencyModel, MachineConfig, OpClass, Region, StaticInst, VecTrace,
+};
+
+/// Strategy: a random static instruction over a small register window.
+fn inst_strategy() -> impl Strategy<Value = StaticInst> {
+    let reg = (0u8..8).prop_map(ArchReg::int);
+    let freg = (0u8..8).prop_map(ArchReg::flt);
+    prop_oneof![
+        // Integer compute
+        (reg.clone(), reg.clone(), reg.clone()).prop_map(|(d, a, b)| StaticInst::new(
+            OpClass::IntAlu,
+            &[a, b],
+            Some(d)
+        )),
+        (reg.clone(), reg.clone(), reg.clone())
+            .prop_map(|(d, a, b)| StaticInst::new(OpClass::IntMul, &[a, b], Some(d))),
+        // FP compute
+        (freg.clone(), freg.clone(), freg.clone())
+            .prop_map(|(d, a, b)| StaticInst::new(OpClass::FpAdd, &[a, b], Some(d))),
+        // Memory
+        (reg.clone(), reg.clone())
+            .prop_map(|(d, a)| StaticInst::new(OpClass::Load, &[a], Some(d))),
+        (reg.clone(), reg.clone())
+            .prop_map(|(a, v)| StaticInst::new(OpClass::Store, &[a, v], None)),
+        // Branch
+        reg.clone().prop_map(|c| StaticInst::new(OpClass::Branch, &[c], None)),
+    ]
+}
+
+fn region_strategy(max_len: usize) -> impl Strategy<Value = Region> {
+    prop::collection::vec(inst_strategy(), 1..max_len).prop_map(|insts| {
+        let mut r = Region::new(0, "prop");
+        for i in insts {
+            r.push(i);
+        }
+        r
+    })
+}
+
+/// A policy that steers by an arbitrary (but deterministic) hash of the
+/// sequence number — the adversarial case for the copy machinery.
+struct HashSteer {
+    clusters: u8,
+}
+impl SteeringPolicy for HashSteer {
+    fn name(&self) -> String {
+        "hash-steer".into()
+    }
+    fn steer(&mut self, uop: &DynUop, _view: &SteerView<'_>) -> SteerDecision {
+        let h = uop.seq.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+        SteerDecision::Cluster((h % u64::from(self.clusters)) as u8)
+    }
+}
+
+fn expand(region: &Region, iters: usize) -> Vec<DynUop> {
+    let mut uops = Vec::new();
+    let mut seq = 0;
+    for it in 0..iters {
+        seq = virtclust::uarch::trace::expand_region(
+            region,
+            seq,
+            &mut uops,
+            |s, _| 0x1000 + (s % 128) * 8,
+            |s, _| !(s + it as u64).is_multiple_of(3),
+        );
+    }
+    uops
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn criticality_invariants_hold(region in region_strategy(40)) {
+        let ddg = Ddg::from_region(&region, &LatencyModel::default());
+        ddg.check_invariants().unwrap();
+        let crit = Criticality::compute(&ddg);
+        for i in 0..ddg.n() as u32 {
+            // criticality = depth + height, bounded by the critical path.
+            prop_assert_eq!(
+                crit.criticality[i as usize],
+                crit.depth[i as usize] + crit.height[i as usize]
+            );
+            prop_assert!(crit.criticality[i as usize] <= crit.cp_length);
+            // Edges can only increase depth downstream.
+            for &s in ddg.succs(i) {
+                prop_assert!(
+                    crit.depth[s as usize]
+                        >= crit.depth[i as usize] + u64::from(ddg.latency(i))
+                );
+            }
+            // height >= own latency.
+            prop_assert!(crit.height[i as usize] >= u64::from(ddg.latency(i)));
+        }
+    }
+
+    #[test]
+    fn placers_emit_valid_partitions(region in region_strategy(40), k in 1u32..5) {
+        let ddg = Ddg::from_region(&region, &LatencyModel::default());
+        let crit = Criticality::compute(&ddg);
+        let greedy = GreedyPlacer::new(PlacerConfig::new(k)).place(&ddg, &crit);
+        prop_assert!(greedy.is_valid());
+        prop_assert_eq!(greedy.n(), ddg.n());
+        let rhop = RhopPartitioner::new(RhopConfig::new(k)).partition(&ddg, &crit);
+        prop_assert!(rhop.is_valid());
+        prop_assert_eq!(rhop.n(), ddg.n());
+    }
+
+    #[test]
+    fn chains_partition_each_vc(region in region_strategy(40), k in 1u32..4) {
+        let ddg = Ddg::from_region(&region, &LatencyModel::default());
+        let crit = Criticality::compute(&ddg);
+        let parts = GreedyPlacer::new(PlacerConfig::new(k)).place(&ddg, &crit);
+        let chains = identify_chains(&ddg, &parts, None);
+        let mut seen = vec![false; ddg.n()];
+        for c in &chains {
+            prop_assert!(!c.members.is_empty());
+            prop_assert_eq!(c.leader(), c.members[0]);
+            for &m in &c.members {
+                prop_assert!(!seen[m as usize], "node in two chains");
+                seen[m as usize] = true;
+                prop_assert_eq!(parts.part(m), c.vc);
+            }
+            // Members ascend in program order.
+            prop_assert!(c.members.windows(2).all(|w| w[0] < w[1]));
+        }
+        prop_assert!(seen.iter().all(|&s| s), "every node belongs to a chain");
+    }
+
+    #[test]
+    fn simulator_conserves_uops_under_adversarial_steering(
+        region in region_strategy(24),
+        clusters in 1usize..5,
+        iters in 1usize..6,
+    ) {
+        let uops = expand(&region, iters);
+        let total = uops.len() as u64;
+        let mut trace = VecTrace::new(uops);
+        let cfg = MachineConfig::default().with_clusters(clusters);
+        let mut policy = HashSteer { clusters: clusters as u8 };
+        let stats = simulate(&cfg, &mut trace, &mut policy, &RunLimits::unlimited());
+        prop_assert_eq!(stats.committed_uops, total, "lost micro-ops");
+        prop_assert_eq!(stats.copies_generated, stats.copies_delivered);
+        prop_assert!(stats.cycles > 0 || total == 0);
+        let dispatched: u64 = stats.clusters.iter().map(|c| c.dispatched).sum();
+        prop_assert_eq!(dispatched, total);
+    }
+
+    #[test]
+    fn simulation_is_deterministic(region in region_strategy(24), clusters in 1usize..4) {
+        let uops = expand(&region, 3);
+        let run = || {
+            let mut trace = VecTrace::new(uops.clone());
+            let cfg = MachineConfig::default().with_clusters(clusters);
+            let mut policy = HashSteer { clusters: clusters as u8 };
+            simulate(&cfg, &mut trace, &mut policy, &RunLimits::unlimited())
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn edge_cut_is_zero_iff_parts_agree_on_every_edge(
+        region in region_strategy(32),
+        k in 2u32..4,
+    ) {
+        let ddg = Ddg::from_region(&region, &LatencyModel::default());
+        let crit = Criticality::compute(&ddg);
+        let parts = GreedyPlacer::new(PlacerConfig::new(k)).place(&ddg, &crit);
+        let cut = parts.edge_cut(&ddg);
+        let disagree = ddg
+            .edges()
+            .iter()
+            .filter(|e| parts.part(e.from) != parts.part(e.to))
+            .count();
+        prop_assert_eq!(cut, disagree);
+    }
+}
