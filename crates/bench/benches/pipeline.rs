@@ -41,7 +41,10 @@ fn compiler_passes(c: &mut Criterion) {
     let mut group = c.benchmark_group("compiler_passes");
     group.throughput(Throughput::Elements(program.static_len() as u64));
     for (name, pass) in [
-        ("vc2", SoftwarePass::Vc(virtclust_compiler::VcConfig::new(2))),
+        (
+            "vc2",
+            SoftwarePass::Vc(virtclust_compiler::VcConfig::new(2)),
+        ),
         ("ob2", SoftwarePass::Ob { clusters: 2 }),
         ("rhop2", SoftwarePass::Rhop { clusters: 2 }),
     ] {
@@ -64,10 +67,9 @@ fn fig5_cells(c: &mut Criterion) {
     for name in ["galgel", "mcf"] {
         let point = points.iter().find(|p| p.name == name).unwrap();
         for config in [Configuration::Op, Configuration::Vc { num_vcs: 2 }] {
-            group.bench_function(
-                BenchmarkId::new(name, config.name(2)),
-                |b| b.iter(|| run_point(point, &config, &machine, BENCH_UOPS)),
-            );
+            group.bench_function(BenchmarkId::new(name, config.name(2)), |b| {
+                b.iter(|| run_point(point, &config, &machine, BENCH_UOPS))
+            });
         }
     }
     group.finish();

@@ -19,8 +19,10 @@ fn main() {
     let points: Vec<_> = spec2000_points()
         .into_iter()
         .filter(|p| {
-            ["gzip-1", "crafty", "eon-1", "vortex-1", "galgel", "swim", "mesa", "sixtrack"]
-                .contains(&p.name.as_str())
+            [
+                "gzip-1", "crafty", "eon-1", "vortex-1", "galgel", "swim", "mesa", "sixtrack",
+            ]
+            .contains(&p.name.as_str())
         })
         .collect();
     let configs = vec![

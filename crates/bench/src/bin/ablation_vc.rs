@@ -46,7 +46,9 @@ fn main() {
     }
 
     out.push_str("\n## Ablation 2 — maximum chain length (extra leaders)\n\n");
-    out.push_str("| max chain len | mean cycles | copies/kuop | leaders/kuop |\n|---|---|---|---|\n");
+    out.push_str(
+        "| max chain len | mean cycles | copies/kuop | leaders/kuop |\n|---|---|---|---|\n",
+    );
     for max_len in [None, Some(32usize), Some(16), Some(8), Some(4), Some(2)] {
         let (mut cyc, mut cpk, mut remaps) = (0u64, 0.0, 0u64);
         let mut committed = 0u64;

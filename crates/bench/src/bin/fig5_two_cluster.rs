@@ -29,9 +29,7 @@ fn main() {
     let data = fig5(&matrix);
     println!("## Figure 5 — slowdown (%) vs OP, 2-cluster machine\n");
     println!("{}", data.to_markdown());
-    println!(
-        "Paper (CPU2000 AVG): one-cluster 12.19, OB 6.50, RHOP 5.40, VC 2.62\n"
-    );
+    println!("Paper (CPU2000 AVG): one-cluster 12.19, OB 6.50, RHOP 5.40, VC 2.62\n");
     let md_path = write_result("fig5.md", &data.to_markdown());
     let csv_path = write_result("fig5.csv", &data.to_csv());
 
@@ -40,5 +38,10 @@ fn main() {
     let f6 = fig6(&matrix);
     let f6_path = write_result("fig6.csv", &f6.to_csv());
 
-    eprintln!("wrote {}, {}, {}", md_path.display(), csv_path.display(), f6_path.display());
+    eprintln!(
+        "wrote {}, {}, {}",
+        md_path.display(),
+        csv_path.display(),
+        f6_path.display()
+    );
 }

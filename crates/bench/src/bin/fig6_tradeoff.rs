@@ -23,7 +23,12 @@ fn main() {
         Configuration::Vc { num_vcs: 2 },
     ];
 
-    eprintln!("fig6: {} points x {} configs, {} uops/cell...", points.len(), configs.len(), uops);
+    eprintln!(
+        "fig6: {} points x {} configs, {} uops/cell...",
+        points.len(),
+        configs.len(),
+        uops
+    );
     let matrix = run_matrix(&machine, &configs, &points, uops, threads());
     let data = fig6(&matrix);
 

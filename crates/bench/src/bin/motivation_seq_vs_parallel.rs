@@ -25,9 +25,10 @@ fn sec21_example() -> String {
     virtclust_uarch::trace::expand_region(&region, 0, &mut uops, |_, _| 0x100, |_, _| true);
 
     let mut out = String::from("| steering | copies generated |\n|---|---|\n");
-    for (label, mut policy) in
-        [("sequential (OP)", OccupancyAware::new()), ("parallel (stale)", OccupancyAware::parallel())]
-    {
+    for (label, mut policy) in [
+        ("sequential (OP)", OccupancyAware::new()),
+        ("parallel (stale)", OccupancyAware::parallel()),
+    ] {
         let mut trace = SliceTrace::new(&uops);
         let mut m = Machine::new(&MachineConfig::paper_2cluster());
         m.place_register(r(1), 1);

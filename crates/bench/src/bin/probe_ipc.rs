@@ -15,8 +15,11 @@ fn main() {
         "point", "ipcOP", "ipc1c", "mispr%", "l1hit%", "cp/ku", "iqstall", "starved", "robfull"
     );
     for point in spec2000_points().iter().filter(|p| {
-        ["gzip-1", "gcc-1", "mcf", "crafty", "eon-1", "vpr-2", "galgel", "swim", "mesa", "art-1", "sixtrack", "equake"]
-            .contains(&p.name.as_str())
+        [
+            "gzip-1", "gcc-1", "mcf", "crafty", "eon-1", "vpr-2", "galgel", "swim", "mesa",
+            "art-1", "sixtrack", "equake",
+        ]
+        .contains(&p.name.as_str())
     }) {
         let op = run_point(point, &Configuration::Op, &machine, uops);
         let one = run_point(point, &Configuration::OneCluster, &machine, uops);

@@ -26,7 +26,10 @@ fn main() {
                 imb += parts.imbalance(&w);
                 n_regions += 1;
             }
-            println!("{name} tol={tol} bonus={bonus}: cut={total_cut} mean_imb={:.3}", imb / n_regions as f64);
+            println!(
+                "{name} tol={tol} bonus={bonus}: cut={total_cut} mean_imb={:.3}",
+                imb / n_regions as f64
+            );
         }
     }
 }

@@ -7,11 +7,26 @@ use virtclust_core::Configuration;
 
 fn main() {
     let rows = [
-        (Configuration::Op, "Occupancy-aware steering [González et al. '04]"),
-        (Configuration::OneCluster, "Every instruction goes to one cluster"),
-        (Configuration::Ob, "Static-placement dynamic-issue operation-based steering [Nagarajan et al. '04]"),
-        (Configuration::Rhop, "Region-based hierarchical operation partitioning [Chu et al. '03]"),
-        (Configuration::Vc { num_vcs: 2 }, "Our hybrid steering based on virtual clustering"),
+        (
+            Configuration::Op,
+            "Occupancy-aware steering [González et al. '04]",
+        ),
+        (
+            Configuration::OneCluster,
+            "Every instruction goes to one cluster",
+        ),
+        (
+            Configuration::Ob,
+            "Static-placement dynamic-issue operation-based steering [Nagarajan et al. '04]",
+        ),
+        (
+            Configuration::Rhop,
+            "Region-based hierarchical operation partitioning [Chu et al. '03]",
+        ),
+        (
+            Configuration::Vc { num_vcs: 2 },
+            "Our hybrid steering based on virtual clustering",
+        ),
     ];
     let mut md = String::from(
         "| Configuration | Description | Software pass | Hardware policy |\n|---|---|---|---|\n",

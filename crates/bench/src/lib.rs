@@ -32,7 +32,10 @@ pub fn uop_budget(default: u64) -> u64 {
 /// Worker threads for the evaluation matrix: `VIRTCLUST_THREADS` or 0
 /// (= one per CPU).
 pub fn threads() -> usize {
-    std::env::var("VIRTCLUST_THREADS").ok().and_then(|v| v.parse().ok()).unwrap_or(0)
+    std::env::var("VIRTCLUST_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
 }
 
 /// Locate the workspace `results/` directory (next to the workspace root's

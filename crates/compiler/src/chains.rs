@@ -56,7 +56,10 @@ pub fn identify_chains(ddg: &Ddg, parts: &Partition, max_chain_len: Option<usize
             match max_chain_len {
                 Some(maxlen) if maxlen >= 1 => {
                     for piece in comp.chunks(maxlen) {
-                        chains.push(Chain { vc, members: piece.to_vec() });
+                        chains.push(Chain {
+                            vc,
+                            members: piece.to_vec(),
+                        });
                     }
                 }
                 _ => chains.push(Chain { vc, members: comp }),

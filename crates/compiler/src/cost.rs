@@ -45,7 +45,12 @@ impl PlacerConfig {
     /// 1-cycle links (plus one expected queueing cycle).
     pub fn new(k: u32) -> Self {
         assert!(k >= 1);
-        PlacerConfig { k, issue_width: 2, copy_penalty: 2, balance_weight: 0.5 }
+        PlacerConfig {
+            k,
+            issue_width: 2,
+            copy_penalty: 2,
+            balance_weight: 0.5,
+        }
     }
 }
 
@@ -100,8 +105,8 @@ impl GreedyPlacer {
                 let resource = load[t] / self.cfg.issue_width;
                 let completion_est = ready.max(resource) + lat;
                 // Balance term, active only when the instruction has slack.
-                let score = completion_est as f64
-                    + self.cfg.balance_weight * slack_frac * load[t] as f64;
+                let score =
+                    completion_est as f64 + self.cfg.balance_weight * slack_frac * load[t] as f64;
                 // Strictly better score wins; equal scores go to the
                 // least-loaded target (the tie-break that spreads
                 // independent chains).
@@ -169,7 +174,10 @@ mod tests {
         let sizes = parts.sizes();
         let max = *sizes.iter().max().unwrap();
         let min = *sizes.iter().min().unwrap();
-        assert!(max - min <= 2, "independent ops spread evenly, sizes={sizes:?}");
+        assert!(
+            max - min <= 2,
+            "independent ops spread evenly, sizes={sizes:?}"
+        );
     }
 
     #[test]

@@ -34,9 +34,7 @@ impl SoftwarePass {
         match *self {
             SoftwarePass::None => {}
             SoftwarePass::Ob { clusters } => spdi_place(program, lat, clusters),
-            SoftwarePass::Rhop { clusters } => {
-                rhop_place(program, lat, &RhopConfig::new(clusters))
-            }
+            SoftwarePass::Rhop { clusters } => rhop_place(program, lat, &RhopConfig::new(clusters)),
             SoftwarePass::Vc(cfg) => partition_into_virtual_clusters(program, lat, &cfg),
         }
     }
@@ -81,11 +79,17 @@ mod tests {
 
     #[test]
     fn ob_and_rhop_write_static_hints() {
-        for pass in [SoftwarePass::Ob { clusters: 2 }, SoftwarePass::Rhop { clusters: 2 }] {
+        for pass in [
+            SoftwarePass::Ob { clusters: 2 },
+            SoftwarePass::Rhop { clusters: 2 },
+        ] {
             let mut p = program();
             pass.apply(&mut p, &LatencyModel::default());
             assert!(
-                p.regions[0].insts.iter().all(|i| i.hint.static_cluster().is_some()),
+                p.regions[0]
+                    .insts
+                    .iter()
+                    .all(|i| i.hint.static_cluster().is_some()),
                 "pass {} left unannotated instructions",
                 pass.name()
             );
@@ -113,6 +117,8 @@ mod tests {
         assert_eq!(SoftwarePass::None.name(), "none");
         assert_eq!(SoftwarePass::Ob { clusters: 4 }.name(), "OB(4)");
         assert_eq!(SoftwarePass::Rhop { clusters: 2 }.name(), "RHOP(2)");
-        assert!(SoftwarePass::Vc(crate::vc::VcConfig::new(2)).name().contains("VC"));
+        assert!(SoftwarePass::Vc(crate::vc::VcConfig::new(2))
+            .name()
+            .contains("VC"));
     }
 }

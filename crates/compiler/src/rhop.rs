@@ -108,7 +108,12 @@ impl RhopPartitioner {
         let mut load = vec![0.0f64; k as usize];
         for i in order {
             let target = (0..k as usize)
-                .min_by(|&a, &b| load[a].partial_cmp(&load[b]).expect("finite").then(a.cmp(&b)))
+                .min_by(|&a, &b| {
+                    load[a]
+                        .partial_cmp(&load[b])
+                        .expect("finite")
+                        .then(a.cmp(&b))
+                })
                 .expect("k >= 1") as u32;
             parts[i as usize] = target;
             load[target as usize] += coarsest.node_weight(i);
@@ -188,7 +193,9 @@ pub fn rhop_place_region(region: &mut Region, lat: &LatencyModel, cfg: &RhopConf
     let crit = Criticality::compute(&ddg);
     let parts = RhopPartitioner::new(*cfg).partition(&ddg, &crit);
     for (i, inst) in region.insts.iter_mut().enumerate() {
-        inst.hint = SteerHint::Static { cluster: parts.part(i as u32) as u8 };
+        inst.hint = SteerHint::Static {
+            cluster: parts.part(i as u32) as u8,
+        };
     }
     parts
 }
@@ -255,7 +262,11 @@ mod tests {
         }
         let (ddg, parts) = partition(&b.build(), 2);
         // Each mul reads r1 twice -> one scheduling cut = 2 register edges.
-        assert!(parts.edge_cut(&ddg) <= 2, "at most one scheduling cut, got {}", parts.edge_cut(&ddg));
+        assert!(
+            parts.edge_cut(&ddg) <= 2,
+            "at most one scheduling cut, got {}",
+            parts.edge_cut(&ddg)
+        );
         let sizes = parts.sizes();
         assert_eq!(sizes, vec![4, 4], "balance constraint enforced");
     }

@@ -22,7 +22,9 @@ pub fn spdi_place_region(region: &mut Region, lat: &LatencyModel, clusters: u32)
     let crit = Criticality::compute(&ddg);
     let parts = GreedyPlacer::new(PlacerConfig::new(clusters)).place(&ddg, &crit);
     for (i, inst) in region.insts.iter_mut().enumerate() {
-        inst.hint = SteerHint::Static { cluster: parts.part(i as u32) as u8 };
+        inst.hint = SteerHint::Static {
+            cluster: parts.part(i as u32) as u8,
+        };
     }
     parts
 }
@@ -76,7 +78,10 @@ mod tests {
         let mut region = b.build();
         let parts = spdi_place_region(&mut region, &LatencyModel::default(), 2);
         let sizes = parts.sizes();
-        assert!(sizes.iter().all(|&s| s > 0), "both clusters used: {sizes:?}");
+        assert!(
+            sizes.iter().all(|&s| s > 0),
+            "both clusters used: {sizes:?}"
+        );
     }
 
     #[test]
@@ -86,7 +91,10 @@ mod tests {
         p.add_region(RegionBuilder::new(0, "b").alu(r(2), &[r(2)]).build());
         spdi_place(&mut p, &LatencyModel::default(), 2);
         for region in &p.regions {
-            assert!(region.insts.iter().all(|i| i.hint.static_cluster().is_some()));
+            assert!(region
+                .insts
+                .iter()
+                .all(|i| i.hint.static_cluster().is_some()));
         }
     }
 }

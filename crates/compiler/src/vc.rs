@@ -38,23 +38,32 @@ pub struct VcConfig {
 impl VcConfig {
     /// Default configuration for `num_vcs` virtual clusters.
     ///
-    /// The cost model is deliberately communication-averse compared to the
-    /// SPDI baseline's: virtual clusters exist so the *hardware* can fix
-    /// workload imbalance at run time, so the compile-time partition
-    /// spends its freedom on keeping dependence chains whole ("VC can send
-    /// critical dependence chains to one single cluster … at the expense
-    /// of increasing workload imbalance", Sec. 5.3).
+    /// Uses the shared completion-time cost model with its machine-matched
+    /// defaults (2-wide issue, copy penalty = link + queueing). Earlier a
+    /// deliberately communication-averse tuning was tried here
+    /// (`copy_penalty = 6`, `balance_weight = 0.15`) on the theory that the
+    /// hardware mapper would fix the resulting imbalance at run time; on
+    /// the simulated machine that trade loses — the inflated virtual
+    /// clusters stuff one issue queue and dispatch stalls eat more cycles
+    /// than the saved copies — so VC now partitions with the same balance
+    /// appetite as the baselines and leaves only *runtime* imbalance to the
+    /// mapper.
     pub fn new(num_vcs: u32) -> Self {
-        let mut placer = PlacerConfig::new(num_vcs);
-        placer.copy_penalty = 6;
-        placer.balance_weight = 0.15;
-        VcConfig { num_vcs, max_chain_len: None, placer }
+        VcConfig {
+            num_vcs,
+            max_chain_len: None,
+            placer: PlacerConfig::new(num_vcs),
+        }
     }
 }
 
 /// Partition one region and return the (partition, chain count) for
 /// inspection; annotations are written into the region.
-pub fn partition_region(region: &mut Region, lat: &LatencyModel, cfg: &VcConfig) -> (Partition, usize) {
+pub fn partition_region(
+    region: &mut Region,
+    lat: &LatencyModel,
+    cfg: &VcConfig,
+) -> (Partition, usize) {
     let ddg = Ddg::from_region(region, lat);
     let crit = Criticality::compute(&ddg);
     let parts = GreedyPlacer::new(cfg.placer).place(&ddg, &crit);
@@ -62,11 +71,17 @@ pub fn partition_region(region: &mut Region, lat: &LatencyModel, cfg: &VcConfig)
 
     // Mark everything as a follower first, then raise the leaders.
     for (i, inst) in region.insts.iter_mut().enumerate() {
-        inst.hint = SteerHint::Vc { vc: parts.part(i as u32) as u8, leader: false };
+        inst.hint = SteerHint::Vc {
+            vc: parts.part(i as u32) as u8,
+            leader: false,
+        };
     }
     for chain in &chains {
         let leader = chain.leader() as usize;
-        region.insts[leader].hint = SteerHint::Vc { vc: chain.vc as u8, leader: true };
+        region.insts[leader].hint = SteerHint::Vc {
+            vc: chain.vc as u8,
+            leader: true,
+        };
     }
     let n_chains = chains.len();
     (parts, n_chains)
@@ -139,7 +154,11 @@ mod tests {
         assert!((0..10u32).all(|i| parts.part(i) == vc0));
         assert_eq!(n_chains, 1);
         assert_eq!(
-            region.insts.iter().filter(|i| i.hint.is_chain_leader()).count(),
+            region
+                .insts
+                .iter()
+                .filter(|i| i.hint.is_chain_leader())
+                .count(),
             1
         );
     }
@@ -168,7 +187,11 @@ mod tests {
         cfg.max_chain_len = Some(4);
         partition_region(&mut region, &LatencyModel::default(), &cfg);
         assert_eq!(
-            region.insts.iter().filter(|i| i.hint.is_chain_leader()).count(),
+            region
+                .insts
+                .iter()
+                .filter(|i| i.hint.is_chain_leader())
+                .count(),
             3,
             "12 / 4 leaders"
         );

@@ -119,8 +119,7 @@ mod tests {
 
     #[test]
     fn table3_has_the_five_configurations() {
-        let names: Vec<String> =
-            Configuration::table3().iter().map(|c| c.name(2)).collect();
+        let names: Vec<String> = Configuration::table3().iter().map(|c| c.name(2)).collect();
         assert_eq!(names, vec!["OP", "one-cluster", "OB", "RHOP", "VC(2->2)"]);
     }
 

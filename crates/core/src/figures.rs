@@ -46,12 +46,16 @@ pub struct Fig5Data {
     pub cpu_avg: Vec<f64>,
 }
 
-fn slowdown_table(matrix: &EvalMatrix, baseline: Configuration) -> (Vec<String>, Vec<SlowdownRow>, Vec<usize>) {
+fn slowdown_table(
+    matrix: &EvalMatrix,
+    baseline: Configuration,
+) -> (Vec<String>, Vec<SlowdownRow>, Vec<usize>) {
     let base_col = matrix
         .config_index(&baseline)
         .expect("matrix must include the OP baseline");
-    let other_cols: Vec<usize> =
-        (0..matrix.configs.len()).filter(|&c| c != base_col).collect();
+    let other_cols: Vec<usize> = (0..matrix.configs.len())
+        .filter(|&c| c != base_col)
+        .collect();
     let labels: Vec<String> = other_cols
         .iter()
         .map(|&c| matrix.configs[c].name(matrix.machine.num_clusters as u32))
@@ -100,7 +104,13 @@ pub fn fig5(matrix: &EvalMatrix) -> Fig5Data {
         fp_avg.push(averages(matrix, &rows, col, Some(Suite::Fp)));
         cpu_avg.push(averages(matrix, &rows, col, None));
     }
-    Fig5Data { configs, rows, int_avg, fp_avg, cpu_avg }
+    Fig5Data {
+        configs,
+        rows,
+        int_avg,
+        fp_avg,
+        cpu_avg,
+    }
 }
 
 impl Fig5Data {
@@ -121,9 +131,11 @@ impl Fig5Data {
             }
             s.push('\n');
         }
-        for (label, avgs) in
-            [("INT AVG", &self.int_avg), ("FP AVG", &self.fp_avg), ("CPU2000 AVG", &self.cpu_avg)]
-        {
+        for (label, avgs) in [
+            ("INT AVG", &self.int_avg),
+            ("FP AVG", &self.fp_avg),
+            ("CPU2000 AVG", &self.cpu_avg),
+        ] {
             s.push_str(&format!("| **{label}** | |"));
             for v in avgs {
                 s.push_str(&format!(" **{v:.2}** |"));
@@ -203,9 +215,15 @@ pub fn fig6(matrix: &EvalMatrix) -> Fig6Data {
     let vc = matrix
         .config_index(&Configuration::Vc { num_vcs: 2 })
         .expect("matrix must include VC(2)");
-    let ob = matrix.config_index(&Configuration::Ob).expect("matrix must include OB");
-    let rhop = matrix.config_index(&Configuration::Rhop).expect("matrix must include RHOP");
-    let op = matrix.config_index(&Configuration::Op).expect("matrix must include OP");
+    let ob = matrix
+        .config_index(&Configuration::Ob)
+        .expect("matrix must include OB");
+    let rhop = matrix
+        .config_index(&Configuration::Rhop)
+        .expect("matrix must include RHOP");
+    let op = matrix
+        .config_index(&Configuration::Op)
+        .expect("matrix must include OP");
     Fig6Data {
         vs_ob: fig6_comparison(matrix, vc, ob),
         vs_rhop: fig6_comparison(matrix, vc, rhop),
@@ -217,11 +235,14 @@ impl Fig6Data {
     /// Render all three comparisons as CSV
     /// (`comparison,point,suite,speedup,copy_reduction,balance_improvement`).
     pub fn to_csv(&self) -> String {
-        let mut s =
-            String::from("comparison,point,suite,speedup_pct,copy_reduction_pct,balance_improvement_pct\n");
-        for (label, list) in
-            [("VC_vs_OB", &self.vs_ob), ("VC_vs_RHOP", &self.vs_rhop), ("VC_vs_OP", &self.vs_op)]
-        {
+        let mut s = String::from(
+            "comparison,point,suite,speedup_pct,copy_reduction_pct,balance_improvement_pct\n",
+        );
+        for (label, list) in [
+            ("VC_vs_OB", &self.vs_ob),
+            ("VC_vs_RHOP", &self.vs_rhop),
+            ("VC_vs_OP", &self.vs_op),
+        ] {
             for p in list {
                 s.push_str(&format!(
                     "{label},{},{},{:.4},{:.4},{:.4}\n",
@@ -240,10 +261,14 @@ impl Fig6Data {
     /// improves balance — the quadrant summary the paper reads off the
     /// scatter plots.
     pub fn quadrant_summary(&self) -> String {
-        let mut s = String::from("| comparison | copies reduced | balance improved | speedup > 0 |\n|---|---|---|---|\n");
-        for (label, list) in
-            [("VC vs OB", &self.vs_ob), ("VC vs RHOP", &self.vs_rhop), ("VC vs OP", &self.vs_op)]
-        {
+        let mut s = String::from(
+            "| comparison | copies reduced | balance improved | speedup > 0 |\n|---|---|---|---|\n",
+        );
+        for (label, list) in [
+            ("VC vs OB", &self.vs_ob),
+            ("VC vs RHOP", &self.vs_rhop),
+            ("VC vs OP", &self.vs_op),
+        ] {
             let n = list.len().max(1);
             let copies = list.iter().filter(|p| p.copy_reduction > 0.0).count();
             let balance = list.iter().filter(|p| p.balance_improvement > 0.0).count();
@@ -269,7 +294,10 @@ pub struct Fig7Data {
 /// Build Fig. 7 from a 4-cluster matrix containing OP, OB, RHOP, VC(4)
 /// and VC(2).
 pub fn fig7(matrix: &EvalMatrix) -> Fig7Data {
-    assert_eq!(matrix.machine.num_clusters, 4, "Fig. 7 is the 4-cluster experiment");
+    assert_eq!(
+        matrix.machine.num_clusters, 4,
+        "Fig. 7 is the 4-cluster experiment"
+    );
     let table = {
         let (configs, rows, other_cols) = slowdown_table(matrix, Configuration::Op);
         let n = other_cols.len();
@@ -281,7 +309,13 @@ pub fn fig7(matrix: &EvalMatrix) -> Fig7Data {
             fp_avg.push(averages(matrix, &rows, col, Some(Suite::Fp)));
             cpu_avg.push(averages(matrix, &rows, col, None));
         }
-        Fig5Data { configs, rows, int_avg, fp_avg, cpu_avg }
+        Fig5Data {
+            configs,
+            rows,
+            int_avg,
+            fp_avg,
+            cpu_avg,
+        }
     };
     let vc4 = matrix
         .config_index(&Configuration::Vc { num_vcs: 4 })
@@ -301,7 +335,11 @@ pub fn fig7(matrix: &EvalMatrix) -> Fig7Data {
     }
     Fig7Data {
         table,
-        vc44_copy_inflation_pct: if counted > 0 { inflation / counted as f64 } else { 0.0 },
+        vc44_copy_inflation_pct: if counted > 0 {
+            inflation / counted as f64
+        } else {
+            0.0
+        },
     }
 }
 
@@ -317,8 +355,12 @@ mod tests {
             .into_iter()
             .filter(|p| ["gzip-1", "mcf", "galgel"].contains(&p.name.as_str()))
             .collect();
-        let mut configs =
-            vec![Configuration::Op, Configuration::OneCluster, Configuration::Ob, Configuration::Rhop];
+        let mut configs = vec![
+            Configuration::Op,
+            Configuration::OneCluster,
+            Configuration::Ob,
+            Configuration::Rhop,
+        ];
         for &v in vcs {
             configs.push(Configuration::Vc { num_vcs: v });
         }
@@ -363,7 +405,11 @@ mod tests {
         let m = mini_matrix(4, &[4, 2]);
         let f = fig7(&m);
         assert_eq!(f.table.rows.len(), 3);
-        assert_eq!(f.table.configs.len(), 5, "one-cluster, OB, RHOP, VC(4->4), VC(2->4)");
+        assert_eq!(
+            f.table.configs.len(),
+            5,
+            "one-cluster, OB, RHOP, VC(4->4), VC(2->4)"
+        );
         assert!(f.vc44_copy_inflation_pct.is_finite());
     }
 

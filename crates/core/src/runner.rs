@@ -3,7 +3,7 @@
 //!
 //! Simulations are completely independent (every cell builds its own
 //! program, trace and policy from seeds), so the runner is embarrassingly
-//! parallel: a crossbeam scope with one worker per CPU pulling cell indices
+//! parallel: a thread scope with one worker per CPU pulling cell indices
 //! from an atomic counter. Results are written into disjoint slots, so the
 //! output is deterministic regardless of scheduling.
 
@@ -64,9 +64,9 @@ pub fn run_matrix(
         let next = AtomicUsize::new(0);
         let slots: Vec<std::sync::Mutex<&mut Option<SimStats>>> =
             flat.iter_mut().map(std::sync::Mutex::new).collect();
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for _ in 0..threads {
-                scope.spawn(|_| loop {
+                scope.spawn(|| loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= n_cells {
                         break;
@@ -76,8 +76,7 @@ pub fn run_matrix(
                     **slots[i].lock().expect("slot lock") = Some(stats);
                 });
             }
-        })
-        .expect("worker panicked");
+        });
     }
 
     let mut stats = Vec::with_capacity(points.len());
@@ -112,7 +111,13 @@ mod tests {
     fn matrix_has_all_cells_in_order() {
         let points = small_points(3);
         let configs = vec![Configuration::Op, Configuration::OneCluster];
-        let m = run_matrix(&MachineConfig::paper_2cluster(), &configs, &points, 1_000, 2);
+        let m = run_matrix(
+            &MachineConfig::paper_2cluster(),
+            &configs,
+            &points,
+            1_000,
+            2,
+        );
         assert_eq!(m.stats.len(), 3);
         for row in &m.stats {
             assert_eq!(row.len(), 2);

@@ -23,7 +23,10 @@ impl WGraph {
     /// Create a graph with the given node weights and no edges.
     pub fn new(node_w: Vec<f64>) -> Self {
         let n = node_w.len();
-        WGraph { node_w, adj: vec![Vec::new(); n] }
+        WGraph {
+            node_w,
+            adj: vec![Vec::new(); n],
+        }
     }
 
     /// Build the undirected weighted view of a DDG. `edge_w` maps each DDG
@@ -229,7 +232,9 @@ impl Hierarchy {
 
     /// The coarsest graph.
     pub fn coarsest(&self) -> &WGraph {
-        self.graphs.last().expect("hierarchy has at least one level")
+        self.graphs
+            .last()
+            .expect("hierarchy has at least one level")
     }
 
     /// The fine→coarse map from `level` to `level + 1`.
@@ -240,7 +245,10 @@ impl Hierarchy {
     /// Project a partition of `graphs[level + 1]` down to `graphs[level]`.
     pub fn project(&self, level: usize, coarse_parts: &[u32]) -> Vec<u32> {
         assert_eq!(coarse_parts.len(), self.graphs[level + 1].n());
-        self.maps[level].iter().map(|&c| coarse_parts[c as usize]).collect()
+        self.maps[level]
+            .iter()
+            .map(|&c| coarse_parts[c as usize])
+            .collect()
     }
 
     /// Project a partition of the coarsest graph all the way to level 0.

@@ -19,7 +19,11 @@ pub struct UnionFind {
 impl UnionFind {
     /// Create `n` singleton sets.
     pub fn new(n: usize) -> Self {
-        UnionFind { parent: (0..n as u32).collect(), size: vec![1; n], sets: n }
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+            sets: n,
+        }
     }
 
     /// Number of elements.

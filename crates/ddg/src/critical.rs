@@ -59,11 +59,15 @@ impl Criticality {
             height[i as usize] = h + u64::from(ddg.latency(i));
         }
 
-        let criticality: Vec<u64> =
-            depth.iter().zip(&height).map(|(&d, &h)| d + h).collect();
+        let criticality: Vec<u64> = depth.iter().zip(&height).map(|(&d, &h)| d + h).collect();
         let cp_length = criticality.iter().copied().max().unwrap_or(0);
 
-        Criticality { depth, height, criticality, cp_length }
+        Criticality {
+            depth,
+            height,
+            criticality,
+            cp_length,
+        }
     }
 
     /// Slack of node `i`: `cp_length - criticality[i]`.

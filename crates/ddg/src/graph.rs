@@ -77,9 +77,9 @@ impl Ddg {
         let mut last_store: Option<u32> = None;
 
         let push_edge = |edges: &mut Vec<DdgEdge>,
-                             succs: &mut Vec<Vec<u32>>,
-                             preds: &mut Vec<Vec<u32>>,
-                             e: DdgEdge| {
+                         succs: &mut Vec<Vec<u32>>,
+                         preds: &mut Vec<Vec<u32>>,
+                         e: DdgEdge| {
             // Deduplicate identical (from, to) pairs: multiple registers
             // between the same pair still mean one scheduling dependence,
             // but keep the edge list exact for communication counting.
@@ -92,7 +92,11 @@ impl Ddg {
 
         for (i, inst) in region.insts.iter().enumerate() {
             let i = i as u32;
-            nodes.push(DdgNode { index: i, op: inst.op, latency: lat.of(inst.op) });
+            nodes.push(DdgNode {
+                index: i,
+                op: inst.op,
+                latency: lat.of(inst.op),
+            });
 
             for src in inst.srcs.iter() {
                 if let Some(w) = last_writer[src.flat()] {
@@ -100,7 +104,12 @@ impl Ddg {
                         &mut edges,
                         &mut succs,
                         &mut preds,
-                        DdgEdge { from: w, to: i, reg: Some(src), kind: DepKind::Data },
+                        DdgEdge {
+                            from: w,
+                            to: i,
+                            reg: Some(src),
+                            kind: DepKind::Data,
+                        },
                     );
                 }
             }
@@ -111,7 +120,12 @@ impl Ddg {
                         &mut edges,
                         &mut succs,
                         &mut preds,
-                        DdgEdge { from: s, to: i, reg: None, kind: DepKind::Memory },
+                        DdgEdge {
+                            from: s,
+                            to: i,
+                            reg: None,
+                            kind: DepKind::Memory,
+                        },
                     );
                 }
                 if inst.op == OpClass::Store {
@@ -126,7 +140,12 @@ impl Ddg {
             }
         }
 
-        Ddg { nodes, edges, succs, preds }
+        Ddg {
+            nodes,
+            edges,
+            succs,
+            preds,
+        }
     }
 
     /// Number of nodes.
@@ -258,7 +277,13 @@ mod tests {
         let ddg = Ddg::from_region(&region, &LatencyModel::default());
         assert_eq!(ddg.succs(0), &[1]);
         // ...but both register reads appear in the edge list.
-        assert_eq!(ddg.edges().iter().filter(|e| e.from == 0 && e.to == 1).count(), 2);
+        assert_eq!(
+            ddg.edges()
+                .iter()
+                .filter(|e| e.from == 0 && e.to == 1)
+                .count(),
+            2
+        );
     }
 
     #[test]
@@ -273,7 +298,10 @@ mod tests {
         let mem = Ddg::from_region_with_mem(&region, &LatencyModel::default());
         assert_eq!(mem.succs(0), &[1, 2]);
         assert_eq!(
-            mem.edges().iter().filter(|e| e.kind == DepKind::Memory).count(),
+            mem.edges()
+                .iter()
+                .filter(|e| e.kind == DepKind::Memory)
+                .count(),
             2
         );
         mem.check_invariants().unwrap();

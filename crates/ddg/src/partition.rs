@@ -19,7 +19,10 @@ impl Partition {
     /// All nodes start in part 0.
     pub fn new(n: usize, k: u32) -> Self {
         assert!(k >= 1, "at least one part required");
-        Partition { parts: vec![0; n], k }
+        Partition {
+            parts: vec![0; n],
+            k,
+        }
     }
 
     /// Wrap an existing assignment.

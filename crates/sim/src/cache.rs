@@ -43,7 +43,10 @@ pub struct Cache {
 impl Cache {
     /// Build from a [`CacheConfig`] and a line size.
     pub fn new(cfg: &CacheConfig, line_bytes: usize) -> Self {
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         let sets = cfg.sets(line_bytes);
         assert!(sets.is_power_of_two(), "set count must be a power of two");
         Cache {
@@ -83,7 +86,9 @@ impl Cache {
     pub fn probe(&self, addr: u64) -> bool {
         let (set, tag) = self.index(addr);
         let base = set * self.ways;
-        self.lines[base..base + self.ways].iter().any(|l| l.valid && l.tag == tag)
+        self.lines[base..base + self.ways]
+            .iter()
+            .any(|l| l.valid && l.tag == tag)
     }
 
     /// Install the line containing `addr`, evicting the LRU way.
@@ -105,7 +110,11 @@ impl Cache {
                 (l.valid, l.lru)
             })
             .expect("ways >= 1");
-        self.lines[base + victim] = Line { tag, valid: true, lru: self.stamp };
+        self.lines[base + victim] = Line {
+            tag,
+            valid: true,
+            lru: self.stamp,
+        };
     }
 
     /// Number of sets (diagnostics).
@@ -244,7 +253,7 @@ mod tests {
         c.fill(0x40);
         c.fill(0x40);
         c.fill(0x140); // same set
-        // both lines should be resident (2 ways)
+                       // both lines should be resident (2 ways)
         assert!(c.probe(0x40));
         assert!(c.probe(0x140));
     }

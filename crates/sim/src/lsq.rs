@@ -49,7 +49,11 @@ impl Lsq {
     /// Create an LSQ with `capacity` entries.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity >= 1);
-        Lsq { entries: VecDeque::with_capacity(capacity.min(4096)), live: 0, capacity }
+        Lsq {
+            entries: VecDeque::with_capacity(capacity.min(4096)),
+            live: 0,
+            capacity,
+        }
     }
 
     /// Entries currently allocated.
@@ -77,7 +81,13 @@ impl Lsq {
         if let Some(back) = self.entries.back() {
             assert!(back.seq < seq, "LSQ allocations must be in program order");
         }
-        self.entries.push_back(LsqEntry { seq, is_store, addr: None, data_ready: !is_store, alive: true });
+        self.entries.push_back(LsqEntry {
+            seq,
+            is_store,
+            addr: None,
+            data_ready: !is_store,
+            alive: true,
+        });
         self.live += 1;
     }
 
@@ -93,7 +103,9 @@ impl Lsq {
 
     /// Mark the store `seq`'s data as ready to forward.
     pub fn set_data_ready(&mut self, seq: u64) {
-        let i = self.position(seq).expect("set_data_ready on unknown LSQ entry");
+        let i = self
+            .position(seq)
+            .expect("set_data_ready on unknown LSQ entry");
         debug_assert!(self.entries[i].is_store);
         self.entries[i].data_ready = true;
     }
@@ -112,7 +124,11 @@ impl Lsq {
                 continue;
             }
             if e.addr == Some(addr) {
-                return if e.data_ready { LoadCheck::Forward } else { LoadCheck::WaitOnStore };
+                return if e.data_ready {
+                    LoadCheck::Forward
+                } else {
+                    LoadCheck::WaitOnStore
+                };
             }
         }
         LoadCheck::GoToCache

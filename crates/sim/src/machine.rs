@@ -47,7 +47,10 @@ pub struct RunLimits {
 impl RunLimits {
     /// Limit by micro-op count only.
     pub fn uops(n: u64) -> Self {
-        RunLimits { max_uops: Some(n), max_cycles: None }
+        RunLimits {
+            max_uops: Some(n),
+            max_cycles: None,
+        }
     }
 
     /// No limits: run the whole trace.
@@ -127,6 +130,7 @@ pub struct Machine {
     // Scratch.
     occ_buf: Vec<[usize; 3]>,
     stale_loc: [ClusterMask; NUM_ARCH_REGS],
+    stale_ring: VecDeque<[ClusterMask; NUM_ARCH_REGS]>,
     // Bookkeeping.
     stats: SimStats,
     last_commit_cycle: u64,
@@ -181,6 +185,7 @@ impl Machine {
             store_drain: VecDeque::new(),
             occ_buf: vec![[0; 3]; n],
             stale_loc: [0; NUM_ARCH_REGS],
+            stale_ring: VecDeque::with_capacity(cfg.fetch_to_dispatch as usize + 1),
             stats: SimStats::new(n),
             last_commit_cycle: 0,
             cfg: cfg.clone(),
@@ -197,7 +202,10 @@ impl Machine {
     /// set up steering scenarios such as the paper's Sec. 2.1 example.
     /// Call before the first [`Machine::step`].
     pub fn place_register(&mut self, reg: virtclust_uarch::ArchReg, cluster: u8) {
-        assert_eq!(self.now, 0, "place_register only valid before simulation starts");
+        assert_eq!(
+            self.now, 0,
+            "place_register only valid before simulation starts"
+        );
         assert!((cluster as usize) < self.cfg.num_clusters);
         let tag = self.values.alloc_ready_in(reg.class, cluster);
         self.rename.redefine(reg, tag, &mut self.values);
@@ -220,7 +228,10 @@ impl Machine {
 
     fn schedule(&mut self, at: u64, ev: Event) {
         debug_assert!(at > self.now, "events must be in the future");
-        debug_assert!(at - self.now <= self.horizon_mask, "event beyond calendar horizon");
+        debug_assert!(
+            at - self.now <= self.horizon_mask,
+            "event beyond calendar horizon"
+        );
         self.events[(at & self.horizon_mask) as usize].push(ev);
     }
 
@@ -278,8 +289,9 @@ impl Machine {
         if op == OpClass::Branch && mispredicted && self.halted_for_branch {
             // Redirect: the front-end restarts and refills the pipe.
             self.halted_for_branch = false;
-            self.fetch_stalled_until =
-                self.fetch_stalled_until.max(self.now + u64::from(self.cfg.fetch_to_dispatch));
+            self.fetch_stalled_until = self
+                .fetch_stalled_until
+                .max(self.now + u64::from(self.cfg.fetch_to_dispatch));
         }
     }
 
@@ -457,7 +469,10 @@ impl Machine {
         }
         self.iqs[cluster][QueueKind::Copy.index()].remove_ids(&picked);
         for id64 in picked {
-            let lat = u64::from(self.cfg.copy_latency).max(1);
+            // A copy micro-op spends one cycle reading the source register
+            // file after issue, then traverses the point-to-point link
+            // (`copy_latency`, paper Table 2: 1 cycle).
+            let lat = 1 + u64::from(self.cfg.copy_latency).max(1);
             self.schedule(self.now + lat, Event::CopyArrive(id64 as u32));
         }
     }
@@ -486,21 +501,33 @@ impl Machine {
     }
 
     fn dispatch(&mut self, policy: &mut dyn SteeringPolicy) {
-        self.stale_loc = self.rename.location_snapshot(&self.values);
+        // The parallel-steering snapshot: a pipelined (non-serializing)
+        // steering unit computes its decisions while the bundle traverses
+        // the fetch-to-dispatch stages, so the location information it
+        // reads is `fetch_to_dispatch` cycles old by the time the bundle
+        // dispatches (Sec. 2.1's stale "bundle entry" information).
+        self.stale_ring
+            .push_back(self.rename.location_snapshot(&self.values));
+        if self.stale_ring.len() > self.cfg.fetch_to_dispatch as usize {
+            self.stale_loc = self.stale_ring.pop_front().expect("non-empty ring");
+        }
         let mut budget_int = self.cfg.dispatch_width_int;
         let mut budget_fp = self.cfg.dispatch_width_fp;
         let mut dispatched_any = false;
         let mut stalled = false;
 
-        loop {
-            let Some(front) = self.fetchq.front() else { break };
+        while let Some(front) = self.fetchq.front() {
             if front.ready > self.now {
                 break;
             }
             let uop = front.uop;
             let mispredicted = front.mispredicted;
 
-            let budget = if uop.op.is_fp() { &mut budget_fp } else { &mut budget_int };
+            let budget = if uop.op.is_fp() {
+                &mut budget_fp
+            } else {
+                &mut budget_int
+            };
             if *budget == 0 {
                 break;
             }
@@ -615,7 +642,11 @@ impl Machine {
             for &(reg, from) in &copy_regs {
                 let tag = self.rename.tag(reg);
                 self.values.begin_copy(tag, cluster);
-                let id = self.copies.alloc(CopyOp { tag, from, to: cluster });
+                let id = self.copies.alloc(CopyOp {
+                    tag,
+                    from,
+                    to: cluster,
+                });
                 self.iqs[from as usize][QueueKind::Copy.index()].push(u64::from(id));
                 self.stats.copies_generated += 1;
                 self.stats.clusters[from as usize].copies_inserted += 1;
@@ -689,15 +720,24 @@ impl Machine {
 
             let mut mispredicted = false;
             if let Some(binfo) = uop.branch {
-                let correct = self.predictor.predict_and_update(pc_of(uop.inst), binfo.taken);
-                // Also fold in the trace-provided PC surrogate so distinct
-                // call sites of shared regions stay distinguishable.
+                let correct = self
+                    .predictor
+                    .predict_and_update(pc_of(uop.inst), binfo.taken);
+                // The predictor indexes by static instruction only; the
+                // trace-provided PC surrogate (`binfo.pc`) is deliberately
+                // unused, so distinct call sites of a shared region alias
+                // to one predictor entry — an accepted approximation of
+                // this trace-driven front-end.
                 let _ = binfo.pc;
                 mispredicted = !correct;
             }
 
             let ready = self.now + u64::from(self.cfg.fetch_to_dispatch) + extra_delay;
-            self.fetchq.push_back(FetchedUop { uop, ready, mispredicted });
+            self.fetchq.push_back(FetchedUop {
+                uop,
+                ready,
+                mispredicted,
+            });
 
             if mispredicted {
                 // Wrong path cannot be simulated: halt fetch until resolve.
@@ -881,7 +921,11 @@ mod tests {
             &mut ToZero,
             &RunLimits::unlimited(),
         );
-        assert!(one.ipc() <= 2.05, "single cluster INT issue width is 2, ipc={}", one.ipc());
+        assert!(
+            one.ipc() <= 2.05,
+            "single cluster INT issue width is 2, ipc={}",
+            one.ipc()
+        );
 
         // Round-robin over 2 clusters with 5 (odd) uops per iteration makes
         // every chain alternate clusters each iteration, forcing copies,
@@ -894,7 +938,10 @@ mod tests {
             &RunLimits::unlimited(),
         );
         assert_eq!(two.committed_uops, one.committed_uops);
-        assert!(two.copies_generated > 0, "round robin over odd stride must copy");
+        assert!(
+            two.copies_generated > 0,
+            "round robin over odd stride must copy"
+        );
     }
 
     #[test]
@@ -967,7 +1014,10 @@ mod tests {
             &RunLimits::unlimited(),
         );
         assert!(noisy.branches == 500);
-        assert!(noisy.mispredicts > 50, "random-ish stream should mispredict");
+        assert!(
+            noisy.mispredicts > 50,
+            "random-ish stream should mispredict"
+        );
 
         // Same region, always-taken -> almost no mispredicts, fewer cycles.
         let mut uops2 = Vec::new();
@@ -1033,7 +1083,10 @@ mod tests {
             &MachineConfig::default(),
             &mut trace,
             &mut ToZero,
-            &RunLimits { max_uops: None, max_cycles: Some(50) },
+            &RunLimits {
+                max_uops: None,
+                max_cycles: Some(50),
+            },
         );
         assert_eq!(stats.cycles, 50);
         assert!(stats.committed_uops < 1000);

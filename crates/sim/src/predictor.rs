@@ -57,8 +57,7 @@ impl Gshare {
             (_, c) => c,
         };
         // Update global history.
-        self.history = ((self.history << 1) | u64::from(taken))
-            & ((1u64 << self.history_bits) - 1);
+        self.history = ((self.history << 1) | u64::from(taken)) & ((1u64 << self.history_bits) - 1);
 
         predicted_taken == taken
     }
@@ -108,8 +107,8 @@ impl LocalHistory {
         let hist = self.histories[hi];
         // Mix the local history with the site id so two sites sharing a
         // history pattern do not fight over one counter.
-        let idx = ((u64::from(hist)) ^ pcf.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 13)
-            & self.pattern_mask;
+        let idx =
+            ((u64::from(hist)) ^ pcf.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 13) & self.pattern_mask;
         let counter = self.pattern[idx as usize];
         let predicted = counter >= 2;
 
@@ -118,8 +117,7 @@ impl LocalHistory {
             (false, c) if c > 0 => c - 1,
             (_, c) => c,
         };
-        self.histories[hi] =
-            ((hist << 1) | u16::from(taken)) & ((1u16 << self.hist_bits) - 1);
+        self.histories[hi] = ((hist << 1) | u16::from(taken)) & ((1u16 << self.hist_bits) - 1);
 
         predicted == taken
     }
@@ -205,7 +203,10 @@ mod tests {
                 wrong += 1;
             }
         }
-        assert_eq!(wrong, 0, "always-taken is perfectly predictable after warm-up");
+        assert_eq!(
+            wrong, 0,
+            "always-taken is perfectly predictable after warm-up"
+        );
     }
 
     #[test]
@@ -220,7 +221,10 @@ mod tests {
                 wrong_tail += 1;
             }
         }
-        assert!(wrong_tail < 20, "history should capture alternation, got {wrong_tail}");
+        assert!(
+            wrong_tail < 20,
+            "history should capture alternation, got {wrong_tail}"
+        );
     }
 
     #[test]
@@ -231,13 +235,18 @@ mod tests {
         let mut wrong = 0;
         let n = 2000;
         for _ in 0..n {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let taken = (x >> 62) & 1 == 1;
             if !p.predict_and_update(0x40, taken) {
                 wrong += 1;
             }
         }
-        assert!(wrong > n / 5, "hard stream should miss often, got {wrong}/{n}");
+        assert!(
+            wrong > n / 5,
+            "hard stream should miss often, got {wrong}/{n}"
+        );
     }
 
     #[test]

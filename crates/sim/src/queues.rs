@@ -21,7 +21,10 @@ impl IssueQueue {
     /// Create a queue with `capacity` entries.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity >= 1);
-        IssueQueue { entries: VecDeque::with_capacity(capacity), capacity }
+        IssueQueue {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+        }
     }
 
     /// Entries currently waiting.
@@ -68,7 +71,11 @@ impl IssueQueue {
         }
         let before = self.entries.len();
         self.entries.retain(|e| !ids.contains(e));
-        debug_assert_eq!(before - self.entries.len(), ids.len(), "remove_ids: id not found");
+        debug_assert_eq!(
+            before - self.entries.len(),
+            ids.len(),
+            "remove_ids: id not found"
+        );
     }
 
     /// Scan entries oldest-first, issuing up to `max_issue` whose `ready`
@@ -167,7 +174,10 @@ pub struct LinkArbiter {
 impl LinkArbiter {
     /// Create an arbiter allowing `per_cycle` copies per link direction.
     pub fn new(per_cycle: usize) -> Self {
-        LinkArbiter { used: [[0; 8]; 8], per_cycle: per_cycle.min(255) as u8 }
+        LinkArbiter {
+            used: [[0; 8]; 8],
+            per_cycle: per_cycle.min(255) as u8,
+        }
     }
 
     /// Reset budgets; call once per cycle.
@@ -242,12 +252,24 @@ mod tests {
     #[test]
     fn copy_slab_reuses_ids() {
         let mut s = CopySlab::new();
-        let a = s.alloc(CopyOp { tag: 1, from: 0, to: 1 });
-        let b = s.alloc(CopyOp { tag: 2, from: 1, to: 0 });
+        let a = s.alloc(CopyOp {
+            tag: 1,
+            from: 0,
+            to: 1,
+        });
+        let b = s.alloc(CopyOp {
+            tag: 2,
+            from: 1,
+            to: 0,
+        });
         assert_ne!(a, b);
         assert_eq!(s.live(), 2);
         s.release(a);
-        let c = s.alloc(CopyOp { tag: 3, from: 0, to: 1 });
+        let c = s.alloc(CopyOp {
+            tag: 3,
+            from: 0,
+            to: 1,
+        });
         assert_eq!(c, a);
         assert_eq!(s.get(c).tag, 3);
         assert_eq!(s.live(), 2);

@@ -211,7 +211,10 @@ impl ValueTracker {
         debug_assert!((dest as usize) < self.num_clusters);
         let bit = cluster_bit(dest);
         let st = self.state_mut(tag);
-        debug_assert!(st.ready & bit == 0 && st.pending & bit == 0, "duplicate copy to {dest}");
+        debug_assert!(
+            st.ready & bit == 0 && st.pending & bit == 0,
+            "duplicate copy to {dest}"
+        );
         st.pending |= bit;
         st.refs += 1;
         let class = st.class;

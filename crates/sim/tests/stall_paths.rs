@@ -4,8 +4,12 @@
 //! the machine still completes the program exactly.
 #![allow(clippy::field_reassign_with_default)] // configs are tweaked per test
 
-use virtclust_sim::{simulate, RunLimits, SimStats, StallReason, SteerDecision, SteerView, SteeringPolicy};
-use virtclust_uarch::{ArchReg, DynUop, MachineConfig, OpClass, Region, RegionBuilder, StaticInst, VecTrace};
+use virtclust_sim::{
+    simulate, RunLimits, SimStats, StallReason, SteerDecision, SteerView, SteeringPolicy,
+};
+use virtclust_uarch::{
+    ArchReg, DynUop, MachineConfig, OpClass, Region, RegionBuilder, StaticInst, VecTrace,
+};
 
 struct ToZero;
 impl SteeringPolicy for ToZero {

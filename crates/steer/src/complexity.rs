@@ -125,7 +125,11 @@ impl ComplexityProfile {
             // The paper: counters = clusters − 1 suffice for the hybrid
             // scheme (relative balance); the full scheme keeps one per
             // cluster. 16-bit counters cover the in-flight window.
-            let n_counters = if self.mapping_table { clusters - 1 } else { clusters };
+            let n_counters = if self.mapping_table {
+                clusters - 1
+            } else {
+                clusters
+            };
             bits += n_counters * 16;
             comparators += clusters - 1; // min-tree over counters
         }
@@ -145,7 +149,12 @@ impl ComplexityProfile {
 
         let serial_stages = if self.serialized { width } else { 1 };
 
-        ComplexityEstimate { table_bits: bits, comparators, ports, serial_stages }
+        ComplexityEstimate {
+            table_bits: bits,
+            comparators,
+            ports,
+            serial_stages,
+        }
     }
 }
 
@@ -175,8 +184,11 @@ fn yn(b: bool) -> &'static str {
 /// Render the paper's Table 1 (plus the quantitative extension) as markdown
 /// for the given configuration.
 pub fn table1_markdown(cfg: &MachineConfig, num_vcs: usize) -> String {
-    let profiles =
-        [ComplexityProfile::hardware_op(), ComplexityProfile::hybrid_vc(), ComplexityProfile::software_only()];
+    let profiles = [
+        ComplexityProfile::hardware_op(),
+        ComplexityProfile::hybrid_vc(),
+        ComplexityProfile::software_only(),
+    ];
     let mut out = String::new();
     out.push_str("| steering algorithm |");
     for p in &profiles {
@@ -200,7 +212,9 @@ pub fn table1_markdown(cfg: &MachineConfig, num_vcs: usize) -> String {
     }
     out.push('\n');
     out.push_str("Quantitative estimate (structural):\n\n");
-    out.push_str("| scheme | table bits | comparators | ports | serial stages |\n|---|---|---|---|---|\n");
+    out.push_str(
+        "| scheme | table bits | comparators | ports | serial stages |\n|---|---|---|---|---|\n",
+    );
     for p in &profiles {
         let e = p.estimate(cfg, num_vcs);
         out.push_str(&format!(
@@ -263,9 +277,13 @@ mod tests {
     #[test]
     fn markdown_renders_all_rows() {
         let md = table1_markdown(&MachineConfig::default(), 2);
-        for needle in
-            ["dependence check", "workload balance", "vote unit", "copy generator", "serial stages"]
-        {
+        for needle in [
+            "dependence check",
+            "workload balance",
+            "vote unit",
+            "copy generator",
+            "serial stages",
+        ] {
             assert!(md.contains(needle), "missing `{needle}` in:\n{md}");
         }
     }

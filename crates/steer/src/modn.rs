@@ -25,7 +25,11 @@ impl ModN {
     /// spot for 4-cluster machines).
     pub fn new(n: u64) -> Self {
         assert!(n >= 1, "slice length must be positive");
-        ModN { n, count: 0, cluster: 0 }
+        ModN {
+            n,
+            count: 0,
+            cluster: 0,
+        }
     }
 
     /// Slice length.
@@ -110,7 +114,12 @@ mod tests {
         let uops = serial_trace(400);
         let run = |policy: &mut dyn SteeringPolicy| {
             let mut trace = SliceTrace::new(&uops);
-            simulate(&MachineConfig::default(), &mut trace, policy, &RunLimits::unlimited())
+            simulate(
+                &MachineConfig::default(),
+                &mut trace,
+                policy,
+                &RunLimits::unlimited(),
+            )
         };
         let modn = run(&mut ModN::new(3));
         let op = run(&mut crate::OccupancyAware::new());

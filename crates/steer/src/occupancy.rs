@@ -37,12 +37,18 @@ pub struct OccupancyAware {
 impl OccupancyAware {
     /// The paper's `OP` configuration: sequential, occupancy-aware.
     pub fn new() -> Self {
-        OccupancyAware { mode: LocationMode::Sequential, stall_over_steer: true }
+        OccupancyAware {
+            mode: LocationMode::Sequential,
+            stall_over_steer: true,
+        }
     }
 
     /// The parallel (stale-information) variant of Sec. 2.1.
     pub fn parallel() -> Self {
-        OccupancyAware { mode: LocationMode::ParallelStale, stall_over_steer: true }
+        OccupancyAware {
+            mode: LocationMode::ParallelStale,
+            stall_over_steer: true,
+        }
     }
 
     /// Dependence steering *without* stall-over-steer: when the preferred
@@ -50,7 +56,10 @@ impl OccupancyAware {
     /// This is the pre-[15]/[24] behaviour those papers improved on —
     /// an ablation of the "stalling beats steering" insight.
     pub fn without_stall() -> Self {
-        OccupancyAware { mode: LocationMode::Sequential, stall_over_steer: false }
+        OccupancyAware {
+            mode: LocationMode::Sequential,
+            stall_over_steer: false,
+        }
     }
 
     /// The location mode in use.
@@ -99,13 +108,7 @@ impl SteeringPolicy for OccupancyAware {
         // Preferred cluster: most inputs, ties to the least-loaded cluster,
         // then to the lowest index.
         let preferred = (0..n as u8)
-            .min_by_key(|&c| {
-                (
-                    std::cmp::Reverse(counts[c as usize]),
-                    view.inflight(c),
-                    c,
-                )
-            })
+            .min_by_key(|&c| (std::cmp::Reverse(counts[c as usize]), view.inflight(c), c))
             .expect("at least one cluster");
 
         let kind = uop.op.queue();
@@ -205,9 +208,16 @@ mod tests {
         let mut trace = SliceTrace::new(&uops);
         let mut m = Machine::new(&MachineConfig::default());
         m.place_register(r(1), 1);
-        let stats = m.run(&mut trace, &mut OccupancyAware::new(), &RunLimits::unlimited());
+        let stats = m.run(
+            &mut trace,
+            &mut OccupancyAware::new(),
+            &RunLimits::unlimited(),
+        );
         assert_eq!(stats.copies_generated, 0);
-        assert_eq!(stats.clusters[1].dispatched, 3, "whole chain follows r1 to cluster 1");
+        assert_eq!(
+            stats.clusters[1].dispatched, 3,
+            "whole chain follows r1 to cluster 1"
+        );
         assert_eq!(stats.clusters[0].dispatched, 0);
     }
 
@@ -223,7 +233,13 @@ mod tests {
         let mut uops = Vec::new();
         let mut seq = 0;
         for _ in 0..200 {
-            seq = virtclust_uarch::trace::expand_region(&region, seq, &mut uops, |_, _| 0, |_, _| true);
+            seq = virtclust_uarch::trace::expand_region(
+                &region,
+                seq,
+                &mut uops,
+                |_, _| 0,
+                |_, _| true,
+            );
         }
         let mut trace = SliceTrace::new(&uops);
         let stats = simulate(
@@ -252,11 +268,22 @@ mod tests {
         let mut uops = Vec::new();
         let mut seq = 0;
         for _ in 0..100 {
-            seq = virtclust_uarch::trace::expand_region(&region, seq, &mut uops, |_, _| 0, |_, _| true);
+            seq = virtclust_uarch::trace::expand_region(
+                &region,
+                seq,
+                &mut uops,
+                |_, _| 0,
+                |_, _| true,
+            );
         }
         let run = |p: &mut dyn SteeringPolicy| {
             let mut trace = SliceTrace::new(&uops);
-            simulate(&MachineConfig::default(), &mut trace, p, &RunLimits::unlimited())
+            simulate(
+                &MachineConfig::default(),
+                &mut trace,
+                p,
+                &RunLimits::unlimited(),
+            )
         };
         let seq_stats = run(&mut OccupancyAware::new());
         let par_stats = run(&mut OccupancyAware::parallel());

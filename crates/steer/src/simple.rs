@@ -91,7 +91,13 @@ mod tests {
         let mut uops = Vec::new();
         let mut seq = 0;
         for _ in 0..50 {
-            seq = virtclust_uarch::trace::expand_region(&region, seq, &mut uops, |_, _| 0, |_, _| true);
+            seq = virtclust_uarch::trace::expand_region(
+                &region,
+                seq,
+                &mut uops,
+                |_, _| 0,
+                |_, _| true,
+            );
         }
         let mut trace = SliceTrace::new(&uops);
         let stats = simulate(
@@ -116,7 +122,13 @@ mod tests {
         let mut uops = Vec::new();
         let mut seq = 0;
         for _ in 0..30 {
-            seq = virtclust_uarch::trace::expand_region(&region, seq, &mut uops, |_, _| 0, |_, _| true);
+            seq = virtclust_uarch::trace::expand_region(
+                &region,
+                seq,
+                &mut uops,
+                |_, _| 0,
+                |_, _| true,
+            );
         }
         let mut trace = SliceTrace::new(&uops);
         let mut policy = StaticFollow::new();

@@ -34,7 +34,7 @@ impl VcMapper {
     /// migration pays copies for the carried values — the mapping decision
     /// in the paper's Fig. 4 ("map to the less loaded cluster") needs this
     /// dead-band to be usable, and `bench`'s ablation sweeps it.
-    pub const DEFAULT_REMAP_THRESHOLD: u32 = 32;
+    pub const DEFAULT_REMAP_THRESHOLD: u32 = 12;
 
     /// Create a mapper for programs compiled with `num_vcs` virtual
     /// clusters. (The paper fixes this in hardware and exposes it to the
@@ -101,22 +101,34 @@ impl SteeringPolicy for VcMapper {
         };
         if leader {
             // Fig. 4: on a chain leader, read the workload counters and map
-            // this VC to the less loaded physical cluster — with hysteresis
-            // so marginal imbalances do not migrate loop-carried chains.
+            // this VC to the less loaded physical cluster. "Load" is judged
+            // by what actually throttles a cluster — the occupancy of the
+            // issue queue this chain will dispatch into — backed by the
+            // in-flight counters; hysteresis keeps marginal imbalances from
+            // migrating loop-carried chains (every migration pays copies
+            // for the carried values).
+            let kind = uop.op.queue();
+            let n = view.num_clusters() as u8;
             let least = view.least_loaded();
+            let target = (0..n)
+                .min_by_key(|&c| (view.occupancy(c, kind), view.inflight(c), c))
+                .expect("at least one cluster");
             let c = match self.table[vc] {
-                Some(cur)
-                    if view.inflight(cur)
-                        <= view.inflight(least).saturating_add(self.remap_threshold) =>
-                {
-                    cur
-                }
-                other => {
-                    if other.is_some() && other != Some(least) {
-                        self.migrations += 1;
+                Some(cur) => {
+                    let congested = view.is_busy(cur, kind)
+                        && view.occupancy(target, kind) < view.occupancy(cur, kind);
+                    let imbalanced = view.inflight(cur)
+                        > view.inflight(least).saturating_add(self.remap_threshold);
+                    if congested || imbalanced {
+                        if cur != target {
+                            self.migrations += 1;
+                        }
+                        target
+                    } else {
+                        cur
                     }
-                    least
                 }
+                None => target,
             };
             self.table[vc] = Some(c);
             self.remaps += 1;
@@ -155,10 +167,22 @@ mod tests {
             .alu(r(1), &[r(1)]) // VC0
             .alu(r(2), &[r(2)]) // VC1
             .build();
-        region.insts[0].hint = SteerHint::Vc { vc: 0, leader: true };
-        region.insts[1].hint = SteerHint::Vc { vc: 1, leader: true };
-        region.insts[2].hint = SteerHint::Vc { vc: 0, leader: false };
-        region.insts[3].hint = SteerHint::Vc { vc: 1, leader: false };
+        region.insts[0].hint = SteerHint::Vc {
+            vc: 0,
+            leader: true,
+        };
+        region.insts[1].hint = SteerHint::Vc {
+            vc: 1,
+            leader: true,
+        };
+        region.insts[2].hint = SteerHint::Vc {
+            vc: 0,
+            leader: false,
+        };
+        region.insts[3].hint = SteerHint::Vc {
+            vc: 1,
+            leader: false,
+        };
         region
     }
 
@@ -168,7 +192,13 @@ mod tests {
         let mut uops = Vec::new();
         let mut seq = 0;
         for _ in 0..100 {
-            seq = virtclust_uarch::trace::expand_region(&region, seq, &mut uops, |_, _| 0, |_, _| true);
+            seq = virtclust_uarch::trace::expand_region(
+                &region,
+                seq,
+                &mut uops,
+                |_, _| 0,
+                |_, _| true,
+            );
         }
         let mut trace = SliceTrace::new(&uops);
         let mut policy = VcMapper::new(2);
@@ -191,13 +221,21 @@ mod tests {
             stats.dispatch_imbalance()
         );
         let copy_rate = stats.copies_generated as f64 / stats.committed_uops as f64;
-        assert!(copy_rate < 0.2, "chain-internal values never move, rate={copy_rate}");
+        assert!(
+            copy_rate < 0.2,
+            "chain-internal values never move, rate={copy_rate}"
+        );
     }
 
     #[test]
     fn non_leader_before_any_leader_uses_default_mapping() {
-        let mut region = RegionBuilder::new(0, "follower-first").alu(r(1), &[r(1)]).build();
-        region.insts[0].hint = SteerHint::Vc { vc: 1, leader: false };
+        let mut region = RegionBuilder::new(0, "follower-first")
+            .alu(r(1), &[r(1)])
+            .build();
+        region.insts[0].hint = SteerHint::Vc {
+            vc: 1,
+            leader: false,
+        };
         let mut uops = Vec::new();
         virtclust_uarch::trace::expand_region(&region, 0, &mut uops, |_, _| 0, |_, _| true);
         let mut trace = SliceTrace::new(&uops);
@@ -235,7 +273,13 @@ mod tests {
         let mut uops = Vec::new();
         let mut seq = 0;
         for _ in 0..50 {
-            seq = virtclust_uarch::trace::expand_region(&region, seq, &mut uops, |_, _| 0, |_, _| true);
+            seq = virtclust_uarch::trace::expand_region(
+                &region,
+                seq,
+                &mut uops,
+                |_, _| 0,
+                |_, _| true,
+            );
         }
         let mut trace = SliceTrace::new(&uops);
         let stats = simulate(

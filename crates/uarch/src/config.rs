@@ -31,7 +31,10 @@ impl CacheConfig {
     /// Panics if the geometry does not divide evenly.
     pub fn sets(&self, line_bytes: usize) -> usize {
         let lines = self.size_bytes / line_bytes;
-        assert!(lines.is_multiple_of(self.ways), "cache geometry must divide evenly");
+        assert!(
+            lines.is_multiple_of(self.ways),
+            "cache geometry must divide evenly"
+        );
         lines / self.ways
     }
 }
@@ -102,7 +105,10 @@ impl fmt::Display for ConfigError {
         match self {
             ConfigError::Zero(what) => write!(f, "parameter `{what}` must be non-zero"),
             ConfigError::BadCacheGeometry(which) => {
-                write!(f, "cache `{which}` geometry does not divide into whole sets")
+                write!(
+                    f,
+                    "cache `{which}` geometry does not divide into whole sets"
+                )
             }
             ConfigError::BadClusterCount(n) => {
                 write!(f, "cluster count {n} unsupported (expected 1..=8)")
@@ -172,7 +178,10 @@ pub struct MachineConfig {
     /// trace-driven approximation; see DESIGN.md deviations).
     pub predictor_log2_entries: u32,
     /// Occupancy fraction above which a cluster counts as "busy" for the
-    /// occupancy-aware (OP) policy's stall-over-steer decision.
+    /// occupancy-aware (OP) policy's stall-over-steer decision (and the VC
+    /// mapper's congestion-triggered remaps). Not in Table 2; 0.85 keeps
+    /// stall-over-steer from head-of-line-blocking dispatch when the
+    /// alternative cluster still has a usable margin of queue space.
     pub busy_occupancy_threshold: f64,
 }
 
@@ -216,7 +225,7 @@ impl Default for MachineConfig {
             mem_latency: 500,
             latencies: LatencyModel::default(),
             predictor_log2_entries: 14,
-            busy_occupancy_threshold: 0.75,
+            busy_occupancy_threshold: 0.85,
         }
     }
 }
@@ -274,10 +283,18 @@ impl MachineConfig {
             lsq_entries,
             line_bytes
         );
-        if !self.l1.size_bytes.is_multiple_of(self.line_bytes * self.l1.ways) {
+        if !self
+            .l1
+            .size_bytes
+            .is_multiple_of(self.line_bytes * self.l1.ways)
+        {
             return Err(ConfigError::BadCacheGeometry("L1"));
         }
-        if !self.l2.size_bytes.is_multiple_of(self.line_bytes * self.l2.ways) {
+        if !self
+            .l2
+            .size_bytes
+            .is_multiple_of(self.line_bytes * self.l2.ways)
+        {
             return Err(ConfigError::BadCacheGeometry("L2"));
         }
         if !(0.0..=1.0).contains(&self.busy_occupancy_threshold) {
@@ -306,12 +323,18 @@ impl MachineConfig {
         row(
             "Front-end",
             "Decode, rename and steer",
-            format!("{}+{} micro-ops/cycle, 1 cycle latency", self.dispatch_width_int, self.dispatch_width_fp),
+            format!(
+                "{}+{} micro-ops/cycle, 1 cycle latency",
+                self.dispatch_width_int, self.dispatch_width_fp
+            ),
         );
         row(
             "Front-end",
             "Reorder Buffer",
-            format!("{} entries, commit {} micro-ops/cycle", self.rob_entries, self.commit_width),
+            format!(
+                "{} entries, commit {} micro-ops/cycle",
+                self.rob_entries, self.commit_width
+            ),
         );
         row(
             "Back-end (per cluster)",
@@ -329,7 +352,10 @@ impl MachineConfig {
         row(
             "Back-end (per cluster)",
             "Register file",
-            format!("{}-entry INT, {}-entry FP", self.int_regs_per_cluster, self.fp_regs_per_cluster),
+            format!(
+                "{}-entry INT, {}-entry FP",
+                self.int_regs_per_cluster, self.fp_regs_per_cluster
+            ),
         );
         row(
             "Back-end",
@@ -410,12 +436,16 @@ mod tests {
 
     #[test]
     fn validate_rejects_zero_and_bad_geometry() {
-        let mut c = MachineConfig::default();
-        c.fetch_width = 0;
+        let c = MachineConfig {
+            fetch_width: 0,
+            ..Default::default()
+        };
         assert_eq!(c.validate(), Err(ConfigError::Zero("fetch_width")));
 
-        let mut c = MachineConfig::default();
-        c.num_clusters = 0;
+        let mut c = MachineConfig {
+            num_clusters: 0,
+            ..Default::default()
+        };
         assert_eq!(c.validate(), Err(ConfigError::BadClusterCount(0)));
         c.num_clusters = 9;
         assert_eq!(c.validate(), Err(ConfigError::BadClusterCount(9)));

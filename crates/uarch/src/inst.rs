@@ -67,7 +67,9 @@ impl SrcList {
     /// Iterate over the sources in insertion order.
     #[inline]
     pub fn iter(&self) -> impl Iterator<Item = ArchReg> + '_ {
-        self.regs[..self.len as usize].iter().map(|r| r.expect("slot below len is Some"))
+        self.regs[..self.len as usize]
+            .iter()
+            .map(|r| r.expect("slot below len is Some"))
     }
 
     /// True if `r` appears among the sources.
@@ -200,7 +202,12 @@ pub struct StaticInst {
 impl StaticInst {
     /// Create an unannotated instruction.
     pub fn new(op: OpClass, srcs: &[ArchReg], dst: Option<ArchReg>) -> Self {
-        StaticInst { op, srcs: SrcList::from_slice(srcs), dst, hint: SteerHint::None }
+        StaticInst {
+            op,
+            srcs: SrcList::from_slice(srcs),
+            dst,
+            hint: SteerHint::None,
+        }
     }
 
     /// Returns a copy with the given steering hint.
@@ -264,16 +271,30 @@ mod tests {
     fn hint_accessors() {
         assert_eq!(SteerHint::None.vc_id(), None);
         assert_eq!(SteerHint::Static { cluster: 2 }.static_cluster(), Some(2));
-        let h = SteerHint::Vc { vc: 1, leader: true };
+        let h = SteerHint::Vc {
+            vc: 1,
+            leader: true,
+        };
         assert_eq!(h.vc_id(), Some(1));
         assert!(h.is_chain_leader());
-        assert!(!SteerHint::Vc { vc: 1, leader: false }.is_chain_leader());
+        assert!(!SteerHint::Vc {
+            vc: 1,
+            leader: false
+        }
+        .is_chain_leader());
     }
 
     #[test]
     fn static_inst_display_mentions_hint() {
-        let i = StaticInst::new(OpClass::IntAlu, &[ArchReg::int(1), ArchReg::int(2)], Some(ArchReg::int(0)))
-            .with_hint(SteerHint::Vc { vc: 1, leader: true });
+        let i = StaticInst::new(
+            OpClass::IntAlu,
+            &[ArchReg::int(1), ArchReg::int(2)],
+            Some(ArchReg::int(0)),
+        )
+        .with_hint(SteerHint::Vc {
+            vc: 1,
+            leader: true,
+        });
         let s = i.to_string();
         assert!(s.contains("vc=1"), "{s}");
         assert!(s.contains("leader"), "{s}");

@@ -180,7 +180,11 @@ mod tests {
     #[test]
     fn queues_partition_the_classes() {
         for op in OpClass::PROGRAM_CLASSES {
-            assert_ne!(op.queue(), QueueKind::Copy, "{op} must not use the copy queue");
+            assert_ne!(
+                op.queue(),
+                QueueKind::Copy,
+                "{op} must not use the copy queue"
+            );
         }
         assert_eq!(OpClass::Copy.queue(), QueueKind::Copy);
     }

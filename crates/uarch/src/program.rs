@@ -32,7 +32,11 @@ pub struct Region {
 impl Region {
     /// Create an empty region.
     pub fn new(id: u32, name: impl Into<String>) -> Self {
-        Region { id, name: name.into(), insts: Vec::new() }
+        Region {
+            id,
+            name: name.into(),
+            insts: Vec::new(),
+        }
     }
 
     /// Append an instruction, returning its index within the region.
@@ -60,7 +64,10 @@ impl Region {
 
     /// Iterate `(InstId, &StaticInst)` pairs in program order.
     pub fn iter_ids(&self) -> impl Iterator<Item = (InstId, &StaticInst)> + '_ {
-        self.insts.iter().enumerate().map(|(i, inst)| (InstId::new(self.id, i as u32), inst))
+        self.insts
+            .iter()
+            .enumerate()
+            .map(|(i, inst)| (InstId::new(self.id, i as u32), inst))
     }
 
     /// Clear every steering hint (used before re-running a different pass).
@@ -73,7 +80,13 @@ impl Region {
 
 impl fmt::Display for Region {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "region {} `{}` ({} insts):", self.id, self.name, self.insts.len())?;
+        writeln!(
+            f,
+            "region {} `{}` ({} insts):",
+            self.id,
+            self.name,
+            self.insts.len()
+        )?;
         for (i, inst) in self.insts.iter().enumerate() {
             writeln!(f, "  {i:4}: {inst}")?;
         }
@@ -94,7 +107,10 @@ pub struct Program {
 impl Program {
     /// Create an empty program.
     pub fn new(name: impl Into<String>) -> Self {
-        Program { name: name.into(), regions: Vec::new() }
+        Program {
+            name: name.into(),
+            regions: Vec::new(),
+        }
     }
 
     /// Add a region built elsewhere; its `id` is rewritten to its index.
@@ -152,7 +168,9 @@ pub struct RegionBuilder {
 impl RegionBuilder {
     /// Start a new region.
     pub fn new(id: u32, name: impl Into<String>) -> Self {
-        RegionBuilder { region: Region::new(id, name) }
+        RegionBuilder {
+            region: Region::new(id, name),
+        }
     }
 
     /// Append an arbitrary instruction.
@@ -271,7 +289,10 @@ mod tests {
         p.add_region(three_inst_region());
         let id = InstId::new(0, 1);
         assert_eq!(p.inst(id).op, OpClass::Load);
-        p.inst_mut(id).hint = SteerHint::Vc { vc: 1, leader: true };
+        p.inst_mut(id).hint = SteerHint::Vc {
+            vc: 1,
+            leader: true,
+        };
         assert!(p.inst(id).hint.is_chain_leader());
         p.clear_hints();
         assert_eq!(p.inst(id).hint, SteerHint::None);

@@ -74,7 +74,10 @@ impl ArchReg {
             (i as usize) < NUM_INT_ARCH_REGS,
             "integer register index {i} out of range"
         );
-        ArchReg { class: RegClass::Int, index: i }
+        ArchReg {
+            class: RegClass::Int,
+            index: i,
+        }
     }
 
     /// Floating-point register `f{i}`.
@@ -87,7 +90,10 @@ impl ArchReg {
             (i as usize) < NUM_FLT_ARCH_REGS,
             "floating-point register index {i} out of range"
         );
-        ArchReg { class: RegClass::Flt, index: i }
+        ArchReg {
+            class: RegClass::Flt,
+            index: i,
+        }
     }
 
     /// Flat index into a table covering both classes: integer registers come
@@ -107,11 +113,20 @@ impl ArchReg {
     /// Panics if `flat >= NUM_ARCH_REGS`.
     #[inline]
     pub fn from_flat(flat: usize) -> Self {
-        assert!(flat < NUM_ARCH_REGS, "flat register index {flat} out of range");
+        assert!(
+            flat < NUM_ARCH_REGS,
+            "flat register index {flat} out of range"
+        );
         if flat < NUM_INT_ARCH_REGS {
-            ArchReg { class: RegClass::Int, index: flat as u8 }
+            ArchReg {
+                class: RegClass::Int,
+                index: flat as u8,
+            }
         } else {
-            ArchReg { class: RegClass::Flt, index: (flat - NUM_INT_ARCH_REGS) as u8 }
+            ArchReg {
+                class: RegClass::Flt,
+                index: (flat - NUM_INT_ARCH_REGS) as u8,
+            }
         }
     }
 

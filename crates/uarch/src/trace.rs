@@ -51,8 +51,16 @@ impl DynUop {
         mem_addr: Option<u64>,
         branch: Option<BranchInfo>,
     ) -> Self {
-        debug_assert_eq!(inst.op.is_mem(), mem_addr.is_some(), "memory ops need an address");
-        debug_assert_eq!(inst.op.is_branch(), branch.is_some(), "branches need an outcome");
+        debug_assert_eq!(
+            inst.op.is_mem(),
+            mem_addr.is_some(),
+            "memory ops need an address"
+        );
+        debug_assert_eq!(
+            inst.op.is_branch(),
+            branch.is_some(),
+            "branches need an outcome"
+        );
         DynUop {
             seq,
             inst: inst_id,
@@ -98,7 +106,10 @@ impl VecTrace {
     /// Wrap a vector of micro-ops.
     pub fn new(uops: Vec<DynUop>) -> Self {
         let total = uops.len() as u64;
-        VecTrace { uops: uops.into_iter(), total }
+        VecTrace {
+            uops: uops.into_iter(),
+            total,
+        }
     }
 }
 

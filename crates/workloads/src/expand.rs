@@ -17,9 +17,7 @@ use std::collections::VecDeque;
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use virtclust_uarch::{
-    BranchInfo, DynUop, InstId, OpClass, Program, TraceSource,
-};
+use virtclust_uarch::{BranchInfo, DynUop, InstId, OpClass, Program, TraceSource};
 
 use crate::params::KernelParams;
 
@@ -54,7 +52,11 @@ impl<'p> TraceExpander<'p> {
     /// `params`, seeded by `seed`.
     pub fn new(program: &'p Program, params: &KernelParams, seed: u64) -> Self {
         params.validate();
-        let cursors = program.regions.iter().map(|r| vec![0u64; r.len()]).collect();
+        let cursors = program
+            .regions
+            .iter()
+            .map(|r| vec![0u64; r.len()])
+            .collect();
         TraceExpander {
             program,
             params: *params,
@@ -119,7 +121,8 @@ impl<'p> TraceExpander<'p> {
                 } else {
                     None
                 };
-                self.queue.push_back(DynUop::from_static(self.seq, id, inst, mem_addr, branch));
+                self.queue
+                    .push_back(DynUop::from_static(self.seq, id, inst, mem_addr, branch));
                 self.seq += 1;
 
                 // Hammock control flow: an inner branch that is NOT taken
@@ -287,7 +290,10 @@ mod tests {
         }
         assert!(total > 0);
         let rate = taken as f64 / total as f64;
-        assert!(rate > 0.5, "loop back-edges keep the stream taken-biased: {rate}");
+        assert!(
+            rate > 0.5,
+            "loop back-edges keep the stream taken-biased: {rate}"
+        );
     }
 
     #[test]
@@ -302,13 +308,21 @@ mod tests {
         let a = collect(20000, &noisy, 3, 4);
         let b = collect(20000, &clean, 3, 4);
         let outcomes = |uops: &[DynUop]| -> Vec<bool> {
-            uops.iter().filter_map(|u| u.branch.map(|br| br.taken)).collect()
+            uops.iter()
+                .filter_map(|u| u.branch.map(|br| br.taken))
+                .collect()
         };
-        assert_ne!(outcomes(&a), outcomes(&b), "entropy must change branch behaviour");
+        assert_ne!(
+            outcomes(&a),
+            outcomes(&b),
+            "entropy must change branch behaviour"
+        );
         // Noisy sites are taken-biased but not deterministic.
-        let rate =
-            outcomes(&a).iter().filter(|&&t| t).count() as f64 / outcomes(&a).len() as f64;
-        assert!((0.45..0.95).contains(&rate), "biased-random stream: rate {rate}");
+        let rate = outcomes(&a).iter().filter(|&&t| t).count() as f64 / outcomes(&a).len() as f64;
+        assert!(
+            (0.45..0.95).contains(&rate),
+            "biased-random stream: rate {rate}"
+        );
     }
 
     #[test]

@@ -126,14 +126,25 @@ fn gen_region(params: &KernelParams, region_idx: u32, seed: u64) -> Region {
             };
             // FP chains tangled with INT chains would mix register classes
             // in one op; keep partners class-consistent.
-            let partner = if partner.class != value.class { const_reg(fp) } else { partner };
+            let partner = if partner.class != value.class {
+                const_reg(fp)
+            } else {
+                partner
+            };
             // Chain breaks start a fresh value (intra-chain parallelism):
             // the op reads only constants, not the chain's previous value.
             // The hot chain (0) is a recurrence — it almost never breaks,
             // so balancing it away *must* pay communication.
-            let break_p =
-                if chain == 0 { params.chain_break * 0.25 } else { params.chain_break };
-            let first = if rng.gen_bool(break_p) { const_reg(fp) } else { value };
+            let break_p = if chain == 0 {
+                params.chain_break * 0.25
+            } else {
+                params.chain_break
+            };
+            let first = if rng.gen_bool(break_p) {
+                const_reg(fp)
+            } else {
+                value
+            };
             StaticInst::new(op, &[first, partner], Some(value))
         };
         region.push(inst);

@@ -64,20 +64,26 @@ struct BenchDef {
     params: KernelParams,
 }
 
-fn int_bench(
-    name: &'static str,
-    points: u32,
-    f: impl FnOnce(&mut KernelParams),
-) -> BenchDef {
+fn int_bench(name: &'static str, points: u32, f: impl FnOnce(&mut KernelParams)) -> BenchDef {
     let mut params = KernelParams::base_int();
     f(&mut params);
-    BenchDef { name, suite: Suite::Int, points, params }
+    BenchDef {
+        name,
+        suite: Suite::Int,
+        points,
+        params,
+    }
 }
 
 fn fp_bench(name: &'static str, points: u32, f: impl FnOnce(&mut KernelParams)) -> BenchDef {
     let mut params = KernelParams::base_fp();
     f(&mut params);
-    BenchDef { name, suite: Suite::Fp, points, params }
+    BenchDef {
+        name,
+        suite: Suite::Fp,
+        points,
+        params,
+    }
 }
 
 fn suite_definition() -> Vec<BenchDef> {
@@ -278,8 +284,7 @@ pub fn spec2000_points() -> Vec<TracePoint> {
             // Per-point jitter: different program phases stress slightly
             // different mixes, like real PinPoints slices do.
             let mut params = bench.params;
-            params.branch_entropy =
-                (params.branch_entropy * rng.gen_range(0.8..1.25)).min(1.0);
+            params.branch_entropy = (params.branch_entropy * rng.gen_range(0.8..1.25)).min(1.0);
             params.pointer_chase = (params.pointer_chase * rng.gen_range(0.8..1.25)).min(1.0);
             params.mean_iters = (params.mean_iters as f64 * rng.gen_range(0.7..1.4)) as u32 + 1;
             let seed_base = SUITE_SEED ^ ((bi as u64) << 24) ^ ((pi as u64) << 8);
@@ -324,10 +329,9 @@ mod tests {
         let points = spec2000_points();
         let names: Vec<&str> = points.iter().map(|p| p.name.as_str()).collect();
         for expected in [
-            "gzip-1", "gzip-5", "vpr-2", "gcc-5", "mcf", "crafty", "parser", "eon-3",
-            "perlbmk", "gap", "vortex-2", "bzip2-3", "twolf", "wupwise", "swim", "applu",
-            "mesa", "galgel", "art-1", "art-2", "facerec", "equake", "ammp", "lucas",
-            "fma3d", "sixtrack", "apsi",
+            "gzip-1", "gzip-5", "vpr-2", "gcc-5", "mcf", "crafty", "parser", "eon-3", "perlbmk",
+            "gap", "vortex-2", "bzip2-3", "twolf", "wupwise", "swim", "applu", "mesa", "galgel",
+            "art-1", "art-2", "facerec", "equake", "ammp", "lucas", "fma3d", "sixtrack", "apsi",
         ] {
             assert!(names.contains(&expected), "missing point {expected}");
         }

@@ -34,14 +34,21 @@ fn main() {
     let lat = LatencyModel::default();
     let ddg = Ddg::from_region(&region, &lat);
     let crit = Criticality::compute(&ddg);
-    println!("== criticality (critical path = {} cycles) ==", crit.cp_length);
+    println!(
+        "== criticality (critical path = {} cycles) ==",
+        crit.cp_length
+    );
     for i in 0..ddg.n() as u32 {
         println!(
             "  inst {i}: depth={} height={} slack={}{}",
             crit.depth[i as usize],
             crit.height[i as usize],
             crit.slack(i),
-            if crit.is_critical(i) { "  <- critical" } else { "" }
+            if crit.is_critical(i) {
+                "  <- critical"
+            } else {
+                ""
+            }
         );
     }
 
@@ -49,7 +56,10 @@ fn main() {
     let mut program = Program::new("custom");
     program.add_region(region);
     SoftwarePass::Vc(VcConfig::new(2)).apply(&mut program, &lat);
-    println!("\n== after VC partitioning (vc ids + chain leaders) ==\n{}", program.regions[0]);
+    println!(
+        "\n== after VC partitioning (vc ids + chain leaders) ==\n{}",
+        program.regions[0]
+    );
 
     // Stage 3: expand a trace (200 iterations) and simulate.
     let mut uops = Vec::new();
@@ -74,7 +84,11 @@ fn main() {
     println!("== simulation ==\n  {}", stats.summary());
     println!(
         "  cluster uops: {:?}  (mapper remaps: {}, migrations: {})",
-        stats.clusters.iter().map(|c| c.dispatched).collect::<Vec<_>>(),
+        stats
+            .clusters
+            .iter()
+            .map(|c| c.dispatched)
+            .collect::<Vec<_>>(),
         policy.remaps(),
         policy.migrations()
     );

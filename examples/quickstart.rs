@@ -12,10 +12,16 @@ use virtclust::workloads::spec2000_points;
 fn main() {
     let machine = MachineConfig::paper_2cluster();
     let points = spec2000_points();
-    let point = points.iter().find(|p| p.name == "gzip-1").expect("suite point");
+    let point = points
+        .iter()
+        .find(|p| p.name == "gzip-1")
+        .expect("suite point");
 
     println!("benchmark point : {}", point.name);
-    println!("machine         : {} clusters (paper Table 2)\n", machine.num_clusters);
+    println!(
+        "machine         : {} clusters (paper Table 2)\n",
+        machine.num_clusters
+    );
 
     let budget = 50_000;
     let op = run_point(point, &Configuration::Op, &machine, budget);

@@ -24,8 +24,14 @@ fn main() {
     virtclust::uarch::trace::expand_region(&region, 0, &mut uops, |_, _| 0x100, |_, _| true);
 
     for (label, mut policy) in [
-        ("sequential steering (each decision sees the previous one)", OccupancyAware::new()),
-        ("parallel steering (stale bundle-entry locations)", OccupancyAware::parallel()),
+        (
+            "sequential steering (each decision sees the previous one)",
+            OccupancyAware::new(),
+        ),
+        (
+            "parallel steering (stale bundle-entry locations)",
+            OccupancyAware::parallel(),
+        ),
     ] {
         let mut trace = SliceTrace::new(&uops);
         let mut machine = Machine::new(&MachineConfig::paper_2cluster());
@@ -36,7 +42,10 @@ fn main() {
         machine.place_register(r(3), 0);
         let stats = machine.run(&mut trace, &mut policy, &RunLimits::unlimited());
         println!("{label}:");
-        println!("  copies generated = {}, cycles = {}\n", stats.copies_generated, stats.cycles);
+        println!(
+            "  copies generated = {}, cycles = {}\n",
+            stats.copies_generated, stats.cycles
+        );
     }
 
     println!(

@@ -26,7 +26,10 @@ fn main() {
     let machine = MachineConfig::paper_2cluster();
     let budget = 50_000;
 
-    println!("point {} ({:?} suite), 2-cluster machine, {budget} uops\n", point.name, point.suite);
+    println!(
+        "point {} ({:?} suite), 2-cluster machine, {budget} uops\n",
+        point.name, point.suite
+    );
     println!(
         "{:<14} {:>9} {:>7} {:>11} {:>12} {:>10}",
         "config", "cycles", "IPC", "copies/kuop", "alloc-stalls", "vs OP (%)"
@@ -34,8 +37,11 @@ fn main() {
 
     let base = run_point(point, &Configuration::Op, &machine, budget);
     for config in Configuration::table3() {
-        let stats =
-            if config == Configuration::Op { base.clone() } else { run_point(point, &config, &machine, budget) };
+        let stats = if config == Configuration::Op {
+            base.clone()
+        } else {
+            run_point(point, &config, &machine, budget)
+        };
         let slowdown = (stats.cycles as f64 / base.cycles as f64 - 1.0) * 100.0;
         println!(
             "{:<14} {:>9} {:>7.3} {:>11.1} {:>12} {:>+10.2}",

@@ -10,7 +10,10 @@ use virtclust::workloads::spec2000_points;
 const BUDGET: u64 = 12_000;
 
 fn point(name: &str) -> virtclust::workloads::TracePoint {
-    spec2000_points().into_iter().find(|p| p.name == name).expect("suite point")
+    spec2000_points()
+        .into_iter()
+        .find(|p| p.name == name)
+        .expect("suite point")
 }
 
 #[test]
@@ -69,10 +72,15 @@ fn vc_beats_the_software_only_schemes_on_average() {
     let machine = MachineConfig::paper_2cluster();
     let points: Vec<_> = spec2000_points()
         .into_iter()
-        .filter(|p| ["gzip-1", "crafty", "eon-1", "galgel", "swim", "vortex-1"].contains(&p.name.as_str()))
+        .filter(|p| {
+            ["gzip-1", "crafty", "eon-1", "galgel", "swim", "vortex-1"].contains(&p.name.as_str())
+        })
         .collect();
-    let configs =
-        vec![Configuration::Ob, Configuration::Rhop, Configuration::Vc { num_vcs: 2 }];
+    let configs = vec![
+        Configuration::Ob,
+        Configuration::Rhop,
+        Configuration::Vc { num_vcs: 2 },
+    ];
     let matrix = run_matrix(&machine, &configs, &points, BUDGET, 0);
     let total = |ci: usize| -> u64 { (0..points.len()).map(|pi| matrix.cell(pi, ci).cycles).sum() };
     let (ob, rhop, vc) = (total(0), total(1), total(2));
@@ -89,12 +97,19 @@ fn vc_2_to_4_beats_vc_4_to_4() {
         .into_iter()
         .filter(|p| ["gzip-1", "crafty", "galgel", "eon-1"].contains(&p.name.as_str()))
         .collect();
-    let configs = vec![Configuration::Vc { num_vcs: 4 }, Configuration::Vc { num_vcs: 2 }];
+    let configs = vec![
+        Configuration::Vc { num_vcs: 4 },
+        Configuration::Vc { num_vcs: 2 },
+    ];
     let matrix = run_matrix(&machine, &configs, &points, BUDGET, 0);
     let cycles4: u64 = (0..points.len()).map(|pi| matrix.cell(pi, 0).cycles).sum();
     let cycles2: u64 = (0..points.len()).map(|pi| matrix.cell(pi, 1).cycles).sum();
-    let copies4: u64 = (0..points.len()).map(|pi| matrix.cell(pi, 0).copies_generated).sum();
-    let copies2: u64 = (0..points.len()).map(|pi| matrix.cell(pi, 1).copies_generated).sum();
+    let copies4: u64 = (0..points.len())
+        .map(|pi| matrix.cell(pi, 0).copies_generated)
+        .sum();
+    let copies2: u64 = (0..points.len())
+        .map(|pi| matrix.cell(pi, 1).copies_generated)
+        .sum();
     // At this tiny budget the cycle gap is within noise; the copy gap (the
     // paper's ~28% mechanism) must already be visible, and VC(2->4) must
     // not lose materially.
@@ -102,7 +117,10 @@ fn vc_2_to_4_beats_vc_4_to_4() {
         cycles2 as f64 <= cycles4 as f64 * 1.03,
         "VC(2->4)={cycles2} must not lose materially to VC(4->4)={cycles4}"
     );
-    assert!(copies4 > copies2, "VC(4->4) must generate more copies ({copies4} vs {copies2})");
+    assert!(
+        copies4 > copies2,
+        "VC(4->4) must generate more copies ({copies4} vs {copies2})"
+    );
 }
 
 #[test]
@@ -116,8 +134,12 @@ fn sequential_op_beats_parallel_op() {
     let matrix = run_matrix(&machine, &configs, &points, BUDGET, 0);
     let seq: u64 = (0..points.len()).map(|pi| matrix.cell(pi, 0).cycles).sum();
     let par: u64 = (0..points.len()).map(|pi| matrix.cell(pi, 1).cycles).sum();
-    let seq_copies: u64 = (0..points.len()).map(|pi| matrix.cell(pi, 0).copies_generated).sum();
-    let par_copies: u64 = (0..points.len()).map(|pi| matrix.cell(pi, 1).copies_generated).sum();
+    let seq_copies: u64 = (0..points.len())
+        .map(|pi| matrix.cell(pi, 0).copies_generated)
+        .sum();
+    let par_copies: u64 = (0..points.len())
+        .map(|pi| matrix.cell(pi, 1).copies_generated)
+        .sum();
     assert!(par_copies > seq_copies, "stale locations must cost copies");
     assert!(par >= seq, "parallel steering must not beat sequential");
 }
@@ -154,5 +176,9 @@ fn memory_bound_point_behaves_memory_bound() {
     // harness shows ~0%).
     let one = run_point(&p, &Configuration::OneCluster, &machine, BUDGET);
     let slowdown = one.cycles as f64 / op.cycles as f64 - 1.0;
-    assert!(slowdown < 0.35, "one-cluster cheap on mcf, got {:.1}%", 100.0 * slowdown);
+    assert!(
+        slowdown < 0.35,
+        "one-cluster cheap on mcf, got {:.1}%",
+        100.0 * slowdown
+    );
 }

@@ -4,7 +4,9 @@
 //! arbitrary (even adversarial) steering.
 
 use proptest::prelude::*;
-use virtclust::compiler::{identify_chains, GreedyPlacer, PlacerConfig, RhopConfig, RhopPartitioner};
+use virtclust::compiler::{
+    identify_chains, GreedyPlacer, PlacerConfig, RhopConfig, RhopPartitioner,
+};
 use virtclust::ddg::{Criticality, Ddg};
 use virtclust::sim::{simulate, RunLimits, SteerDecision, SteerView, SteeringPolicy};
 use virtclust::uarch::{
@@ -22,18 +24,27 @@ fn inst_strategy() -> impl Strategy<Value = StaticInst> {
             &[a, b],
             Some(d)
         )),
-        (reg.clone(), reg.clone(), reg.clone())
-            .prop_map(|(d, a, b)| StaticInst::new(OpClass::IntMul, &[a, b], Some(d))),
+        (reg.clone(), reg.clone(), reg.clone()).prop_map(|(d, a, b)| StaticInst::new(
+            OpClass::IntMul,
+            &[a, b],
+            Some(d)
+        )),
         // FP compute
-        (freg.clone(), freg.clone(), freg.clone())
-            .prop_map(|(d, a, b)| StaticInst::new(OpClass::FpAdd, &[a, b], Some(d))),
+        (freg.clone(), freg.clone(), freg.clone()).prop_map(|(d, a, b)| StaticInst::new(
+            OpClass::FpAdd,
+            &[a, b],
+            Some(d)
+        )),
         // Memory
-        (reg.clone(), reg.clone())
-            .prop_map(|(d, a)| StaticInst::new(OpClass::Load, &[a], Some(d))),
-        (reg.clone(), reg.clone())
-            .prop_map(|(a, v)| StaticInst::new(OpClass::Store, &[a, v], None)),
+        (reg.clone(), reg.clone()).prop_map(|(d, a)| StaticInst::new(OpClass::Load, &[a], Some(d))),
+        (reg.clone(), reg.clone()).prop_map(|(a, v)| StaticInst::new(
+            OpClass::Store,
+            &[a, v],
+            None
+        )),
         // Branch
-        reg.clone().prop_map(|c| StaticInst::new(OpClass::Branch, &[c], None)),
+        reg.clone()
+            .prop_map(|c| StaticInst::new(OpClass::Branch, &[c], None)),
     ]
 }
 

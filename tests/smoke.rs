@@ -1,0 +1,32 @@
+//! Workspace smoke test: the README/ROADMAP quick-start invariant.
+//!
+//! The quick-start contract in `crates/core/src/lib.rs` promises that the
+//! hardware-only `OP` baseline and the hybrid `VC` configuration simulate
+//! the *same* dynamic instruction stream — differing only in steering — so
+//! both must commit exactly the same number of micro-ops on the same trace
+//! point. This is the one-liner a new contributor can run to confirm the
+//! whole pipeline (workloads → compiler → trace → simulator) is wired up.
+
+use virtclust::core::{run_point, Configuration};
+use virtclust::uarch::MachineConfig;
+use virtclust::workloads::spec2000_points;
+
+#[test]
+fn quickstart_contract_op_and_vc_commit_identical_uop_counts() {
+    let points = spec2000_points();
+    let point = &points[0]; // gzip-1, as in the quick-start doc
+    let machine = MachineConfig::paper_2cluster();
+    let budget = 5_000;
+
+    let op = run_point(point, &Configuration::Op, &machine, budget);
+    let vc = run_point(point, &Configuration::Vc { num_vcs: 2 }, &machine, budget);
+
+    assert_eq!(
+        op.committed_uops, vc.committed_uops,
+        "OP and VC must replay the same trace: OP committed {} vs VC {}",
+        op.committed_uops, vc.committed_uops
+    );
+    assert_eq!(op.committed_uops, budget, "the whole budget must commit");
+    // And the streams really were simulated, not short-circuited.
+    assert!(op.cycles > 0 && vc.cycles > 0);
+}

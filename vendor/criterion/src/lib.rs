@@ -1,0 +1,347 @@
+//! Offline stand-in for the `criterion` crate (0.5 API surface).
+//!
+//! Implements the subset used by `crates/bench/benches/pipeline.rs`:
+//! benchmark groups, `BenchmarkId`, `Throughput`, `BatchSize`,
+//! `Bencher::{iter, iter_batched}` and the `criterion_group!` /
+//! `criterion_main!` macros. Two execution modes:
+//!
+//! * **`--test`** (what `cargo bench -- --test` passes): run every
+//!   benchmark body exactly once so the harness can never silently rot —
+//!   this is the mode CI exercises;
+//! * default: a simplified measurement loop (fixed warm-up, then timed
+//!   samples) printing mean ns/iter and, when a throughput was declared,
+//!   elements/s. No statistics machinery, no plots, no `target/criterion`
+//!   reports.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::{self, Display};
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How a benchmark's workload scales, for per-element reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// The routine processes this many elements per iteration.
+    Elements(u64),
+    /// The routine processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`]; the shim runs one
+/// setup per iteration regardless.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration state.
+    SmallInput,
+    /// Large per-iteration state.
+    LargeInput,
+    /// One batch per sample.
+    PerIteration,
+}
+
+/// Identifier for a benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A two-part id: `function_name/parameter`.
+    pub fn new<S: Display, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id that is just the parameter's `Display` form.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.id.fmt(f)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher<'a> {
+    mode: Mode,
+    sample_size: usize,
+    report: &'a mut Option<Sample>,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Mode {
+    Test,
+    Measure,
+}
+
+struct Sample {
+    iters: u64,
+    total: Duration,
+}
+
+impl Bencher<'_> {
+    /// Time `routine`, called repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match self.mode {
+            Mode::Test => {
+                black_box(routine());
+                *self.report = Some(Sample {
+                    iters: 1,
+                    total: Duration::ZERO,
+                });
+            }
+            Mode::Measure => {
+                // Warm-up.
+                black_box(routine());
+                let iters = self.sample_size as u64;
+                let start = Instant::now();
+                for _ in 0..iters {
+                    black_box(routine());
+                }
+                *self.report = Some(Sample {
+                    iters,
+                    total: start.elapsed(),
+                });
+            }
+        }
+    }
+
+    /// Time `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        match self.mode {
+            Mode::Test => {
+                black_box(routine(setup()));
+                *self.report = Some(Sample {
+                    iters: 1,
+                    total: Duration::ZERO,
+                });
+            }
+            Mode::Measure => {
+                black_box(routine(setup()));
+                let iters = self.sample_size as u64;
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let input = setup();
+                    let start = Instant::now();
+                    black_box(routine(input));
+                    total += start.elapsed();
+                }
+                *self.report = Some(Sample { iters, total });
+            }
+        }
+    }
+}
+
+/// A named collection of related benchmarks sharing throughput and
+/// sample-size settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare how much work one iteration performs.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Set the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id);
+        let (throughput, sample_size) = (self.throughput, self.sample_size);
+        self.criterion.run_one(&full, throughput, sample_size, f);
+        self
+    }
+
+    /// Finish the group (report output already happened per-benchmark).
+    pub fn finish(self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    mode: Mode,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            mode: Mode::Measure,
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Build a `Criterion` from the process's command-line arguments, as
+    /// the real crate's `criterion_group!` expansion does. Recognises
+    /// `--test` (run each body once); other harness flags that Cargo
+    /// forwards (`--bench`, filters) are accepted and ignored.
+    #[must_use]
+    pub fn configure_from_args(mut self) -> Self {
+        if std::env::args().skip(1).any(|a| a == "--test") {
+            self.mode = Mode::Test;
+        }
+        self
+    }
+
+    /// Start a benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size,
+        }
+    }
+
+    /// Run a single free-standing benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(&mut self, name: &str, f: F) -> &mut Self {
+        self.run_one(name, None, self.default_sample_size, f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        name: &str,
+        throughput: Option<Throughput>,
+        sample_size: usize,
+        mut f: F,
+    ) {
+        let mut report = None;
+        let mut bencher = Bencher {
+            mode: self.mode,
+            sample_size,
+            report: &mut report,
+        };
+        f(&mut bencher);
+        match (self.mode, report) {
+            (Mode::Test, Some(_)) => println!("test {name} ... ok"),
+            (Mode::Test, None) => println!("test {name} ... ok (no iterations)"),
+            (Mode::Measure, Some(s)) if s.iters > 0 => {
+                let per_iter = s.total.as_nanos() / u128::from(s.iters);
+                match throughput {
+                    Some(Throughput::Elements(n)) if per_iter > 0 => {
+                        let rate = n as f64 * 1e9 / per_iter as f64;
+                        println!("bench {name}: {per_iter} ns/iter ({rate:.0} elem/s)");
+                    }
+                    Some(Throughput::Bytes(n)) if per_iter > 0 => {
+                        let rate = n as f64 * 1e9 / per_iter as f64;
+                        println!("bench {name}: {per_iter} ns/iter ({rate:.0} B/s)");
+                    }
+                    _ => println!("bench {name}: {per_iter} ns/iter"),
+                }
+            }
+            (Mode::Measure, _) => println!("bench {name}: no measurement"),
+        }
+    }
+
+    /// Called by `criterion_main!` after all groups ran.
+    pub fn final_summary(&self) {}
+}
+
+/// Define a function that runs a list of benchmark functions, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+}
+
+/// Define `main` running one or more `criterion_group!`s.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_iter_runs_and_reports() {
+        let mut c = Criterion {
+            mode: Mode::Test,
+            default_sample_size: 3,
+        };
+        let mut ran = 0u32;
+        c.bench_function("shim_selftest", |b| b.iter(|| ran += 1));
+        assert_eq!(ran, 1, "--test mode runs the body exactly once");
+    }
+
+    #[test]
+    fn iter_batched_pipes_setup_into_routine() {
+        let mut c = Criterion {
+            mode: Mode::Measure,
+            default_sample_size: 2,
+        };
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(4));
+        group.sample_size(2);
+        let mut total = 0u64;
+        group.bench_function(BenchmarkId::new("sum", 4), |b| {
+            b.iter_batched(
+                || vec![1u64, 2, 3, 4],
+                |v| total += v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            );
+        });
+        group.finish();
+        assert!(total >= 10, "routine observed the setup's data");
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 2).to_string(), "f/2");
+        assert_eq!(BenchmarkId::from_parameter("vc").to_string(), "vc");
+    }
+}

@@ -1,0 +1,147 @@
+//! Offline stand-in for the `proptest` crate (1.x API surface).
+//!
+//! Implements the subset `tests/properties.rs` uses: the [`Strategy`]
+//! trait with `prop_map`, range and tuple strategies, [`prop_oneof!`],
+//! [`collection::vec`], the [`proptest!`] test macro, the
+//! `prop_assert*` family and [`ProptestConfig`].
+//!
+//! Differences from real proptest, by design: no shrinking (a failing
+//! case reports its seed and values verbatim), and generation is
+//! deterministic — the RNG seed is derived from the test name, so a
+//! failure reproduces on every run rather than flaking.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{Just, Map, Strategy, Union};
+pub use test_runner::{Config as ProptestConfig, TestCaseError, TestRng};
+
+/// Everything a property test usually imports, mirroring
+/// `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+impl<T: SampleRangeValue> Strategy for Range<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::sample_range(self.clone(), rng)
+    }
+}
+
+impl<T: SampleRangeValue> Strategy for RangeInclusive<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::sample_range_inclusive(self.clone(), rng)
+    }
+}
+
+/// Numeric types usable as range strategies (`0u8..8`, `1u32..5`, ...).
+pub trait SampleRangeValue: Copy + fmt::Debug {
+    /// Sample from a half-open range.
+    fn sample_range(range: Range<Self>, rng: &mut TestRng) -> Self;
+    /// Sample from an inclusive range.
+    fn sample_range_inclusive(range: RangeInclusive<Self>, rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_sample_range_value {
+    ($($t:ty),*) => {$(
+        impl SampleRangeValue for $t {
+            fn sample_range(range: Range<Self>, rng: &mut TestRng) -> Self {
+                rng.rng.gen_range(range)
+            }
+            fn sample_range_inclusive(range: RangeInclusive<Self>, rng: &mut TestRng) -> Self {
+                rng.rng.gen_range(range)
+            }
+        }
+    )*};
+}
+impl_sample_range_value!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// Derive a stable RNG seed from a test's module path and name so every
+/// run of the same test generates the same cases.
+#[must_use]
+pub fn seed_for(test_path: &str) -> u64 {
+    // FNV-1a, good enough to decorrelate test names.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_path.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Run `cases` generated test cases; used by the [`proptest!`] expansion.
+///
+/// # Panics
+/// Panics (failing the surrounding `#[test]`) if any case returns an error.
+pub fn run_cases<F>(test_path: &str, config: &ProptestConfig, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let seed = seed_for(test_path);
+    let mut rng = TestRng {
+        rng: SmallRng::seed_from_u64(seed),
+    };
+    for case_no in 0..config.cases {
+        if let Err(e) = case(&mut rng) {
+            panic!(
+                "proptest case {case_no}/{} failed for `{test_path}` (seed {seed:#x}): {e}",
+                config.cases
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn seed_is_stable_and_name_dependent() {
+        assert_eq!(crate::seed_for("a::b"), crate::seed_for("a::b"));
+        assert_ne!(crate::seed_for("a::b"), crate::seed_for("a::c"));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_maps_compose(x in 0u8..8, y in (1u32..5).prop_map(|v| v * 10)) {
+            prop_assert!(x < 8);
+            prop_assert!((10..50).contains(&y));
+            prop_assert!(y % 10 == 0, "mapped value {} not a multiple of ten", y);
+        }
+
+        #[test]
+        fn oneof_and_vec_cover_arms(items in prop::collection::vec(
+            prop_oneof![Just(1u8), Just(2u8), 5u8..7],
+            1..20,
+        )) {
+            prop_assert!(!items.is_empty());
+            for &i in &items {
+                prop_assert!(i == 1 || i == 2 || (5..7).contains(&i), "unexpected item {}", i);
+            }
+        }
+
+        #[test]
+        fn tuples_generate_componentwise((a, b, c) in (0u8..4, 10u8..14, 20u8..24)) {
+            prop_assert!(a < 4);
+            prop_assert_eq!(b / 10, 1);
+            prop_assert_ne!(c, 0);
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Test-runner plumbing: [`Config`], [`TestCaseError`], [`TestRng`] and the
+//! assertion macros used inside [`proptest!`](crate::proptest) bodies.
+
+use std::fmt;
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Runner configuration, mirroring `proptest::test_runner::Config`. Only
+/// `cases` is honoured.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of generated cases to run per test.
+    pub cases: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 256 }
+    }
+}
+
+impl Config {
+    /// A config running `cases` cases per test.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+/// Why a single generated case failed.
+#[derive(Clone, Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// A failed property with the given explanation.
+    #[must_use]
+    pub fn fail<S: Into<String>>(message: S) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// The RNG handed to strategies. Wraps the vendored [`SmallRng`] so
+/// strategy objects stay object-safe.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    pub(crate) rng: SmallRng,
+}
+
+impl TestRng {
+    /// A uniform index in `0..len` (`len` must be non-zero).
+    pub fn random_index(&mut self, len: usize) -> usize {
+        assert!(len > 0, "random_index: empty choice set");
+        self.rng.gen_range(0..len)
+    }
+}
+
+/// Assert a condition inside a `proptest!` body; on failure the current
+/// case returns an error (no shrinking follows, unlike real proptest).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// `prop_assert!` for equality, printing both sides on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "{} (left: `{:?}`, right: `{:?}`)",
+            format!($($fmt)+), l, r
+        );
+    }};
+}
+
+/// `prop_assert!` for inequality, printing both sides on failure.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}` (both: `{:?}`)",
+            stringify!($left), stringify!($right), l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "{} (both: `{:?}`)",
+            format!($($fmt)+), l
+        );
+    }};
+}
+
+/// Define property tests, mirroring `proptest::proptest!`: an optional
+/// `#![proptest_config(...)]` header followed by `#[test]` functions whose
+/// arguments are `pattern in strategy` pairs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@body ($config) $($rest)*);
+    };
+    (
+        $(#[test] fn $name:ident ($($args:tt)*) $body:block)*
+    ) => {
+        $crate::proptest!(@body ($crate::test_runner::Config::default())
+            $(#[test] fn $name ($($args)*) $body)*);
+    };
+    (@body ($config:expr)
+        $(#[test] fn $name:ident ($($arg:pat in $strategy:expr),+ $(,)?) $body:block)*
+    ) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::test_runner::Config = $config;
+                $crate::run_cases(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    &config,
+                    |prop_rng| {
+                        $(let $arg = $crate::strategy::Strategy::generate(&($strategy), prop_rng);)+
+                        $body
+                        ::std::result::Result::Ok(())
+                    },
+                );
+            }
+        )*
+    };
+}
