@@ -1,15 +1,45 @@
-//! Diagnostic probe: per-point IPC and bottleneck stats under OP vs
-//! one-cluster. Not part of the paper reproduction; used to calibrate the
-//! workload suite (documented in DESIGN.md).
+//! Diagnostic probe: per-point IPC and bottleneck stats. Not part of the
+//! paper reproduction; used to calibrate the workload suite (documented in
+//! DESIGN.md) and to pin perf baselines.
+//!
+//! Two output modes:
+//!
+//! * default — a human-readable table of OP vs one-cluster bottleneck
+//!   stats over a 12-point calibration subset;
+//! * `--json` — one machine-readable line per (point × Table 3 scheme)
+//!   over the **full 40-point suite**:
+//!   `{"point":"gzip-1","scheme":"OP","ipc":0.733,"copies":1408,"uops":20000}`.
+//!   This feeds `results/BASELINES.md` (see ROADMAP "Perf baselines"):
+//!
+//!   ```sh
+//!   VIRTCLUST_UOPS=20000 cargo run --release -p virtclust-bench --bin probe_ipc -- --json
+//!   ```
 
-use virtclust_bench::uop_budget;
-use virtclust_core::{run_point, Configuration};
+use virtclust_bench::{threads, uop_budget};
+use virtclust_core::{run_matrix, run_point, Configuration};
 use virtclust_uarch::MachineConfig;
 use virtclust_workloads::spec2000_points;
 
-fn main() {
-    let uops = uop_budget(20_000);
-    let machine = MachineConfig::paper_2cluster();
+fn json_mode(uops: u64, machine: &MachineConfig) {
+    let points = spec2000_points();
+    let configs = Configuration::table3().to_vec();
+    let matrix = run_matrix(machine, &configs, &points, uops, threads());
+    for (pi, point) in matrix.points.iter().enumerate() {
+        for (ci, config) in matrix.configs.iter().enumerate() {
+            let stats = matrix.cell(pi, ci);
+            println!(
+                "{{\"point\":\"{}\",\"scheme\":\"{}\",\"ipc\":{:.4},\"copies\":{},\"uops\":{}}}",
+                point.name,
+                config.name(machine.num_clusters as u32),
+                stats.ipc(),
+                stats.copies_generated,
+                stats.committed_uops,
+            );
+        }
+    }
+}
+
+fn table_mode(uops: u64, machine: &MachineConfig) {
     println!(
         "{:<10} {:>6} {:>6} {:>7} {:>7} {:>7} {:>8} {:>8} {:>7}",
         "point", "ipcOP", "ipc1c", "mispr%", "l1hit%", "cp/ku", "iqstall", "starved", "robfull"
@@ -21,8 +51,8 @@ fn main() {
         ]
         .contains(&p.name.as_str())
     }) {
-        let op = run_point(point, &Configuration::Op, &machine, uops);
-        let one = run_point(point, &Configuration::OneCluster, &machine, uops);
+        let op = run_point(point, &Configuration::Op, machine, uops);
+        let one = run_point(point, &Configuration::OneCluster, machine, uops);
         println!(
             "{:<10} {:>6.2} {:>6.2} {:>6.2} {:>7.1} {:>7.1} {:>8} {:>8} {:>7}",
             point.name,
@@ -35,5 +65,16 @@ fn main() {
             op.frontend_starved_cycles,
             op.dispatch_stalls[0],
         );
+    }
+}
+
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    let uops = uop_budget(20_000);
+    let machine = MachineConfig::paper_2cluster();
+    if json {
+        json_mode(uops, &machine);
+    } else {
+        table_mode(uops, &machine);
     }
 }

@@ -1,0 +1,259 @@
+//! Trace capture / replay harness: persist a workload's dynamic stream
+//! once, then replay the frozen stream under any steering scheme — the
+//! paper's "execute traces of IA32 binaries" methodology (Sec. 5.1) as a
+//! command-line round trip.
+//!
+//! ```text
+//! trace_replay record  <point>  <out-file> [--binary] [--uops N] [--clusters 2|4]
+//! trace_replay replay  <file>   [--scheme op|1c|ob|rhop|vcN|modN] [--uops N] [--clusters 2|4]
+//! trace_replay compare <file>   [--clusters 2|4]
+//! trace_replay import  <kernel> <out-file> [--binary] [--uops N] [--seed S]
+//! ```
+//!
+//! * `record` captures a SPEC-like suite point (by Fig. 5 name, e.g.
+//!   `gzip-1`) into a trace file;
+//! * `replay` runs one steering scheme over a stored trace;
+//! * `compare` replays all five Table 3 schemes over the same stored
+//!   stream and checks they commit identical micro-op counts (exit code 1
+//!   if not) — the CI round-trip smoke;
+//! * `import` reads a one-uop-per-line kernel description, expands it with
+//!   the synthetic dynamic model and records the result, so externally
+//!   authored programs enter the pipeline.
+//!
+//! `--uops` defaults to `VIRTCLUST_UOPS` or 20 000.
+
+use std::process::ExitCode;
+
+use virtclust_bench::uop_budget;
+use virtclust_core::{record_point, replay_compare, replay_trace, Configuration};
+use virtclust_sim::RunLimits;
+use virtclust_trace::{import_kernel_file, Codec, TraceWriter};
+use virtclust_uarch::MachineConfig;
+use virtclust_workloads::{spec2000_points, KernelParams, TraceExpander};
+
+const USAGE: &str = "\
+usage:
+  trace_replay record  <point>  <out-file> [--binary] [--uops N] [--clusters 2|4]
+  trace_replay replay  <file>   [--scheme op|1c|ob|rhop|vcN|modN] [--uops N] [--clusters 2|4]
+  trace_replay compare <file>   [--clusters 2|4]
+  trace_replay import  <kernel> <out-file> [--binary] [--uops N] [--seed S]
+
+schemes: op, op-parallel, 1c (one-cluster), ob, rhop, vc2/vc4/..., mod64/...
+point names are the Fig. 5 suite points (gzip-1 ... apsi); --uops defaults
+to VIRTCLUST_UOPS or 20000.";
+
+struct Args {
+    positional: Vec<String>,
+    binary: bool,
+    uops: Option<u64>,
+    seed: u64,
+    clusters: usize,
+    scheme: String,
+}
+
+impl Args {
+    /// The capture/import budget: `--uops`, else `VIRTCLUST_UOPS`, else
+    /// 20 000.
+    fn budget(&self) -> u64 {
+        self.uops.unwrap_or_else(|| uop_budget(20_000))
+    }
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        positional: Vec::new(),
+        binary: false,
+        uops: None,
+        seed: 1,
+        clusters: 2,
+        scheme: "vc2".into(),
+    };
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--binary" => args.binary = true,
+            "--uops" => {
+                args.uops = Some(
+                    value("--uops")?
+                        .parse()
+                        .map_err(|_| "--uops needs an integer".to_string())?,
+                )
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| "--seed needs an integer".to_string())?
+            }
+            "--clusters" => {
+                args.clusters = match value("--clusters")?.as_str() {
+                    "2" => 2,
+                    "4" => 4,
+                    other => return Err(format!("--clusters must be 2 or 4, got {other}")),
+                }
+            }
+            "--scheme" => args.scheme = value("--scheme")?,
+            other if other.starts_with("--") => return Err(format!("unknown flag {other}")),
+            other => args.positional.push(other.to_string()),
+        }
+    }
+    Ok(args)
+}
+
+fn parse_scheme(name: &str) -> Result<Configuration, String> {
+    match name {
+        "op" => Ok(Configuration::Op),
+        "op-parallel" => Ok(Configuration::OpParallel),
+        "op-nostall" => Ok(Configuration::OpNoStall),
+        "1c" | "one-cluster" => Ok(Configuration::OneCluster),
+        "ob" => Ok(Configuration::Ob),
+        "rhop" => Ok(Configuration::Rhop),
+        _ => {
+            if let Some(v) = name.strip_prefix("vc") {
+                let num_vcs = v.parse().map_err(|_| format!("bad vc count in {name}"))?;
+                return Ok(Configuration::Vc { num_vcs });
+            }
+            if let Some(s) = name.strip_prefix("mod") {
+                let slice = s.parse().map_err(|_| format!("bad slice in {name}"))?;
+                return Ok(Configuration::ModN { slice });
+            }
+            Err(format!("unknown scheme {name}"))
+        }
+    }
+}
+
+fn machine_for(clusters: usize) -> MachineConfig {
+    if clusters == 4 {
+        MachineConfig::paper_4cluster()
+    } else {
+        MachineConfig::paper_2cluster()
+    }
+}
+
+fn codec_for(args: &Args) -> Codec {
+    if args.binary {
+        Codec::Binary
+    } else {
+        Codec::Text
+    }
+}
+
+fn run(argv: &[String]) -> Result<(), String> {
+    let Some((cmd, rest)) = argv.split_first() else {
+        return Err("missing command".into());
+    };
+    let args = parse_args(rest)?;
+    match cmd.as_str() {
+        "record" => {
+            let [point_name, out] = args.positional.as_slice() else {
+                return Err("record needs <point> <out-file>".into());
+            };
+            let point = spec2000_points()
+                .into_iter()
+                .find(|p| &p.name == point_name)
+                .ok_or_else(|| format!("unknown suite point {point_name}"))?;
+            let t0 = std::time::Instant::now();
+            let n = record_point(&point, args.budget(), codec_for(&args), out)
+                .map_err(|e| e.to_string())?;
+            let bytes = std::fs::metadata(out).map(|m| m.len()).unwrap_or(0);
+            println!(
+                "recorded {n} uops of {point_name} to {out} ({} codec, {bytes} bytes, {:.1} B/uop) in {:.2}s",
+                codec_for(&args),
+                bytes as f64 / n.max(1) as f64,
+                t0.elapsed().as_secs_f64(),
+            );
+            Ok(())
+        }
+        "replay" => {
+            let [file] = args.positional.as_slice() else {
+                return Err("replay needs <file>".into());
+            };
+            let config = parse_scheme(&args.scheme)?;
+            let machine = machine_for(args.clusters);
+            // No --uops: replay the whole stored stream.
+            let limits = args.uops.map_or(RunLimits::unlimited(), RunLimits::uops);
+            let stats =
+                replay_trace(file, &config, &machine, &limits).map_err(|e| e.to_string())?;
+            println!(
+                "{} over {file}: {}",
+                config.name(machine.num_clusters as u32),
+                stats.summary()
+            );
+            Ok(())
+        }
+        "compare" => {
+            let [file] = args.positional.as_slice() else {
+                return Err("compare needs <file>".into());
+            };
+            let machine = machine_for(args.clusters);
+            let rows = replay_compare(file, &Configuration::table3(), &machine)
+                .map_err(|e| e.to_string())?;
+            println!(
+                "{:<14} {:>10} {:>10} {:>8} {:>9} {:>9}",
+                "scheme", "committed", "cycles", "ipc", "copies", "cp/kuop"
+            );
+            for (name, stats) in &rows {
+                println!(
+                    "{:<14} {:>10} {:>10} {:>8.3} {:>9} {:>9.1}",
+                    name,
+                    stats.committed_uops,
+                    stats.cycles,
+                    stats.ipc(),
+                    stats.copies_generated,
+                    stats.copies_per_kuop()
+                );
+            }
+            let commits: Vec<u64> = rows.iter().map(|(_, s)| s.committed_uops).collect();
+            if commits.windows(2).any(|w| w[0] != w[1]) {
+                return Err(format!(
+                    "schemes committed different micro-op counts over the same trace: {commits:?}"
+                ));
+            }
+            println!(
+                "all schemes committed {} uops over the same stored stream",
+                commits[0]
+            );
+            Ok(())
+        }
+        "import" => {
+            let [kernel, out] = args.positional.as_slice() else {
+                return Err("import needs <kernel> <out-file>".into());
+            };
+            let program = import_kernel_file(kernel).map_err(|e| e.to_string())?;
+            let params = KernelParams::base_int();
+            let mut expander = TraceExpander::new(&program, &params, args.seed);
+            // The expander is endless, so the budget is the exact record
+            // count and can be declared in the header up front.
+            let budget = args.budget();
+            let mut writer = TraceWriter::create(out, &program, codec_for(&args), Some(budget))
+                .map_err(|e| e.to_string())?;
+            expander
+                .capture(budget, |u| writer.write_uop(u))
+                .map_err(|e| e.to_string())?;
+            let n = writer.finish().map_err(|e| e.to_string())?;
+            println!(
+                "imported {} ({} regions, {} static uops) and recorded {n} dynamic uops to {out}",
+                program.name,
+                program.regions.len(),
+                program.static_len()
+            );
+            Ok(())
+        }
+        other => Err(format!("unknown command {other}")),
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("trace_replay: {msg}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -28,9 +28,11 @@
 pub mod experiment;
 pub mod figures;
 pub mod metrics;
+pub mod replay;
 pub mod runner;
 
 pub use experiment::{run_point, Configuration};
 pub use figures::{fig5, fig6, fig7, Fig5Data, Fig6Data, Fig7Data};
 pub use metrics::{slowdown_pct, suite_weighted_average, PointOutcome};
+pub use replay::{record_point, replay_compare, replay_reader, replay_trace};
 pub use runner::{run_matrix, EvalMatrix};

@@ -1,0 +1,134 @@
+//! Capture: record any [`TraceSource`] stream into a trace file.
+
+use std::io::Write;
+use std::path::Path;
+
+use virtclust_uarch::{Program, TraceSource};
+
+use crate::error::Result;
+use crate::writer::TraceWriter;
+use crate::Codec;
+
+/// Pull up to `max_uops` micro-ops from `source` and append them to
+/// `writer`. Stops early if the source ends. Returns the number recorded.
+/// The caller still owns the writer and must call
+/// [`TraceWriter::finish`](crate::TraceWriter::finish).
+pub fn record_stream<W: Write>(
+    source: &mut dyn TraceSource,
+    max_uops: u64,
+    writer: &mut TraceWriter<W>,
+) -> Result<u64> {
+    let mut n = 0;
+    while n < max_uops {
+        let Some(uop) = source.next_uop() else { break };
+        writer.write_uop(&uop)?;
+        n += 1;
+    }
+    Ok(n)
+}
+
+/// One-shot capture: record up to `max_uops` of `source` (a stream over
+/// `program`) into a new trace file at `path`. Returns the number of
+/// records written.
+///
+/// The declared header count is the source's
+/// [`len_hint`](TraceSource::len_hint) clamped to `max_uops`. A hint-less
+/// source declares nothing — it might end before `max_uops`, and a header
+/// hint that overstates the footer would mislead any consumer that
+/// preallocates or reports progress from it. Callers that *know* the
+/// source is endless (the synthetic expander) can declare the budget
+/// themselves via [`TraceWriter::create`](crate::TraceWriter::create).
+pub fn capture_to_file(
+    program: &Program,
+    source: &mut dyn TraceSource,
+    max_uops: u64,
+    path: impl AsRef<Path>,
+    codec: Codec,
+) -> Result<u64> {
+    let declared = source.len_hint().map(|n| n.min(max_uops));
+    let mut writer = TraceWriter::create(path, program, codec, declared)?;
+    record_stream(source, max_uops, &mut writer)?;
+    writer.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TraceReader;
+    use virtclust_uarch::{ArchReg, DynUop, RegionBuilder, VecTrace};
+
+    fn demo() -> (Program, Vec<DynUop>) {
+        let r = ArchReg::int;
+        let mut p = Program::new("demo");
+        p.add_region(
+            RegionBuilder::new(0, "body")
+                .alu(r(1), &[r(1), r(2)])
+                .load(r(3), r(1))
+                .build(),
+        );
+        let mut uops = Vec::new();
+        let mut seq = 0;
+        for _ in 0..10 {
+            seq = virtclust_uarch::trace::expand_region(
+                &p.regions[0],
+                seq,
+                &mut uops,
+                |s, _| s * 16,
+                |_, _| true,
+            );
+        }
+        (p, uops)
+    }
+
+    #[test]
+    fn record_stream_respects_the_budget_and_stream_end() {
+        let (p, uops) = demo();
+        let mut w = TraceWriter::new(Vec::new(), &p, Codec::Text, None).unwrap();
+        let mut src = VecTrace::new(uops.clone());
+        assert_eq!(record_stream(&mut src, 7, &mut w).unwrap(), 7);
+        // Source shorter than the budget: stops at the end.
+        let mut w = TraceWriter::new(Vec::new(), &p, Codec::Text, None).unwrap();
+        let mut src = VecTrace::new(uops.clone());
+        assert_eq!(record_stream(&mut src, 10_000, &mut w).unwrap(), 20);
+    }
+
+    #[test]
+    fn hintless_sources_declare_nothing() {
+        // A source without a len_hint may end early; the header must not
+        // claim a count the footer will contradict.
+        struct NoHint(VecTrace);
+        impl virtclust_uarch::TraceSource for NoHint {
+            fn next_uop(&mut self) -> Option<DynUop> {
+                self.0.next_uop()
+            }
+        }
+        let (p, uops) = demo();
+        let dir = std::env::temp_dir().join(format!("virtclust-nohint-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("short.vct");
+        let mut src = NoHint(VecTrace::new(uops[..5].to_vec()));
+        let n = capture_to_file(&p, &mut src, 12, &path, Codec::Text).unwrap();
+        assert_eq!(n, 5, "source ended before the budget");
+        let mut reader = crate::TraceReader::open(&path).unwrap();
+        assert_eq!(reader.declared_len(), None);
+        assert_eq!(reader.read_all().unwrap().len(), 5);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn capture_to_file_roundtrips() {
+        let (p, uops) = demo();
+        let dir = std::env::temp_dir().join(format!("virtclust-capture-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        for (codec, name) in [(Codec::Text, "t.vct"), (Codec::Binary, "t.vctb")] {
+            let path = dir.join(name);
+            let mut src = VecTrace::new(uops.clone());
+            let n = capture_to_file(&p, &mut src, 12, &path, codec).unwrap();
+            assert_eq!(n, 12);
+            let mut reader = TraceReader::open(&path).unwrap();
+            assert_eq!(reader.declared_len(), Some(12));
+            assert_eq!(reader.read_all().unwrap(), uops[..12]);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,86 @@
+//! Error type shared by every codec, the importer and the replay plumbing.
+
+use std::fmt;
+use std::io;
+
+/// Anything that can go wrong while reading, writing or importing a trace.
+#[derive(Debug)]
+pub enum TraceError {
+    /// An underlying I/O failure.
+    Io(io::Error),
+    /// A malformed line in the text codec or the kernel importer.
+    Parse {
+        /// 1-based line number within the input.
+        line: u64,
+        /// What was wrong with it.
+        msg: String,
+    },
+    /// Structurally invalid binary data (bad magic, truncated record,
+    /// varint overflow, record count mismatch…).
+    Corrupt(String),
+    /// A format version or codec this build does not understand.
+    Unsupported(String),
+    /// A semantic mismatch: a micro-op that does not belong to the writer's
+    /// program, a non-monotonic sequence number, or a replacement program
+    /// whose shape differs from the embedded one.
+    Inconsistent(String),
+}
+
+impl TraceError {
+    /// Shorthand for a text-codec parse error.
+    pub fn parse(line: u64, msg: impl Into<String>) -> Self {
+        TraceError::Parse {
+            line,
+            msg: msg.into(),
+        }
+    }
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace i/o error: {e}"),
+            TraceError::Parse { line, msg } => write!(f, "trace parse error (line {line}): {msg}"),
+            TraceError::Corrupt(msg) => write!(f, "corrupt trace: {msg}"),
+            TraceError::Unsupported(msg) => write!(f, "unsupported trace: {msg}"),
+            TraceError::Inconsistent(msg) => write!(f, "inconsistent trace: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, TraceError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_the_line_number() {
+        let e = TraceError::parse(7, "bad register");
+        assert!(e.to_string().contains("line 7"), "{e}");
+        assert!(e.to_string().contains("bad register"), "{e}");
+    }
+
+    #[test]
+    fn io_errors_convert() {
+        let e: TraceError = io::Error::new(io::ErrorKind::NotFound, "gone").into();
+        assert!(matches!(e, TraceError::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,220 @@
+//! The codec-independent record model.
+//!
+//! On disk a trace stores only the *dynamic facts* of each micro-op — the
+//! sequence number, which static instruction it instantiates, the effective
+//! memory address and the branch outcome. The static metadata (`op`,
+//! `srcs`, `dst`, `hint`) lives once, in the embedded [`Program`], and is
+//! re-attached on read through [`StaticInst::instantiate`] — the single
+//! source of truth for those fields. This is what lets a stored stream be
+//! replayed under a *different* compiler annotation: clear the embedded
+//! program's hints, run another pass, and every materialised micro-op picks
+//! up the new ones.
+
+use virtclust_uarch::{BranchInfo, DynUop, InstId, Program, StaticInst};
+
+use crate::error::{Result, TraceError};
+
+/// The PC surrogate both trace producers in the workspace synthesise for a
+/// branch at `id` (`(region << 32) | index`). Records whose stored PC equals
+/// this default omit it on disk.
+#[inline]
+pub fn default_branch_pc(id: InstId) -> u64 {
+    (u64::from(id.region) << 32) | u64::from(id.index)
+}
+
+/// One dynamic record as stored on disk, before materialisation against a
+/// program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RawRecord {
+    /// Sequence number (strictly increasing within a trace).
+    pub seq: u64,
+    /// Static instruction: region index.
+    pub region: u32,
+    /// Static instruction: index within the region.
+    pub index: u32,
+    /// Effective address, for memory micro-ops.
+    pub mem_addr: Option<u64>,
+    /// Branch outcome, for branch micro-ops.
+    pub taken: Option<bool>,
+    /// Branch PC surrogate when it differs from [`default_branch_pc`].
+    pub pc: Option<u64>,
+}
+
+impl RawRecord {
+    /// Strip a [`DynUop`] down to its dynamic facts.
+    pub fn from_uop(u: &DynUop) -> Self {
+        let default_pc = default_branch_pc(u.inst);
+        RawRecord {
+            seq: u.seq,
+            region: u.inst.region,
+            index: u.inst.index,
+            mem_addr: u.mem_addr,
+            taken: u.branch.map(|b| b.taken),
+            pc: u.branch.and_then(|b| (b.pc != default_pc).then_some(b.pc)),
+        }
+    }
+
+    /// The static-instruction id this record references.
+    #[inline]
+    pub fn inst_id(&self) -> InstId {
+        InstId::new(self.region, self.index)
+    }
+
+    /// Re-attach static metadata from `program`, validating that the record
+    /// is well-formed for the instruction's op class.
+    pub fn materialize(&self, program: &Program) -> Result<DynUop> {
+        let inst = self.lookup(program)?;
+        if inst.op.is_mem() != self.mem_addr.is_some() {
+            return Err(TraceError::Inconsistent(format!(
+                "record seq {}: op `{}` at {} {} a memory address",
+                self.seq,
+                inst.op,
+                self.inst_id(),
+                if inst.op.is_mem() {
+                    "requires"
+                } else {
+                    "must not carry"
+                },
+            )));
+        }
+        if inst.op.is_branch() != self.taken.is_some() {
+            return Err(TraceError::Inconsistent(format!(
+                "record seq {}: op `{}` at {} {} a branch outcome",
+                self.seq,
+                inst.op,
+                self.inst_id(),
+                if inst.op.is_branch() {
+                    "requires"
+                } else {
+                    "must not carry"
+                },
+            )));
+        }
+        let branch = self.taken.map(|taken| BranchInfo {
+            taken,
+            pc: self.pc.unwrap_or_else(|| default_branch_pc(self.inst_id())),
+        });
+        Ok(inst.instantiate(self.seq, self.inst_id(), self.mem_addr, branch))
+    }
+
+    /// Look up the static instruction this record references.
+    pub fn lookup<'p>(&self, program: &'p Program) -> Result<&'p StaticInst> {
+        let region = program.regions.get(self.region as usize).ok_or_else(|| {
+            TraceError::Inconsistent(format!(
+                "record seq {}: region {} out of range ({} regions)",
+                self.seq,
+                self.region,
+                program.regions.len()
+            ))
+        })?;
+        region.insts.get(self.index as usize).ok_or_else(|| {
+            TraceError::Inconsistent(format!(
+                "record seq {}: instruction {} out of range in region {} ({} insts)",
+                self.seq,
+                self.index,
+                self.region,
+                region.len()
+            ))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use virtclust_uarch::{ArchReg, RegionBuilder};
+
+    fn demo_program() -> Program {
+        let r = ArchReg::int;
+        let mut p = Program::new("demo");
+        p.add_region(
+            RegionBuilder::new(0, "body")
+                .alu(r(1), &[r(1), r(2)])
+                .load(r(3), r(1))
+                .branch(r(3))
+                .build(),
+        );
+        p
+    }
+
+    #[test]
+    fn raw_record_roundtrips_through_materialize() {
+        let p = demo_program();
+        let mut uops = Vec::new();
+        virtclust_uarch::trace::expand_region(
+            &p.regions[0],
+            0,
+            &mut uops,
+            |s, _| 0x100 + s * 8,
+            |_, _| true,
+        );
+        for u in &uops {
+            let raw = RawRecord::from_uop(u);
+            assert_eq!(&raw.materialize(&p).unwrap(), u);
+        }
+    }
+
+    #[test]
+    fn default_pc_is_omitted_and_custom_pc_is_kept() {
+        let p = demo_program();
+        let id = InstId::new(0, 2);
+        let inst = p.inst(id);
+        let default = inst.instantiate(
+            5,
+            id,
+            None,
+            Some(BranchInfo {
+                taken: true,
+                pc: default_branch_pc(id),
+            }),
+        );
+        assert_eq!(RawRecord::from_uop(&default).pc, None);
+        let custom = inst.instantiate(
+            5,
+            id,
+            None,
+            Some(BranchInfo {
+                taken: true,
+                pc: 0xdead,
+            }),
+        );
+        let raw = RawRecord::from_uop(&custom);
+        assert_eq!(raw.pc, Some(0xdead));
+        assert_eq!(raw.materialize(&p).unwrap().branch.unwrap().pc, 0xdead);
+    }
+
+    #[test]
+    fn materialize_rejects_malformed_records() {
+        let p = demo_program();
+        // Memory op without an address.
+        let bad = RawRecord {
+            seq: 0,
+            region: 0,
+            index: 1,
+            mem_addr: None,
+            taken: None,
+            pc: None,
+        };
+        assert!(bad.materialize(&p).is_err());
+        // ALU op with a branch outcome.
+        let bad = RawRecord {
+            seq: 0,
+            region: 0,
+            index: 0,
+            mem_addr: None,
+            taken: Some(true),
+            pc: None,
+        };
+        assert!(bad.materialize(&p).is_err());
+        // Out-of-range instruction.
+        let bad = RawRecord {
+            seq: 0,
+            region: 7,
+            index: 0,
+            mem_addr: None,
+            taken: None,
+            pc: None,
+        };
+        assert!(bad.materialize(&p).is_err());
+    }
+}

@@ -1,0 +1,199 @@
+//! Streaming trace writer.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+use virtclust_uarch::{DynUop, Program};
+
+use crate::error::{Result, TraceError};
+use crate::record::RawRecord;
+use crate::{binary, text, Codec};
+
+/// Writes a trace incrementally: header and program up front, then one
+/// record per [`TraceWriter::write_uop`], then a footer from
+/// [`TraceWriter::finish`]. Never buffers the stream, so multi-million-uop
+/// traces cost constant memory.
+///
+/// Dropping a writer without calling `finish` leaves the file without its
+/// end marker; readers will reject it as corrupt — which is the right
+/// outcome for a half-written trace.
+pub struct TraceWriter<W: Write> {
+    w: W,
+    codec: Codec,
+    program: Program,
+    count: u64,
+    last_seq: Option<u64>,
+}
+
+impl TraceWriter<BufWriter<File>> {
+    /// Create a trace file at `path` for a stream over `program`.
+    ///
+    /// `declared_len` is an optional up-front record count, stored in the
+    /// header as the reader's [`len_hint`](virtclust_uarch::TraceSource);
+    /// the footer written by [`TraceWriter::finish`] is authoritative.
+    pub fn create(
+        path: impl AsRef<Path>,
+        program: &Program,
+        codec: Codec,
+        declared_len: Option<u64>,
+    ) -> Result<Self> {
+        let file = File::create(path)?;
+        Self::new(BufWriter::new(file), program, codec, declared_len)
+    }
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Start a trace on an arbitrary byte sink (header and program section
+    /// are written immediately).
+    pub fn new(
+        mut w: W,
+        program: &Program,
+        codec: Codec,
+        declared_len: Option<u64>,
+    ) -> Result<Self> {
+        match codec {
+            Codec::Text => {
+                writeln!(w, "{}", text::header_line())?;
+                text::write_program_section(&mut w, program)?;
+                if let Some(n) = declared_len {
+                    writeln!(w, "count {n}")?;
+                }
+                writeln!(w, "dyn")?;
+            }
+            Codec::Binary => {
+                let section = text::program_section_to_string(program)?;
+                binary::write_header(&mut w, &section, declared_len)?;
+            }
+        }
+        Ok(TraceWriter {
+            w,
+            codec,
+            program: program.clone(),
+            count: 0,
+            last_seq: None,
+        })
+    }
+
+    /// The codec this writer emits.
+    pub fn codec(&self) -> Codec {
+        self.codec
+    }
+
+    /// Records written so far.
+    pub fn written(&self) -> u64 {
+        self.count
+    }
+
+    /// Append one micro-op.
+    ///
+    /// Validates that the op really instantiates the writer's program
+    /// (static fields match — see
+    /// [`DynUop::consistent_with`](virtclust_uarch::DynUop::consistent_with))
+    /// and that sequence numbers are strictly increasing, so a trace file
+    /// can never silently disagree with its embedded program.
+    pub fn write_uop(&mut self, u: &DynUop) -> Result<()> {
+        let rec = RawRecord::from_uop(u);
+        let inst = rec.lookup(&self.program)?;
+        if !u.consistent_with(inst) {
+            return Err(TraceError::Inconsistent(format!(
+                "micro-op seq {} does not instantiate {} of the embedded program \
+                 (static fields differ)",
+                u.seq, u.inst
+            )));
+        }
+        if let Some(last) = self.last_seq {
+            if u.seq <= last {
+                return Err(TraceError::Inconsistent(format!(
+                    "sequence numbers must increase strictly: {} after {last}",
+                    u.seq
+                )));
+            }
+        }
+        self.last_seq = Some(u.seq);
+        match self.codec {
+            Codec::Text => writeln!(self.w, "{}", text::format_record(&rec))?,
+            Codec::Binary => binary::write_record(&mut self.w, &rec)?,
+        }
+        self.count += 1;
+        Ok(())
+    }
+
+    /// Write the footer, flush, and return the record count.
+    pub fn finish(mut self) -> Result<u64> {
+        match self.codec {
+            Codec::Text => writeln!(self.w, "end {}", self.count)?,
+            Codec::Binary => binary::write_footer(&mut self.w, self.count)?,
+        }
+        self.w.flush()?;
+        Ok(self.count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use virtclust_uarch::{ArchReg, InstId, RegionBuilder, SteerHint};
+
+    fn demo_program() -> Program {
+        let r = ArchReg::int;
+        let mut p = Program::new("demo");
+        p.add_region(
+            RegionBuilder::new(0, "body")
+                .alu(r(1), &[r(1), r(2)])
+                .load(r(3), r(1))
+                .build(),
+        );
+        p
+    }
+
+    fn uops(p: &Program) -> Vec<DynUop> {
+        let mut out = Vec::new();
+        virtclust_uarch::trace::expand_region(
+            &p.regions[0],
+            0,
+            &mut out,
+            |s, _| s * 8,
+            |_, _| true,
+        );
+        out
+    }
+
+    #[test]
+    fn writer_counts_and_finishes() {
+        let p = demo_program();
+        let mut w = TraceWriter::new(Vec::new(), &p, Codec::Text, None).unwrap();
+        for u in &uops(&p) {
+            w.write_uop(u).unwrap();
+        }
+        assert_eq!(w.written(), 2);
+        assert_eq!(w.finish().unwrap(), 2);
+    }
+
+    #[test]
+    fn writer_rejects_foreign_uops() {
+        let p = demo_program();
+        let mut annotated = p.clone();
+        annotated.inst_mut(InstId::new(0, 0)).hint = SteerHint::Static { cluster: 1 };
+        let mut w = TraceWriter::new(Vec::new(), &p, Codec::Binary, None).unwrap();
+        // A uop instantiated from the *annotated* program is inconsistent
+        // with the embedded (unannotated) one.
+        let foreign = uops(&annotated)[0];
+        assert!(matches!(
+            w.write_uop(&foreign),
+            Err(TraceError::Inconsistent(_))
+        ));
+    }
+
+    #[test]
+    fn writer_rejects_non_monotonic_seq() {
+        let p = demo_program();
+        let us = uops(&p);
+        let mut w = TraceWriter::new(Vec::new(), &p, Codec::Text, None).unwrap();
+        w.write_uop(&us[1]).unwrap();
+        assert!(matches!(
+            w.write_uop(&us[0]),
+            Err(TraceError::Inconsistent(_))
+        ));
+    }
+}

@@ -216,6 +216,49 @@ impl StaticInst {
         self.hint = hint;
         self
     }
+
+    /// Instantiate this static instruction as a dynamic micro-op.
+    ///
+    /// This is the **single source of truth** for the static fields a
+    /// [`crate::DynUop`] carries (`op`, `srcs`, `dst`, `hint`): every code
+    /// path that turns a static instruction into a dynamic one — the trace
+    /// expander, the replay pipeline, tests — funnels through here, so the
+    /// copies can never drift from the program. The fields are copied (not
+    /// referenced) deliberately: the simulator touches every micro-op many
+    /// times per cycle and an indirection through the `Program` on each
+    /// access would wreck locality.
+    ///
+    /// # Panics
+    /// Debug-asserts that `mem_addr`/`branch` presence matches the op class
+    /// (memory ops need an address, branches need an outcome).
+    pub fn instantiate(
+        &self,
+        seq: u64,
+        id: InstId,
+        mem_addr: Option<u64>,
+        branch: Option<crate::trace::BranchInfo>,
+    ) -> crate::trace::DynUop {
+        debug_assert_eq!(
+            self.op.is_mem(),
+            mem_addr.is_some(),
+            "memory ops need an address"
+        );
+        debug_assert_eq!(
+            self.op.is_branch(),
+            branch.is_some(),
+            "branches need an outcome"
+        );
+        crate::trace::DynUop {
+            seq,
+            inst: id,
+            op: self.op,
+            srcs: self.srcs,
+            dst: self.dst,
+            hint: self.hint,
+            mem_addr,
+            branch,
+        }
+    }
 }
 
 impl fmt::Display for StaticInst {

@@ -21,6 +21,15 @@ pub struct BranchInfo {
 }
 
 /// One dynamic micro-op in a trace.
+///
+/// The `op`/`srcs`/`dst`/`hint` fields are *copies* of the corresponding
+/// [`crate::inst::StaticInst`] fields, duplicated so the simulator's hot
+/// loop never chases a pointer into the [`crate::Program`]. The copies have
+/// exactly one producer — [`crate::inst::StaticInst::instantiate`] — and
+/// serialized trace formats must **not** persist them: on-disk traces store
+/// only the dynamic facts (`seq`, `inst`, `mem_addr`, `branch`) and
+/// re-derive the static metadata from the embedded program on read, so a
+/// replay under a different compiler pass picks up the new hints.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DynUop {
     /// Sequence number in the dynamic stream (0-based, strictly increasing).
@@ -43,7 +52,9 @@ pub struct DynUop {
 }
 
 impl DynUop {
-    /// Build a dynamic op from a static instruction.
+    /// Build a dynamic op from a static instruction. Delegates to
+    /// [`crate::inst::StaticInst::instantiate`], the single source of truth
+    /// for the copied static fields.
     pub fn from_static(
         seq: u64,
         inst_id: InstId,
@@ -51,26 +62,19 @@ impl DynUop {
         mem_addr: Option<u64>,
         branch: Option<BranchInfo>,
     ) -> Self {
-        debug_assert_eq!(
-            inst.op.is_mem(),
-            mem_addr.is_some(),
-            "memory ops need an address"
-        );
-        debug_assert_eq!(
-            inst.op.is_branch(),
-            branch.is_some(),
-            "branches need an outcome"
-        );
-        DynUop {
-            seq,
-            inst: inst_id,
-            op: inst.op,
-            srcs: inst.srcs,
-            dst: inst.dst,
-            hint: inst.hint,
-            mem_addr,
-            branch,
-        }
+        inst.instantiate(seq, inst_id, mem_addr, branch)
+    }
+
+    /// True if this micro-op's copied static fields agree with `inst` (the
+    /// static instruction it claims to instantiate). Trace readers use this
+    /// to validate records against the embedded program.
+    pub fn consistent_with(&self, inst: &crate::inst::StaticInst) -> bool {
+        self.op == inst.op
+            && self.srcs == inst.srcs
+            && self.dst == inst.dst
+            && self.hint == inst.hint
+            && self.op.is_mem() == self.mem_addr.is_some()
+            && self.op.is_branch() == self.branch.is_some()
     }
 }
 
@@ -249,6 +253,35 @@ mod tests {
         t.reset();
         let second: Vec<_> = std::iter::from_fn(|| t.next_uop()).collect();
         assert_eq!(first, second);
+    }
+
+    #[test]
+    fn instantiate_is_the_single_source_of_static_fields() {
+        let region = demo_region();
+        for (id, inst) in region.iter_ids() {
+            let mem = inst.op.is_mem().then_some(0x40);
+            let br = inst
+                .op
+                .is_branch()
+                .then_some(BranchInfo { taken: true, pc: 7 });
+            let via_inst = inst.instantiate(3, id, mem, br);
+            let via_dyn = DynUop::from_static(3, id, inst, mem, br);
+            assert_eq!(via_inst, via_dyn);
+            assert!(via_inst.consistent_with(inst));
+        }
+    }
+
+    #[test]
+    fn consistent_with_rejects_mismatched_static_metadata() {
+        let region = demo_region();
+        let (id, inst) = region.iter_ids().next().unwrap();
+        let u = inst.instantiate(0, id, None, None);
+        let mut other = *inst;
+        other.hint = crate::inst::SteerHint::Static { cluster: 1 };
+        assert!(!u.consistent_with(&other));
+        let mut wrong_op = *inst;
+        wrong_op.op = OpClass::IntMul;
+        assert!(!u.consistent_with(&wrong_op));
     }
 
     #[test]

@@ -160,6 +160,29 @@ impl<'p> TraceExpander<'p> {
         addr & !0x7 // 8-byte aligned
     }
 
+    /// Capture hook: pull the next `n` micro-ops and hand each to `sink`.
+    ///
+    /// This is the expander side of the trace capture pipeline
+    /// (`virtclust-trace`): drive it with a sink that writes each micro-op
+    /// to a `TraceWriter` and the persisted file replays the exact stream
+    /// this expander would have fed the simulator. The sink may fail
+    /// (e.g. on I/O errors); capture stops at the first failure and the
+    /// error is returned. Returns the number of micro-ops delivered
+    /// (always `n` — the expander is endless).
+    pub fn capture<E>(
+        &mut self,
+        n: u64,
+        mut sink: impl FnMut(&DynUop) -> Result<(), E>,
+    ) -> Result<u64, E> {
+        for i in 0..n {
+            let Some(uop) = self.next_uop() else {
+                return Ok(i);
+            };
+            sink(&uop)?;
+        }
+        Ok(n)
+    }
+
     fn gen_branch(&mut self, id: InstId, is_loop_branch: bool, last_iteration: bool) -> BranchInfo {
         let pc = (u64::from(id.region) << 32) | u64::from(id.index);
         let taken = if is_loop_branch {
@@ -262,6 +285,36 @@ mod tests {
             assert_eq!(ua.branch, ub.branch);
             assert_ne!(ua.hint, ub.hint, "only the hints differ");
         }
+    }
+
+    #[test]
+    fn capture_delivers_exactly_the_stream() {
+        let p = KernelParams::base_int();
+        let program = build_program("t", &p, 1);
+        let mut captured = Vec::new();
+        let mut ex = TraceExpander::new(&program, &p, 5);
+        let n = ex
+            .capture(1500, |u| {
+                captured.push(*u);
+                Ok::<(), ()>(())
+            })
+            .unwrap();
+        assert_eq!(n, 1500);
+        assert_eq!(captured, collect(1500, &p, 1, 5));
+
+        // A failing sink stops the capture and surfaces the error.
+        let mut ex = TraceExpander::new(&program, &p, 5);
+        let mut seen = 0u64;
+        let err = ex.capture(100, |_| {
+            seen += 1;
+            if seen == 10 {
+                Err("sink full")
+            } else {
+                Ok(())
+            }
+        });
+        assert_eq!(err, Err("sink full"));
+        assert_eq!(seen, 10);
     }
 
     #[test]

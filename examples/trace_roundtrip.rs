@@ -1,0 +1,95 @@
+//! Trace round trip: import a hand-written kernel, expand it, persist the
+//! dynamic stream in both codecs, read it back losslessly, and replay a
+//! recorded SPEC-like point under two steering schemes over the *same*
+//! frozen stream.
+//!
+//! ```sh
+//! cargo run --release --example trace_roundtrip
+//! ```
+
+use virtclust::core::{record_point, replay_trace, run_point, Configuration};
+use virtclust::sim::RunLimits;
+use virtclust::trace::{parse_kernel, Codec, TraceReader, TraceWriter};
+use virtclust::uarch::MachineConfig;
+use virtclust::workloads::{spec2000_points, KernelParams, TraceExpander};
+
+const KERNEL: &str = "\
+# dot product, one element per iteration
+program dotprod
+region loop
+i ld f0 = r1
+i ld f1 = r2
+i fmul f2 = f0 f1
+i fadd f3 = f3 f2
+i alu r1 = r1 r4
+i alu r2 = r2 r4
+i br r3
+";
+
+fn main() {
+    let dir = std::env::temp_dir().join("virtclust-trace-roundtrip");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+
+    // 1. Import a textual kernel — no generator involved.
+    let program = parse_kernel(KERNEL).expect("kernel parses");
+    println!(
+        "imported `{}`: {} region(s), {} static uops",
+        program.name,
+        program.regions.len(),
+        program.static_len()
+    );
+
+    // 2. Expand it with the synthetic dynamic model and capture the stream
+    //    in both codecs.
+    let params = KernelParams::base_fp();
+    let n = 50_000u64;
+    let mut uops = Vec::with_capacity(n as usize);
+    TraceExpander::new(&program, &params, 42)
+        .capture(n, |u| {
+            uops.push(*u);
+            Ok::<(), ()>(())
+        })
+        .unwrap();
+    for codec in [Codec::Text, Codec::Binary] {
+        let path = dir.join(format!("dotprod.{}", codec.extension()));
+        let mut w = TraceWriter::create(&path, &program, codec, Some(n)).expect("create trace");
+        for u in &uops {
+            w.write_uop(u).expect("write");
+        }
+        w.finish().expect("finish");
+
+        // 3. Read it back — the stream must round-trip exactly.
+        let mut reader = TraceReader::open(&path).expect("open");
+        assert_eq!(reader.program(), &program, "program section round-trips");
+        let back = reader.read_all().expect("read");
+        assert_eq!(back, uops, "{codec} codec is lossless");
+        let bytes = std::fs::metadata(&path).unwrap().len();
+        println!(
+            "{codec:>6} codec: {n} uops -> {bytes} bytes ({:.1} B/uop), lossless",
+            bytes as f64 / n as f64
+        );
+    }
+
+    // 4. Record a real suite point and replay the identical stored stream
+    //    under two steering schemes.
+    let points = spec2000_points();
+    let point = points.iter().find(|p| p.name == "galgel").unwrap();
+    let budget = 8_000;
+    let trace_path = dir.join("galgel.vctb");
+    record_point(point, budget, Codec::Binary, &trace_path).expect("record");
+    for config in [Configuration::Op, Configuration::Vc { num_vcs: 2 }] {
+        let machine = MachineConfig::paper_2cluster();
+        let live = run_point(point, &config, &machine, budget);
+        let replayed =
+            replay_trace(&trace_path, &config, &machine, &RunLimits::unlimited()).unwrap();
+        assert_eq!(live, replayed, "replay must be bit-identical");
+        println!(
+            "galgel replay under {:>8}: {} (identical to the in-process run)",
+            config.name(2),
+            replayed.summary()
+        );
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+    println!("round trip complete");
+}

@@ -25,8 +25,10 @@
 //!   (Table 1);
 //! * [`workloads`] — the synthetic SPEC CPU2000 suite with PinPoints-style
 //!   trace points;
-//! * [`core`] — experiment driver, metrics and figure generators
-//!   (Figs. 5–7).
+//! * [`trace`] — the versioned on-disk trace format (text + binary codecs),
+//!   streaming reader/writer, kernel importer and capture helpers;
+//! * [`core`] — experiment driver, metrics, figure generators (Figs. 5–7)
+//!   and the trace record/replay pipeline.
 //!
 //! ```
 //! use virtclust::core::{run_point, Configuration};
@@ -48,5 +50,6 @@ pub use virtclust_core as core;
 pub use virtclust_ddg as ddg;
 pub use virtclust_sim as sim;
 pub use virtclust_steer as steer;
+pub use virtclust_trace as trace;
 pub use virtclust_uarch as uarch;
 pub use virtclust_workloads as workloads;

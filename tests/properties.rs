@@ -9,8 +9,10 @@ use virtclust::compiler::{
 };
 use virtclust::ddg::{Criticality, Ddg};
 use virtclust::sim::{simulate, RunLimits, SteerDecision, SteerView, SteeringPolicy};
+use virtclust::trace::{Codec, TraceReader, TraceWriter};
 use virtclust::uarch::{
-    ArchReg, DynUop, LatencyModel, MachineConfig, OpClass, Region, StaticInst, VecTrace,
+    ArchReg, DynUop, LatencyModel, MachineConfig, OpClass, Program, Region, StaticInst, SteerHint,
+    VecTrace,
 };
 
 /// Strategy: a random static instruction over a small register window.
@@ -45,6 +47,19 @@ fn inst_strategy() -> impl Strategy<Value = StaticInst> {
         // Branch
         reg.clone()
             .prop_map(|c| StaticInst::new(OpClass::Branch, &[c], None)),
+    ]
+}
+
+/// Strategy: a random steering annotation (the static side the trace
+/// format must round-trip along with the dynamic facts).
+fn hint_strategy() -> impl Strategy<Value = SteerHint> {
+    prop_oneof![
+        (0u8..1).prop_map(|_| SteerHint::None),
+        (0u8..4).prop_map(|cluster| SteerHint::Static { cluster }),
+        (0u8..8).prop_map(|bits| SteerHint::Vc {
+            vc: bits >> 1,
+            leader: bits & 1 == 1,
+        }),
     ]
 }
 
@@ -177,6 +192,36 @@ proptest! {
             simulate(&cfg, &mut trace, &mut policy, &RunLimits::unlimited())
         };
         prop_assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn trace_codecs_roundtrip_the_dynamic_stream_exactly(
+        region in region_strategy(32),
+        hints in prop::collection::vec(hint_strategy(), 32..33),
+        iters in 1usize..6,
+    ) {
+        // Random annotations on the static side: hints live in the program
+        // section and must round-trip along with the dynamic facts.
+        let mut region = region;
+        for (inst, hint) in region.insts.iter_mut().zip(hints) {
+            inst.hint = hint;
+        }
+        let mut program = Program::new("prop");
+        program.add_region(region);
+        let uops = expand(&program.regions[0], iters);
+        for codec in [Codec::Text, Codec::Binary] {
+            let mut buf = Vec::new();
+            let mut w = TraceWriter::new(&mut buf, &program, codec, Some(uops.len() as u64))
+                .expect("writer");
+            for u in &uops {
+                w.write_uop(u).expect("write");
+            }
+            w.finish().expect("finish");
+            let mut reader = TraceReader::new(buf.as_slice()).expect("reader");
+            prop_assert_eq!(reader.program(), &program, "{:?}", codec);
+            let back = reader.read_all().expect("read");
+            prop_assert_eq!(&back, &uops, "{:?}", codec);
+        }
     }
 
     #[test]
