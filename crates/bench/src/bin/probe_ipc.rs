@@ -7,36 +7,68 @@
 //! * default — a human-readable table of OP vs one-cluster bottleneck
 //!   stats over a 12-point calibration subset;
 //! * `--json` — one machine-readable line per (point × Table 3 scheme)
-//!   over the **full 40-point suite**:
-//!   `{"point":"gzip-1","scheme":"OP","ipc":0.733,"copies":1408,"uops":20000}`.
-//!   This feeds `results/BASELINES.md` (see ROADMAP "Perf baselines"):
+//!   over the **full 40-point suite**, run as one [`EvalDriver`] batch
+//!   (per-worker session reuse):
+//!   `{"point":"gzip-1","scheme":"OP","ipc":0.733,"copies":1408,"uops":20000,"uops_per_sec":1445000}`.
+//!   The `ipc`/`copies`/`uops` fields are deterministic; `uops_per_sec`
+//!   is the cell's wall-clock simulation throughput on its worker (only
+//!   meaningful with `VIRTCLUST_THREADS` ≤ physical cores). A final
+//!   aggregate line sums the whole batch. This feeds
+//!   `results/BASELINES.md` (see ROADMAP "Perf baselines"):
 //!
 //!   ```sh
-//!   VIRTCLUST_UOPS=20000 cargo run --release -p virtclust-bench --bin probe_ipc -- --json
+//!   VIRTCLUST_UOPS=20000 VIRTCLUST_THREADS=1 \
+//!     cargo run --release -p virtclust-bench --bin probe_ipc -- --json
 //!   ```
 
+use std::time::Instant;
+
 use virtclust_bench::{threads, uop_budget};
-use virtclust_core::{run_matrix, run_point, Configuration};
+use virtclust_core::{run_point, Configuration, EvalDriver, EvalJob};
 use virtclust_uarch::MachineConfig;
 use virtclust_workloads::spec2000_points;
 
 fn json_mode(uops: u64, machine: &MachineConfig) {
     let points = spec2000_points();
-    let configs = Configuration::table3().to_vec();
-    let matrix = run_matrix(machine, &configs, &points, uops, threads());
-    for (pi, point) in matrix.points.iter().enumerate() {
-        for (ci, config) in matrix.configs.iter().enumerate() {
-            let stats = matrix.cell(pi, ci);
+    let configs = Configuration::table3();
+    // Row-major (point × scheme) job list — the batch path.
+    let jobs: Vec<EvalJob> = points
+        .iter()
+        .flat_map(|point| {
+            configs.iter().map(|config| EvalJob::Point {
+                point: point.clone(),
+                config: *config,
+                uops,
+            })
+        })
+        .collect();
+    let start = Instant::now();
+    let outcomes = EvalDriver::new(machine).threads(threads()).run(&jobs);
+    let wall = start.elapsed();
+    let mut total_uops = 0u64;
+    for (pi, point) in points.iter().enumerate() {
+        for (ci, config) in configs.iter().enumerate() {
+            let outcome = &outcomes[pi * configs.len() + ci];
+            let stats = outcome.stats.as_ref().expect("point jobs cannot fail");
+            total_uops += stats.committed_uops;
             println!(
-                "{{\"point\":\"{}\",\"scheme\":\"{}\",\"ipc\":{:.4},\"copies\":{},\"uops\":{}}}",
+                "{{\"point\":\"{}\",\"scheme\":\"{}\",\"ipc\":{:.4},\"copies\":{},\"uops\":{},\"uops_per_sec\":{:.0}}}",
                 point.name,
                 config.name(machine.num_clusters as u32),
                 stats.ipc(),
                 stats.copies_generated,
                 stats.committed_uops,
+                outcome.uops_per_sec(),
             );
         }
     }
+    println!(
+        "{{\"aggregate\":\"table3\",\"cells\":{},\"uops\":{},\"wall_s\":{:.3},\"uops_per_sec\":{:.0}}}",
+        outcomes.len(),
+        total_uops,
+        wall.as_secs_f64(),
+        total_uops as f64 / wall.as_secs_f64().max(1e-9),
+    );
 }
 
 fn table_mode(uops: u64, machine: &MachineConfig) {

@@ -1,0 +1,243 @@
+//! Session-reuse throughput harness: measures simulated micro-ops per
+//! wall-clock second **with and without** session reuse, per Table 3
+//! scheme, against the committed numbers in `results/BASELINES.md`.
+//!
+//! ```text
+//! throughput [--uops N] [--runs R] [--clusters 2|4] [--trace FILE]
+//! ```
+//!
+//! Default mode expands the `gzip-1` suite point once per scheme into an
+//! in-memory trace, then runs it `R` times two ways:
+//!
+//! * **fresh** — a new [`Machine`] per run (the pre-refactor cost model:
+//!   every run reallocates caches, predictor tables, the event calendar);
+//! * **reused** — one [`SimSession`] reset per run, with the trace
+//!   [`rewound`](virtclust_uarch::TraceSource::rewind) instead of rebuilt.
+//!
+//! Both modes must produce bit-identical statistics (checked every run);
+//! the report is the throughput of each and the speedup. `--trace FILE`
+//! instead measures batched replay of a stored trace through
+//! [`EvalDriver`] (`R` × Table 3 cells, readers parsed once and rewound).
+//!
+//! `--uops` defaults to `VIRTCLUST_UOPS` or 20 000; `--runs` defaults
+//! to 8. Results are also written to `results/throughput.md`.
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use virtclust_bench::{threads, uop_budget, write_result};
+use virtclust_core::{Configuration, EvalDriver, EvalJob};
+use virtclust_sim::{simulate, RunLimits, SimSession};
+use virtclust_trace::TraceReader;
+use virtclust_uarch::{DynUop, MachineConfig, SliceTrace, TraceSource};
+use virtclust_workloads::spec2000_points;
+
+struct Args {
+    uops: u64,
+    runs: u64,
+    clusters: usize,
+    trace: Option<String>,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        uops: uop_budget(20_000),
+        runs: 8,
+        clusters: 2,
+        trace: None,
+    };
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--uops" => {
+                args.uops = value("--uops")?
+                    .parse()
+                    .map_err(|_| "--uops needs an integer".to_string())?
+            }
+            "--runs" => {
+                args.runs = value("--runs")?
+                    .parse()
+                    .map_err(|_| "--runs needs an integer".to_string())?
+            }
+            "--clusters" => {
+                args.clusters = match value("--clusters")?.as_str() {
+                    "2" => 2,
+                    "4" => 4,
+                    other => return Err(format!("--clusters must be 2 or 4, got {other}")),
+                }
+            }
+            "--trace" => args.trace = Some(value("--trace")?),
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    if args.runs == 0 {
+        return Err("--runs must be at least 1".into());
+    }
+    Ok(args)
+}
+
+/// Expand `uops` micro-ops of gzip-1 under `config`'s compiler pass into an
+/// in-memory trace (hints baked in, like a frozen per-scheme stream).
+fn expand_scheme(config: &Configuration, machine: &MachineConfig, uops: u64) -> Vec<DynUop> {
+    let point = spec2000_points()
+        .into_iter()
+        .find(|p| p.name == "gzip-1")
+        .expect("suite point");
+    let mut program = point.build_program();
+    config
+        .software_pass(machine.num_clusters as u32)
+        .apply(&mut program, &machine.latencies);
+    let mut expander = point.expander(&program);
+    (0..uops)
+        .map(|_| expander.next_uop().expect("endless stream"))
+        .collect()
+}
+
+fn point_mode(args: &Args, machine: &MachineConfig) -> Result<String, String> {
+    let clusters = machine.num_clusters as u32;
+    let mut report = String::from(
+        "| scheme | fresh machine/run (uops/s) | reused session (uops/s) | speedup |\n|---|---|---|---|\n",
+    );
+    let mut session = SimSession::new(machine);
+    let (mut sum_fresh, mut sum_reused) = (0.0f64, 0.0f64);
+    for config in Configuration::table3() {
+        let uops = expand_scheme(&config, machine, args.uops);
+
+        // Fresh: a new machine (and a new trace view) per run.
+        let t0 = Instant::now();
+        let mut fresh_stats = None;
+        for _ in 0..args.runs {
+            let mut trace = SliceTrace::new(&uops);
+            let mut policy = config.make_policy();
+            let stats = simulate(
+                machine,
+                &mut trace,
+                policy.as_mut(),
+                &RunLimits::unlimited(),
+            );
+            fresh_stats.get_or_insert(stats);
+        }
+        let fresh_wall = t0.elapsed().as_secs_f64();
+        let fresh_stats = fresh_stats.expect("runs >= 1");
+
+        // Reused: one session, one rewindable trace, one policy.
+        let mut trace = SliceTrace::new(&uops);
+        let mut policy = config.make_policy();
+        let t0 = Instant::now();
+        for _ in 0..args.runs {
+            trace.rewind().map_err(|e| e.to_string())?;
+            let stats = session.simulate(
+                machine,
+                &mut trace,
+                policy.as_mut(),
+                &RunLimits::unlimited(),
+            );
+            if stats != fresh_stats {
+                return Err(format!(
+                    "{}: reused session diverged from fresh machine",
+                    config.name(clusters)
+                ));
+            }
+        }
+        let reused_wall = t0.elapsed().as_secs_f64();
+
+        let total = (fresh_stats.committed_uops * args.runs) as f64;
+        let fresh_ups = total / fresh_wall.max(1e-9);
+        let reused_ups = total / reused_wall.max(1e-9);
+        sum_fresh += fresh_ups;
+        sum_reused += reused_ups;
+        let _ = writeln!(
+            report,
+            "| {} | {:.0} | {:.0} | {:+.1}% |",
+            config.name(clusters),
+            fresh_ups,
+            reused_ups,
+            (reused_ups / fresh_ups - 1.0) * 100.0,
+        );
+    }
+    let n = Configuration::table3().len() as f64;
+    let _ = writeln!(
+        report,
+        "| **mean** | **{:.0}** | **{:.0}** | **{:+.1}%** |",
+        sum_fresh / n,
+        sum_reused / n,
+        (sum_reused / sum_fresh - 1.0) * 100.0,
+    );
+    Ok(report)
+}
+
+fn trace_mode(args: &Args, machine: &MachineConfig, file: &str) -> Result<String, String> {
+    // Sanity: the file parses and declares a stream.
+    let reader = TraceReader::open(file).map_err(|e| e.to_string())?;
+    let declared = reader.declared_len();
+    drop(reader);
+    let jobs: Vec<EvalJob> = (0..args.runs)
+        .flat_map(|_| {
+            Configuration::table3()
+                .into_iter()
+                .map(|config| EvalJob::Trace {
+                    path: file.into(),
+                    config,
+                    limits: RunLimits::unlimited(),
+                })
+        })
+        .collect();
+    let t0 = Instant::now();
+    let outcomes = EvalDriver::new(machine).threads(threads()).run(&jobs);
+    let wall = t0.elapsed().as_secs_f64();
+    let mut total_uops = 0u64;
+    for outcome in &outcomes {
+        total_uops += outcome
+            .stats
+            .as_ref()
+            .map_err(|e| e.to_string())?
+            .committed_uops;
+    }
+    Ok(format!(
+        "batched replay of {file} (declared {declared:?} uops): {} cells, {total_uops} uops \
+         in {wall:.2}s = {:.0} uops/s aggregate (readers parsed once per worker, rewound per cell)\n",
+        outcomes.len(),
+        total_uops as f64 / wall.max(1e-9),
+    ))
+}
+
+fn run(argv: &[String]) -> Result<(), String> {
+    let args = parse_args(argv)?;
+    let machine = if args.clusters == 4 {
+        MachineConfig::paper_4cluster()
+    } else {
+        MachineConfig::paper_2cluster()
+    };
+    let header = format!(
+        "# Simulation throughput ({} clusters, {} uops/cell, {} runs/scheme)\n\n\
+         Wall-clock numbers; compare only against runs on the same host.\n\
+         Committed reference: results/BASELINES.md.\n\n",
+        machine.num_clusters, args.uops, args.runs,
+    );
+    let body = match &args.trace {
+        Some(file) => trace_mode(&args, &machine, file)?,
+        None => point_mode(&args, &machine)?,
+    };
+    let out = format!("{header}{body}");
+    print!("{out}");
+    let path = write_result("throughput.md", &out);
+    println!("\nwritten to {}", path.display());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("throughput: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

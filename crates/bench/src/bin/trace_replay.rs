@@ -7,6 +7,7 @@
 //! trace_replay record  <point>  <out-file> [--binary] [--uops N] [--clusters 2|4]
 //! trace_replay replay  <file>   [--scheme op|1c|ob|rhop|vcN|modN] [--uops N] [--clusters 2|4]
 //! trace_replay compare <file>   [--clusters 2|4]
+//! trace_replay batch   <file>...  [--uops N] [--clusters 2|4]
 //! trace_replay import  <kernel> <out-file> [--binary] [--uops N] [--seed S]
 //! ```
 //!
@@ -16,16 +17,25 @@
 //! * `compare` replays all five Table 3 schemes over the same stored
 //!   stream and checks they commit identical micro-op counts (exit code 1
 //!   if not) — the CI round-trip smoke;
+//! * `batch` feeds (file × Table 3 scheme) cells through the batch engine
+//!   (`core::batch::EvalDriver`): per-worker reusable sessions, each trace
+//!   parsed once and rewound per scheme, completions streamed as they
+//!   land. Applies the same identical-commit check per file — the CI
+//!   batch-engine smoke;
 //! * `import` reads a one-uop-per-line kernel description, expands it with
 //!   the synthetic dynamic model and records the result, so externally
 //!   authored programs enter the pipeline.
 //!
-//! `--uops` defaults to `VIRTCLUST_UOPS` or 20 000.
+//! `--uops` defaults to `VIRTCLUST_UOPS` or 20 000 (`batch` replays whole
+//! streams unless `--uops` is given).
 
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
-use virtclust_bench::uop_budget;
-use virtclust_core::{record_point, replay_compare, replay_trace, Configuration};
+use virtclust_bench::{threads, uop_budget};
+use virtclust_core::{
+    record_point, replay_compare, replay_trace, Configuration, EvalDriver, EvalJob,
+};
 use virtclust_sim::RunLimits;
 use virtclust_trace::{import_kernel_file, Codec, TraceWriter};
 use virtclust_uarch::MachineConfig;
@@ -36,11 +46,12 @@ usage:
   trace_replay record  <point>  <out-file> [--binary] [--uops N] [--clusters 2|4]
   trace_replay replay  <file>   [--scheme op|1c|ob|rhop|vcN|modN] [--uops N] [--clusters 2|4]
   trace_replay compare <file>   [--clusters 2|4]
+  trace_replay batch   <file>...  [--uops N] [--clusters 2|4]
   trace_replay import  <kernel> <out-file> [--binary] [--uops N] [--seed S]
 
 schemes: op, op-parallel, 1c (one-cluster), ob, rhop, vc2/vc4/..., mod64/...
 point names are the Fig. 5 suite points (gzip-1 ... apsi); --uops defaults
-to VIRTCLUST_UOPS or 20000.";
+to VIRTCLUST_UOPS or 20000 (batch: whole stream).";
 
 struct Args {
     positional: Vec<String>,
@@ -218,6 +229,86 @@ fn run(argv: &[String]) -> Result<(), String> {
                 commits[0]
             );
             Ok(())
+        }
+        "batch" => {
+            if args.positional.is_empty() {
+                return Err("batch needs at least one <file>".into());
+            }
+            let machine = machine_for(args.clusters);
+            let clusters = machine.num_clusters as u32;
+            let limits = args.uops.map_or(RunLimits::unlimited(), RunLimits::uops);
+            let jobs: Vec<EvalJob> = args
+                .positional
+                .iter()
+                .flat_map(|file| {
+                    Configuration::table3()
+                        .into_iter()
+                        .map(|config| EvalJob::Trace {
+                            path: file.into(),
+                            config,
+                            limits,
+                        })
+                })
+                .collect();
+            let finished = AtomicUsize::new(0);
+            let total = jobs.len();
+            let t0 = std::time::Instant::now();
+            let outcomes =
+                EvalDriver::new(&machine)
+                    .threads(threads())
+                    .run_streaming(&jobs, |i, outcome| {
+                        let n = finished.fetch_add(1, Ordering::Relaxed) + 1;
+                        match &outcome.stats {
+                            Ok(stats) => println!(
+                                "[{n}/{total}] {}: ipc={:.3} copies={} ({:.2} ms, {:.0}k uops/s)",
+                                jobs[i].label(clusters),
+                                stats.ipc(),
+                                stats.copies_generated,
+                                outcome.wall.as_secs_f64() * 1e3,
+                                outcome.uops_per_sec() / 1e3,
+                            ),
+                            Err(e) => {
+                                println!("[{n}/{total}] {}: ERROR {e}", jobs[i].label(clusters))
+                            }
+                        }
+                    });
+            let wall = t0.elapsed();
+
+            // Per-file identical-commit check (the `compare` contract).
+            let stride = Configuration::table3().len();
+            let mut failures = Vec::new();
+            let mut total_uops = 0u64;
+            for (fi, file) in args.positional.iter().enumerate() {
+                let cells = fi * stride..(fi + 1) * stride;
+                let row = &outcomes[cells.clone()];
+                let mut commits = Vec::with_capacity(stride);
+                for (job, outcome) in jobs[cells].iter().zip(row) {
+                    match &outcome.stats {
+                        Ok(stats) => {
+                            commits.push(stats.committed_uops);
+                            total_uops += stats.committed_uops;
+                        }
+                        Err(e) => failures.push(format!("{}: {e}", job.label(clusters))),
+                    }
+                }
+                if commits.windows(2).any(|w| w[0] != w[1]) {
+                    failures.push(format!(
+                        "{file}: schemes committed different micro-op counts: {commits:?}"
+                    ));
+                }
+            }
+            println!(
+                "batch: {} cells over {} file(s) in {:.2}s ({:.0}k uops/s aggregate)",
+                total,
+                args.positional.len(),
+                wall.as_secs_f64(),
+                total_uops as f64 / wall.as_secs_f64().max(1e-9) / 1e3,
+            );
+            if failures.is_empty() {
+                Ok(())
+            } else {
+                Err(failures.join("\n"))
+            }
         }
         "import" => {
             let [kernel, out] = args.positional.as_slice() else {

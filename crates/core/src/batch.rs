@@ -1,0 +1,511 @@
+//! The batched evaluation engine: a job queue of heterogeneous simulation
+//! cells drained by workers that **reuse** everything reusable.
+//!
+//! [`run_matrix`](crate::runner::run_matrix) fans the (point ×
+//! configuration) matrix out over threads, but historically every cell
+//! built a fresh machine (≈1 MB of allocations: cache line arrays,
+//! predictor tables, event calendar) and every replayed cell re-opened and
+//! re-parsed its trace. [`EvalDriver`] replaces that with service-style
+//! plumbing:
+//!
+//! * each worker owns one [`SimSession`], reset — not reallocated — per
+//!   cell;
+//! * each worker caches open [`TraceReader`]s, so a `.vct`/`.vctb` file is
+//!   parsed once and then [`rewound`](TraceReader::rewind) per cell (with
+//!   [`TraceReader::set_program`] swapping the steering hints per
+//!   configuration);
+//! * jobs are heterogeneous ([`EvalJob`]): generated suite points, imported
+//!   kernel programs, and stored-trace replays mix freely in one queue;
+//! * completion streams through an `on_cell` callback as cells finish
+//!   (out of order), while the returned vector is always in job order —
+//!   so results are deterministic regardless of worker count.
+//!
+//! `run_matrix` is now one [`EvalDriver::run`] call, so every figure,
+//! metric and replay-comparison path in the repo goes through the batch
+//! engine.
+
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::BufReader;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use virtclust_sim::{RunLimits, SimSession, SimStats};
+use virtclust_trace::{TraceError, TraceReader};
+use virtclust_uarch::{MachineConfig, Program};
+use virtclust_workloads::{KernelParams, TraceExpander, TracePoint};
+
+use crate::experiment::{run_point_on, Configuration};
+use crate::replay::annotate_for_replay;
+
+/// One unit of work for the [`EvalDriver`]: a workload crossed with a
+/// steering configuration.
+#[derive(Debug, Clone)]
+pub enum EvalJob {
+    /// A generated suite point, exactly as [`crate::run_point`] would run
+    /// it: build the point's program, apply the configuration's compiler
+    /// pass, expand and simulate `uops` micro-ops.
+    Point {
+        /// The suite point to generate.
+        point: TracePoint,
+        /// Steering configuration.
+        config: Configuration,
+        /// Micro-op budget.
+        uops: u64,
+    },
+    /// An imported (or hand-built) kernel program expanded with the
+    /// synthetic dynamic model. Hints are cleared before the
+    /// configuration's pass runs, so an annotated input does not leak
+    /// stale steering decisions.
+    Kernel {
+        /// The static program (e.g. from `virtclust-trace`'s importer).
+        program: Program,
+        /// Dynamic-behaviour parameters for the expander.
+        params: KernelParams,
+        /// Expansion seed.
+        seed: u64,
+        /// Steering configuration.
+        config: Configuration,
+        /// Micro-op budget.
+        uops: u64,
+    },
+    /// Replay of a stored `.vct`/`.vctb` trace, exactly as
+    /// [`crate::replay_trace`] would: clear the embedded program's hints,
+    /// apply the configuration's pass, stream the stored dynamic facts.
+    /// Workers keep the reader open across jobs and rewind it, so a file
+    /// is parsed once per worker no matter how many configurations replay
+    /// it.
+    Trace {
+        /// Path of the stored trace.
+        path: PathBuf,
+        /// Steering configuration.
+        config: Configuration,
+        /// Run limits (use [`RunLimits::unlimited`] for the whole stream).
+        limits: RunLimits,
+    },
+}
+
+impl EvalJob {
+    /// The steering configuration of the job.
+    pub fn config(&self) -> &Configuration {
+        match self {
+            EvalJob::Point { config, .. }
+            | EvalJob::Kernel { config, .. }
+            | EvalJob::Trace { config, .. } => config,
+        }
+    }
+
+    /// Short human-readable label (`workload × scheme`).
+    pub fn label(&self, clusters: u32) -> String {
+        let scheme = self.config().name(clusters);
+        match self {
+            EvalJob::Point { point, .. } => format!("{} × {scheme}", point.name),
+            EvalJob::Kernel { program, .. } => format!("{} × {scheme}", program.name),
+            EvalJob::Trace { path, .. } => {
+                let file = path.file_name().map_or_else(
+                    || path.display().to_string(),
+                    |f| f.to_string_lossy().into_owned(),
+                );
+                format!("{file} × {scheme}")
+            }
+        }
+    }
+}
+
+/// Outcome of one job: the statistics (or the trace error that stopped it)
+/// plus the cell's wall-clock time on its worker.
+#[derive(Debug)]
+pub struct CellOutcome {
+    /// Simulation statistics, or the error for unreadable trace jobs.
+    /// `Point` jobs cannot fail.
+    pub stats: Result<SimStats, TraceError>,
+    /// Wall-clock time the cell spent on its worker thread (includes
+    /// program generation / compiler pass / trace rewind, excludes queue
+    /// wait).
+    pub wall: Duration,
+}
+
+impl CellOutcome {
+    /// Simulated micro-ops per wall-clock second for this cell (0 on
+    /// error). With more workers than cores the figure degrades with
+    /// contention; on an unloaded machine it is the per-cell throughput.
+    pub fn uops_per_sec(&self) -> f64 {
+        match &self.stats {
+            Ok(s) if self.wall.as_secs_f64() > 0.0 => {
+                s.committed_uops as f64 / self.wall.as_secs_f64()
+            }
+            _ => 0.0,
+        }
+    }
+}
+
+/// The batch engine: drains an [`EvalJob`] queue over worker threads with
+/// per-worker session and trace-reader reuse.
+#[derive(Debug, Clone)]
+pub struct EvalDriver {
+    machine: MachineConfig,
+    threads: usize,
+}
+
+impl EvalDriver {
+    /// A driver simulating every job on `machine`, with one worker per
+    /// available CPU.
+    pub fn new(machine: &MachineConfig) -> Self {
+        EvalDriver {
+            machine: machine.clone(),
+            threads: 0,
+        }
+    }
+
+    /// Use up to `n` worker threads (0 = one per available CPU).
+    #[must_use]
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n;
+        self
+    }
+
+    /// Run every job to completion, returning outcomes in job order.
+    pub fn run(&self, jobs: &[EvalJob]) -> Vec<CellOutcome> {
+        self.run_streaming(jobs, |_, _| {})
+    }
+
+    /// Run every job, invoking `on_cell(index, outcome)` from the worker
+    /// thread as each cell completes (completion order is scheduling-
+    /// dependent; the returned vector is always in job order and its
+    /// statistics are deterministic for any thread count).
+    pub fn run_streaming(
+        &self,
+        jobs: &[EvalJob],
+        on_cell: impl Fn(usize, &CellOutcome) + Sync,
+    ) -> Vec<CellOutcome> {
+        let n_jobs = jobs.len();
+        let threads = if self.threads == 0 {
+            std::thread::available_parallelism().map_or(4, |n| n.get())
+        } else {
+            self.threads
+        }
+        .min(n_jobs.max(1));
+
+        let mut flat: Vec<Option<CellOutcome>> = (0..n_jobs).map(|_| None).collect();
+        if n_jobs > 0 {
+            let next = AtomicUsize::new(0);
+            let slots: Vec<std::sync::Mutex<&mut Option<CellOutcome>>> =
+                flat.iter_mut().map(std::sync::Mutex::new).collect();
+            let on_cell = &on_cell;
+            std::thread::scope(|scope| {
+                for _ in 0..threads {
+                    scope.spawn(|| {
+                        let mut worker = Worker::new(&self.machine);
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n_jobs {
+                                break;
+                            }
+                            let start = Instant::now();
+                            let stats = worker.run_job(&jobs[i]);
+                            let outcome = CellOutcome {
+                                stats,
+                                wall: start.elapsed(),
+                            };
+                            on_cell(i, &outcome);
+                            **slots[i].lock().expect("slot lock") = Some(outcome);
+                        }
+                    });
+                }
+            });
+        }
+        flat.into_iter()
+            .map(|c| c.expect("every job produced an outcome"))
+            .collect()
+    }
+}
+
+/// A cached open trace: the reader (parsed once) plus the pristine
+/// embedded program, cloned per configuration before the hint swap.
+struct CachedTrace {
+    reader: TraceReader<BufReader<File>>,
+    pristine: Program,
+}
+
+/// Per-worker reusable state.
+struct Worker<'m> {
+    machine: &'m MachineConfig,
+    session: SimSession,
+    traces: HashMap<PathBuf, CachedTrace>,
+}
+
+impl<'m> Worker<'m> {
+    fn new(machine: &'m MachineConfig) -> Self {
+        Worker {
+            machine,
+            session: SimSession::new(machine),
+            traces: HashMap::new(),
+        }
+    }
+
+    fn run_job(&mut self, job: &EvalJob) -> Result<SimStats, TraceError> {
+        match job {
+            EvalJob::Point {
+                point,
+                config,
+                uops,
+            } => Ok(run_point_on(
+                &mut self.session,
+                point,
+                config,
+                self.machine,
+                *uops,
+            )),
+            EvalJob::Kernel {
+                program,
+                params,
+                seed,
+                config,
+                uops,
+            } => {
+                let program = annotate_for_replay(program.clone(), config, self.machine);
+                let mut trace = TraceExpander::new(&program, params, *seed);
+                let mut policy = config.make_policy();
+                Ok(self.session.simulate(
+                    self.machine,
+                    &mut trace,
+                    policy.as_mut(),
+                    &RunLimits::uops(*uops),
+                ))
+            }
+            EvalJob::Trace {
+                path,
+                config,
+                limits,
+            } => {
+                let cached = match self.traces.entry(path.clone()) {
+                    std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        let reader = TraceReader::open(path)?;
+                        let pristine = reader.program().clone();
+                        e.insert(CachedTrace { reader, pristine })
+                    }
+                };
+                // The `replay_trace` preparation, over the already-parsed,
+                // rewound reader.
+                let program = annotate_for_replay(cached.pristine.clone(), config, self.machine);
+                cached.reader.set_program(program)?;
+                cached.reader.rewind()?;
+                let mut policy = config.make_policy();
+                let stats = self.session.simulate(
+                    self.machine,
+                    &mut cached.reader,
+                    policy.as_mut(),
+                    limits,
+                );
+                // Errors inside the simulation loop surface as a silently-
+                // ended trace; re-raise them so a corrupt file can never
+                // masquerade as a short run.
+                if let Some(err) = cached.reader.take_error() {
+                    return Err(err);
+                }
+                Ok(stats)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::run_point;
+    use crate::replay::{record_point, replay_trace};
+    use virtclust_trace::Codec;
+    use virtclust_uarch::{ArchReg, RegionBuilder};
+    use virtclust_workloads::spec2000_points;
+
+    fn point(name: &str) -> TracePoint {
+        spec2000_points()
+            .into_iter()
+            .find(|p| p.name == name)
+            .expect("suite point")
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("virtclust-batch-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn point_jobs_match_run_point_bit_for_bit() {
+        let machine = MachineConfig::paper_2cluster();
+        let p = point("gzip-1");
+        let jobs: Vec<EvalJob> = Configuration::table3()
+            .into_iter()
+            .map(|config| EvalJob::Point {
+                point: p.clone(),
+                config,
+                uops: 1_500,
+            })
+            .collect();
+        let outcomes = EvalDriver::new(&machine).threads(1).run(&jobs);
+        for (job, outcome) in jobs.iter().zip(&outcomes) {
+            let live = run_point(&p, job.config(), &machine, 1_500);
+            assert_eq!(&live, outcome.stats.as_ref().unwrap(), "{}", job.label(2));
+        }
+    }
+
+    #[test]
+    fn trace_jobs_match_replay_trace_and_reuse_one_reader() {
+        let machine = MachineConfig::paper_2cluster();
+        let p = point("eon-1");
+        let path = tmp("eon.vctb");
+        record_point(&p, 2_000, Codec::Binary, &path).unwrap();
+        // One worker, five schemes over the same file: the reader is opened
+        // once and rewound four times.
+        let jobs: Vec<EvalJob> = Configuration::table3()
+            .into_iter()
+            .map(|config| EvalJob::Trace {
+                path: path.clone(),
+                config,
+                limits: RunLimits::unlimited(),
+            })
+            .collect();
+        let outcomes = EvalDriver::new(&machine).threads(1).run(&jobs);
+        for (job, outcome) in jobs.iter().zip(&outcomes) {
+            let direct =
+                replay_trace(&path, job.config(), &machine, &RunLimits::unlimited()).unwrap();
+            assert_eq!(&direct, outcome.stats.as_ref().unwrap(), "{}", job.label(2));
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn kernel_jobs_match_a_manual_expander_run() {
+        let machine = MachineConfig::paper_2cluster();
+        let r = ArchReg::int;
+        let mut program = Program::new("kern");
+        program.add_region(
+            RegionBuilder::new(0, "body")
+                .alu(r(1), &[r(1), r(2)])
+                .load(r(3), r(1))
+                .alu(r(2), &[r(3)])
+                .branch(r(2))
+                .build(),
+        );
+        let params = KernelParams::base_int();
+        let config = Configuration::Vc { num_vcs: 2 };
+        let job = EvalJob::Kernel {
+            program: program.clone(),
+            params,
+            seed: 9,
+            config,
+            uops: 1_200,
+        };
+        let outcomes = EvalDriver::new(&machine).run(std::slice::from_ref(&job));
+        let manual = {
+            let mut annotated = program.clone();
+            annotated.clear_hints();
+            config
+                .software_pass(2)
+                .apply(&mut annotated, &machine.latencies);
+            let mut trace = TraceExpander::new(&annotated, &params, 9);
+            let mut policy = config.make_policy();
+            virtclust_sim::simulate(
+                &machine,
+                &mut trace,
+                policy.as_mut(),
+                &RunLimits::uops(1_200),
+            )
+        };
+        assert_eq!(&manual, outcomes[0].stats.as_ref().unwrap());
+    }
+
+    #[test]
+    fn heterogeneous_queue_is_deterministic_across_1_2_8_threads() {
+        let machine = MachineConfig::paper_2cluster();
+        let path = tmp("mix.vct");
+        record_point(&point("gzip-1"), 1_000, Codec::Text, &path).unwrap();
+        let mut jobs: Vec<EvalJob> = vec![
+            EvalJob::Point {
+                point: point("crafty"),
+                config: Configuration::Op,
+                uops: 800,
+            },
+            EvalJob::Trace {
+                path: path.clone(),
+                config: Configuration::Vc { num_vcs: 2 },
+                limits: RunLimits::unlimited(),
+            },
+        ];
+        for config in Configuration::table3() {
+            jobs.push(EvalJob::Point {
+                point: point("galgel"),
+                config,
+                uops: 600,
+            });
+            jobs.push(EvalJob::Trace {
+                path: path.clone(),
+                config,
+                limits: RunLimits::uops(500),
+            });
+        }
+        let stats_of = |threads: usize| -> Vec<SimStats> {
+            EvalDriver::new(&machine)
+                .threads(threads)
+                .run(&jobs)
+                .into_iter()
+                .map(|o| o.stats.expect("readable"))
+                .collect()
+        };
+        let one = stats_of(1);
+        let two = stats_of(2);
+        let eight = stats_of(8);
+        assert_eq!(one, two, "1 vs 2 workers");
+        assert_eq!(one, eight, "1 vs 8 workers");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn streaming_callback_sees_every_cell_exactly_once() {
+        let machine = MachineConfig::paper_2cluster();
+        let jobs: Vec<EvalJob> = Configuration::table3()
+            .into_iter()
+            .map(|config| EvalJob::Point {
+                point: point("gzip-1"),
+                config,
+                uops: 400,
+            })
+            .collect();
+        let seen = std::sync::Mutex::new(vec![0u32; jobs.len()]);
+        let outcomes = EvalDriver::new(&machine)
+            .threads(2)
+            .run_streaming(&jobs, |i, outcome| {
+                assert!(outcome.stats.is_ok());
+                seen.lock().unwrap()[i] += 1;
+            });
+        assert_eq!(outcomes.len(), jobs.len());
+        assert!(seen.lock().unwrap().iter().all(|&c| c == 1));
+        // Per-cell throughput is a positive finite number.
+        assert!(outcomes.iter().all(|o| o.uops_per_sec() > 0.0));
+    }
+
+    #[test]
+    fn unreadable_trace_jobs_error_without_poisoning_the_queue() {
+        let machine = MachineConfig::paper_2cluster();
+        let jobs = vec![
+            EvalJob::Trace {
+                path: PathBuf::from("/nonexistent/ghost.vctb"),
+                config: Configuration::Op,
+                limits: RunLimits::unlimited(),
+            },
+            EvalJob::Point {
+                point: point("gzip-1"),
+                config: Configuration::Op,
+                uops: 300,
+            },
+        ];
+        let outcomes = EvalDriver::new(&machine).threads(1).run(&jobs);
+        assert!(outcomes[0].stats.is_err());
+        assert_eq!(
+            outcomes[1].stats.as_ref().unwrap().committed_uops,
+            300,
+            "the queue keeps draining after an error"
+        );
+    }
+}

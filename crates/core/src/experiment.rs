@@ -2,7 +2,7 @@
 //! single-point experiment runner.
 
 use virtclust_compiler::{SoftwarePass, VcConfig};
-use virtclust_sim::{simulate, RunLimits, SimStats, SteeringPolicy};
+use virtclust_sim::{RunLimits, SimSession, SimStats, SteeringPolicy};
 use virtclust_steer::{ModN, OccupancyAware, OneCluster, StaticFollow, VcMapper};
 use virtclust_uarch::MachineConfig;
 use virtclust_workloads::TracePoint;
@@ -103,13 +103,27 @@ pub fn run_point(
     machine: &MachineConfig,
     uops: u64,
 ) -> SimStats {
+    run_point_on(&mut SimSession::new(machine), point, config, machine, uops)
+}
+
+/// [`run_point`] on a caller-provided session — the batch engine's path.
+/// This is the single definition of what a point cell does; `run_point`
+/// is this over a fresh session, and sessions are bit-identical to fresh
+/// machines by contract, so the two entry points cannot diverge.
+pub fn run_point_on(
+    session: &mut SimSession,
+    point: &TracePoint,
+    config: &Configuration,
+    machine: &MachineConfig,
+    uops: u64,
+) -> SimStats {
     let mut program = point.build_program();
     config
         .software_pass(machine.num_clusters as u32)
         .apply(&mut program, &machine.latencies);
     let mut trace = point.expander(&program);
     let mut policy = config.make_policy();
-    simulate(machine, &mut trace, policy.as_mut(), &RunLimits::uops(uops))
+    session.simulate(machine, &mut trace, policy.as_mut(), &RunLimits::uops(uops))
 }
 
 #[cfg(test)]

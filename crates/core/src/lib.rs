@@ -3,10 +3,12 @@
 //! The experiment driver for the reproduction of *"A Software-Hardware
 //! Hybrid Steering Mechanism for Clustered Microarchitectures"*
 //! (Cai et al., IPDPS 2008): the five steering configurations of the
-//! paper's Table 3, a parallel evaluation runner over the 40-point
-//! SPEC CPU2000-like suite, the paper's metrics (slowdown vs the `OP`
-//! baseline, copy reduction, workload-balance improvement), and generators
-//! for every figure in the evaluation (Figs. 5, 6, 7).
+//! paper's Table 3, a batched evaluation engine ([`batch::EvalDriver`])
+//! that drains heterogeneous job queues over reusable per-worker
+//! simulation sessions, the parallel matrix runner built on it, the
+//! paper's metrics (slowdown vs the `OP` baseline, copy reduction,
+//! workload-balance improvement), and generators for every figure in the
+//! evaluation (Figs. 5, 6, 7).
 //!
 //! Quick start:
 //!
@@ -25,13 +27,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod experiment;
 pub mod figures;
 pub mod metrics;
 pub mod replay;
 pub mod runner;
 
-pub use experiment::{run_point, Configuration};
+pub use batch::{CellOutcome, EvalDriver, EvalJob};
+pub use experiment::{run_point, run_point_on, Configuration};
 pub use figures::{fig5, fig6, fig7, Fig5Data, Fig6Data, Fig7Data};
 pub use metrics::{slowdown_pct, suite_weighted_average, PointOutcome};
 pub use replay::{record_point, replay_compare, replay_reader, replay_trace};

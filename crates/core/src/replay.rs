@@ -35,12 +35,12 @@
 //! # std::fs::remove_file(&path).ok();
 //! ```
 
-use std::io::BufRead;
+use std::io::{BufRead, Seek};
 use std::path::Path;
 
 use virtclust_sim::{simulate, RunLimits, SimStats};
 use virtclust_trace::{Codec, Result, TraceReader, TraceWriter};
-use virtclust_uarch::MachineConfig;
+use virtclust_uarch::{MachineConfig, Program};
 use virtclust_workloads::TracePoint;
 
 use crate::experiment::Configuration;
@@ -86,18 +86,15 @@ pub fn replay_trace(
     replay_reader(TraceReader::open(path)?, config, machine, limits)
 }
 
-/// [`replay_trace`] over an already-open reader (any byte source).
-pub fn replay_reader<R: BufRead>(
+/// [`replay_trace`] over an already-open reader (any seekable byte
+/// source).
+pub fn replay_reader<R: BufRead + Seek>(
     mut reader: TraceReader<R>,
     config: &Configuration,
     machine: &MachineConfig,
     limits: &RunLimits,
 ) -> Result<SimStats> {
-    let mut program = reader.program().clone();
-    program.clear_hints();
-    config
-        .software_pass(machine.num_clusters as u32)
-        .apply(&mut program, &machine.latencies);
+    let program = annotate_for_replay(reader.program().clone(), config, machine);
     reader.set_program(program)?;
     let mut policy = config.make_policy();
     let stats = simulate(machine, &mut reader, policy.as_mut(), limits);
@@ -107,6 +104,23 @@ pub fn replay_reader<R: BufRead>(
         return Err(err);
     }
     Ok(stats)
+}
+
+/// The replay preparation step, shared with the batch engine
+/// ([`crate::batch::EvalDriver`]): re-annotate a trace's (or kernel's)
+/// program for `config` by clearing stale hints and running the
+/// configuration's compiler pass — exactly what [`run_point`] does to a
+/// freshly generated program.
+pub(crate) fn annotate_for_replay(
+    mut program: Program,
+    config: &Configuration,
+    machine: &MachineConfig,
+) -> Program {
+    program.clear_hints();
+    config
+        .software_pass(machine.num_clusters as u32)
+        .apply(&mut program, &machine.latencies);
+    program
 }
 
 /// Replay a stored trace under several configurations, returning

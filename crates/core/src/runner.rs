@@ -1,19 +1,22 @@
 //! Parallel evaluation runner: the full (trace-point × configuration)
 //! matrix, one simulation per cell, fanned out over worker threads.
 //!
-//! Simulations are completely independent (every cell builds its own
-//! program, trace and policy from seeds), so the runner is embarrassingly
-//! parallel: a thread scope with one worker per CPU pulling cell indices
-//! from an atomic counter. Results are written into disjoint slots, so the
-//! output is deterministic regardless of scheduling.
-
-use std::sync::atomic::{AtomicUsize, Ordering};
+//! Since the batch refactor this is a thin shim over
+//! [`crate::batch::EvalDriver`]: the matrix becomes a row-major job list,
+//! the driver drains it with per-worker reusable sessions, and the results
+//! land in disjoint slots — deterministic regardless of scheduling, now
+//! without a fresh machine allocation per cell.
 
 use virtclust_sim::SimStats;
 use virtclust_uarch::MachineConfig;
 use virtclust_workloads::TracePoint;
 
-use crate::experiment::{run_point, Configuration};
+use crate::batch::{EvalDriver, EvalJob};
+use crate::experiment::Configuration;
+
+// Referenced by the docs below.
+#[allow(unused_imports)]
+use crate::experiment::run_point;
 
 /// Results of a full evaluation matrix.
 #[derive(Debug, Clone)]
@@ -43,7 +46,9 @@ impl EvalMatrix {
 }
 
 /// Run all (point × config) cells, using up to `threads` worker threads
-/// (0 = one per available CPU).
+/// (0 = one per available CPU). Each cell is bit-identical to a standalone
+/// [`run_point`] call; the cells execute on the batch engine's reusable
+/// per-worker sessions.
 pub fn run_matrix(
     machine: &MachineConfig,
     configs: &[Configuration],
@@ -51,41 +56,27 @@ pub fn run_matrix(
     uops: u64,
     threads: usize,
 ) -> EvalMatrix {
-    let n_cells = points.len() * configs.len();
-    let threads = if threads == 0 {
-        std::thread::available_parallelism().map_or(4, |n| n.get())
-    } else {
-        threads
-    }
-    .min(n_cells.max(1));
-
-    let mut flat: Vec<Option<SimStats>> = vec![None; n_cells];
-    if n_cells > 0 {
-        let next = AtomicUsize::new(0);
-        let slots: Vec<std::sync::Mutex<&mut Option<SimStats>>> =
-            flat.iter_mut().map(std::sync::Mutex::new).collect();
-        std::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n_cells {
-                        break;
-                    }
-                    let (pi, ci) = (i / configs.len(), i % configs.len());
-                    let stats = run_point(&points[pi], &configs[ci], machine, uops);
-                    **slots[i].lock().expect("slot lock") = Some(stats);
-                });
-            }
-        });
-    }
+    // Row-major: cell i = (point i / |configs|, config i % |configs|).
+    let jobs: Vec<EvalJob> = points
+        .iter()
+        .flat_map(|point| {
+            configs.iter().map(move |config| EvalJob::Point {
+                point: point.clone(),
+                config: *config,
+                uops,
+            })
+        })
+        .collect();
+    let outcomes = EvalDriver::new(machine).threads(threads).run(&jobs);
 
     let mut stats = Vec::with_capacity(points.len());
-    let mut it = flat.into_iter();
+    let mut it = outcomes.into_iter();
     for _ in 0..points.len() {
-        let mut row = Vec::with_capacity(configs.len());
-        for _ in 0..configs.len() {
-            row.push(it.next().expect("cell count").expect("cell computed"));
-        }
+        let row: Vec<SimStats> = it
+            .by_ref()
+            .take(configs.len())
+            .map(|o| o.stats.expect("point jobs cannot fail"))
+            .collect();
         stats.push(row);
     }
 

@@ -43,19 +43,33 @@ pub struct Cache {
 impl Cache {
     /// Build from a [`CacheConfig`] and a line size.
     pub fn new(cfg: &CacheConfig, line_bytes: usize) -> Self {
+        let mut cache = Cache {
+            lines: Vec::new(),
+            ways: 1,
+            sets: 1,
+            line_shift: 0,
+            stamp: 0,
+        };
+        cache.reset(cfg, line_bytes);
+        cache
+    }
+
+    /// Invalidate every line and retarget to a possibly different geometry.
+    /// The line array is reused when the geometry is unchanged, so a reset
+    /// is a memset rather than an allocation (session reuse).
+    pub fn reset(&mut self, cfg: &CacheConfig, line_bytes: usize) {
         assert!(
             line_bytes.is_power_of_two(),
             "line size must be a power of two"
         );
         let sets = cfg.sets(line_bytes);
         assert!(sets.is_power_of_two(), "set count must be a power of two");
-        Cache {
-            lines: vec![Line::default(); sets * cfg.ways],
-            ways: cfg.ways,
-            sets,
-            line_shift: line_bytes.trailing_zeros(),
-            stamp: 0,
-        }
+        self.lines.clear();
+        self.lines.resize(sets * cfg.ways, Line::default());
+        self.ways = cfg.ways;
+        self.sets = sets;
+        self.line_shift = line_bytes.trailing_zeros();
+        self.stamp = 0;
     }
 
     #[inline]
@@ -140,17 +154,34 @@ pub struct MemorySystem {
 impl MemorySystem {
     /// Build from the machine configuration.
     pub fn new(cfg: &MachineConfig) -> Self {
-        MemorySystem {
+        let mut mem = MemorySystem {
             l1: Cache::new(&cfg.l1, cfg.line_bytes),
             l2: Cache::new(&cfg.l2, cfg.line_bytes),
-            l1_hit: cfg.l1.hit_latency,
-            l2_hit: cfg.l2.hit_latency,
-            mem_latency: cfg.mem_latency,
-            read_ports: cfg.l1.read_ports,
-            write_ports: cfg.l1.write_ports,
+            l1_hit: 0,
+            l2_hit: 0,
+            mem_latency: 0,
+            read_ports: 0,
+            write_ports: 0,
             reads_this_cycle: 0,
             writes_this_cycle: 0,
-        }
+        };
+        mem.reset(cfg);
+        mem
+    }
+
+    /// Return the hierarchy to a cold post-construction state for `cfg`,
+    /// reusing the line arrays where the geometry allows (session reuse;
+    /// equivalent to [`MemorySystem::new`]).
+    pub fn reset(&mut self, cfg: &MachineConfig) {
+        self.l1.reset(&cfg.l1, cfg.line_bytes);
+        self.l2.reset(&cfg.l2, cfg.line_bytes);
+        self.l1_hit = cfg.l1.hit_latency;
+        self.l2_hit = cfg.l2.hit_latency;
+        self.mem_latency = cfg.mem_latency;
+        self.read_ports = cfg.l1.read_ports;
+        self.write_ports = cfg.l1.write_ports;
+        self.reads_this_cycle = 0;
+        self.writes_this_cycle = 0;
     }
 
     /// Reset per-cycle port usage; call once per simulated cycle.

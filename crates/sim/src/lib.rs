@@ -50,6 +50,7 @@ pub mod lsq;
 pub mod machine;
 pub mod predictor;
 pub mod queues;
+pub mod session;
 pub mod stats;
 pub mod steering;
 pub mod value;
@@ -59,6 +60,7 @@ pub use lsq::{LoadCheck, Lsq};
 pub use machine::{simulate, Machine, RunLimits};
 pub use predictor::{Gshare, LocalHistory, TraceCache};
 pub use queues::{CopyOp, CopySlab, IssueQueue, LinkArbiter};
+pub use session::SimSession;
 pub use stats::{ClusterStats, SimStats, StallReason};
 pub use steering::{SteerDecision, SteerView, SteeringPolicy};
 pub use value::{all_clusters, cluster_bit, ClusterMask, RenameTable, ValueTag, ValueTracker};

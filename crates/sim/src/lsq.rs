@@ -48,12 +48,22 @@ pub struct Lsq {
 impl Lsq {
     /// Create an LSQ with `capacity` entries.
     pub fn new(capacity: usize) -> Self {
-        assert!(capacity >= 1);
-        Lsq {
+        let mut lsq = Lsq {
             entries: VecDeque::with_capacity(capacity.min(4096)),
             live: 0,
-            capacity,
-        }
+            capacity: 1,
+        };
+        lsq.reset(capacity);
+        lsq
+    }
+
+    /// Clear in place and retarget to `capacity`, keeping the entry
+    /// allocation (session reuse; equivalent to [`Lsq::new`]).
+    pub fn reset(&mut self, capacity: usize) {
+        assert!(capacity >= 1);
+        self.entries.clear();
+        self.live = 0;
+        self.capacity = capacity;
     }
 
     /// Entries currently allocated.

@@ -20,20 +20,19 @@
 //! One [`Machine::step`] is one cycle. Stage order within a cycle (standard
 //! reverse-pipeline update): completion events → commit → store drain →
 //! memory stage → issue → dispatch/steer → fetch.
+//!
+//! The pipeline itself lives in [`crate::session::SimSession`], which owns
+//! all heap state and can be reset and reused across runs. [`Machine`] is
+//! the single-run view over a private session: same behaviour, simpler
+//! lifecycle. Batch workloads (many cells, one process) should hold a
+//! `SimSession` and call [`crate::SimSession::simulate`] per cell instead
+//! of building a `Machine` per cell.
 
-use std::collections::VecDeque;
+use virtclust_uarch::{MachineConfig, TraceSource};
 
-use virtclust_uarch::{
-    DynUop, MachineConfig, OpClass, QueueKind, RegClass, TraceSource, NUM_ARCH_REGS,
-};
-
-use crate::cache::{LoadPath, MemorySystem};
-use crate::lsq::{LoadCheck, Lsq};
-use crate::predictor::{pc_of, LocalHistory, TraceCache};
-use crate::queues::{CopyOp, CopySlab, IssueQueue, LinkArbiter};
-use crate::stats::{SimStats, StallReason};
-use crate::steering::{SteerDecision, SteerView, SteeringPolicy};
-use crate::value::{cluster_bit, ClusterMask, RenameTable, ValueTag, ValueTracker};
+use crate::session::SimSession;
+use crate::stats::SimStats;
+use crate::steering::SteeringPolicy;
 
 /// Run-length limits for a simulation.
 #[derive(Debug, Clone, Copy, Default)]
@@ -59,142 +58,24 @@ impl RunLimits {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
-enum Event {
-    /// A non-memory micro-op finishes execution.
-    Exec(u64),
-    /// A load's address generation finishes; it enters the memory stage.
-    LoadAgu(u64),
-    /// A load's data arrives.
-    LoadDone(u64),
-    /// A copy micro-op arrives at its destination cluster.
-    CopyArrive(u32),
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum RobState {
-    Waiting,
-    Completed,
-}
-
-#[derive(Debug, Clone)]
-struct RobEntry {
-    uop: DynUop,
-    cluster: u8,
-    state: RobState,
-    dst_tag: Option<ValueTag>,
-    src_tags: [Option<ValueTag>; 3],
-    mispredicted: bool,
-}
-
-#[derive(Debug, Clone)]
-struct FetchedUop {
-    uop: DynUop,
-    ready: u64,
-    mispredicted: bool,
-}
-
-/// The simulated machine. Most users call [`simulate`]; the struct is public
-/// so tests and tools can single-step.
+/// The simulated machine: a single-run view over a fresh [`SimSession`].
+/// Most users call [`simulate`]; the struct is public so tests and tools
+/// can single-step.
 pub struct Machine {
-    cfg: MachineConfig,
-    now: u64,
-    // Backend state.
-    values: ValueTracker,
-    rename: RenameTable,
-    rob: VecDeque<RobEntry>,
-    rob_base: u64,
-    next_dseq: u64,
-    iqs: Vec<[IssueQueue; 3]>,
-    copies: CopySlab,
-    links: LinkArbiter,
-    lsq: Lsq,
-    mem: MemorySystem,
-    inflight: Vec<u32>,
-    // Event calendar.
-    events: Vec<Vec<Event>>,
-    horizon_mask: u64,
-    // Front-end state.
-    fetchq: VecDeque<FetchedUop>,
-    fetch_buf_cap: usize,
-    fetch_stalled_until: u64,
-    halted_for_branch: bool,
-    predictor: LocalHistory,
-    tcache: TraceCache,
-    cur_region: Option<u32>,
-    fetched_uops: u64,
-    trace_done: bool,
-    // Memory stage queues.
-    mem_pending: VecDeque<u64>,
-    store_drain: VecDeque<(u64, u64)>,
-    // Scratch.
-    occ_buf: Vec<[usize; 3]>,
-    stale_loc: [ClusterMask; NUM_ARCH_REGS],
-    stale_ring: VecDeque<[ClusterMask; NUM_ARCH_REGS]>,
-    // Bookkeeping.
-    stats: SimStats,
-    last_commit_cycle: u64,
+    session: SimSession,
 }
-
-/// Cycles without a commit (while work is in flight) after which the
-/// simulator declares a deadlock — this is a bug, never a workload property.
-const DEADLOCK_HORIZON: u64 = 1_000_000;
 
 impl Machine {
     /// Build a machine from a validated configuration.
     pub fn new(cfg: &MachineConfig) -> Self {
-        cfg.validate().expect("invalid machine configuration");
-        let n = cfg.num_clusters;
-        let mut values = ValueTracker::new(n);
-        let rename = RenameTable::new(&mut values);
-        let iqs = (0..n)
-            .map(|_| {
-                [
-                    IssueQueue::new(cfg.iq_int_entries),
-                    IssueQueue::new(cfg.iq_fp_entries),
-                    IssueQueue::new(cfg.copy_queue_entries),
-                ]
-            })
-            .collect();
-        let horizon = (cfg.mem_latency as usize + 256).next_power_of_two();
         Machine {
-            now: 0,
-            values,
-            rename,
-            rob: VecDeque::with_capacity(cfg.rob_entries),
-            rob_base: 0,
-            next_dseq: 0,
-            iqs,
-            copies: CopySlab::new(),
-            links: LinkArbiter::new(cfg.copies_per_link_per_cycle),
-            lsq: Lsq::new(cfg.lsq_entries),
-            mem: MemorySystem::new(cfg),
-            inflight: vec![0; n],
-            events: (0..horizon).map(|_| Vec::new()).collect(),
-            horizon_mask: (horizon - 1) as u64,
-            fetchq: VecDeque::new(),
-            fetch_buf_cap: cfg.fetch_width * (cfg.fetch_to_dispatch as usize + 4),
-            fetch_stalled_until: 0,
-            halted_for_branch: false,
-            predictor: LocalHistory::new(cfg.predictor_log2_entries),
-            tcache: TraceCache::new(cfg.trace_cache_uops),
-            cur_region: None,
-            fetched_uops: 0,
-            trace_done: false,
-            mem_pending: VecDeque::new(),
-            store_drain: VecDeque::new(),
-            occ_buf: vec![[0; 3]; n],
-            stale_loc: [0; NUM_ARCH_REGS],
-            stale_ring: VecDeque::with_capacity(cfg.fetch_to_dispatch as usize + 1),
-            stats: SimStats::new(n),
-            last_commit_cycle: 0,
-            cfg: cfg.clone(),
+            session: SimSession::new(cfg),
         }
     }
 
     /// Current cycle.
     pub fn cycle(&self) -> u64 {
-        self.now
+        self.session.cycle()
     }
 
     /// Re-home the architected value of `reg` so it is resident in exactly
@@ -202,557 +83,18 @@ impl Machine {
     /// set up steering scenarios such as the paper's Sec. 2.1 example.
     /// Call before the first [`Machine::step`].
     pub fn place_register(&mut self, reg: virtclust_uarch::ArchReg, cluster: u8) {
-        assert_eq!(
-            self.now, 0,
-            "place_register only valid before simulation starts"
-        );
-        assert!((cluster as usize) < self.cfg.num_clusters);
-        let tag = self.values.alloc_ready_in(reg.class, cluster);
-        self.rename.redefine(reg, tag, &mut self.values);
+        self.session.place_register(reg, cluster);
     }
 
     /// Statistics so far.
     pub fn stats(&self) -> &SimStats {
-        &self.stats
+        self.session.stats()
     }
 
     /// True when the trace is exhausted and the pipeline fully drained.
     pub fn done(&self) -> bool {
-        self.trace_done
-            && self.fetchq.is_empty()
-            && self.rob.is_empty()
-            && self.store_drain.is_empty()
-            && self.mem_pending.is_empty()
-            && self.copies.live() == 0
+        self.session.done()
     }
-
-    fn schedule(&mut self, at: u64, ev: Event) {
-        debug_assert!(at > self.now, "events must be in the future");
-        debug_assert!(
-            at - self.now <= self.horizon_mask,
-            "event beyond calendar horizon"
-        );
-        self.events[(at & self.horizon_mask) as usize].push(ev);
-    }
-
-    #[inline]
-    fn rob_index(&self, dseq: u64) -> usize {
-        debug_assert!(dseq >= self.rob_base);
-        (dseq - self.rob_base) as usize
-    }
-
-    // ------------------------------------------------------------------
-    // Stage 1: completion events.
-    // ------------------------------------------------------------------
-    fn process_events(&mut self) {
-        let slot = (self.now & self.horizon_mask) as usize;
-        let events = std::mem::take(&mut self.events[slot]);
-        for ev in events {
-            match ev {
-                Event::Exec(dseq) => self.complete_exec(dseq),
-                Event::LoadAgu(dseq) => {
-                    let idx = self.rob_index(dseq);
-                    let addr = self.rob[idx].uop.mem_addr.expect("load without address");
-                    self.lsq.set_addr(dseq, addr);
-                    self.mem_pending.push_back(dseq);
-                }
-                Event::LoadDone(dseq) => self.complete_load(dseq),
-                Event::CopyArrive(id) => {
-                    let CopyOp { tag, to, .. } = self.copies.get(id);
-                    self.values.deliver_copy(tag, to);
-                    self.copies.release(id);
-                    self.stats.copies_delivered += 1;
-                }
-            }
-        }
-    }
-
-    fn complete_exec(&mut self, dseq: u64) {
-        let idx = self.rob_index(dseq);
-        let entry = &mut self.rob[idx];
-        debug_assert_eq!(entry.state, RobState::Waiting);
-        entry.state = RobState::Completed;
-        let cluster = entry.cluster;
-        let op = entry.uop.op;
-        let mispredicted = entry.mispredicted;
-        let dst = entry.dst_tag;
-
-        if op == OpClass::Store {
-            let addr = entry.uop.mem_addr.expect("store without address");
-            self.lsq.set_addr(dseq, addr);
-            self.lsq.set_data_ready(dseq);
-        }
-        if let Some(tag) = dst {
-            self.values.mark_produced(tag);
-        }
-        self.inflight[cluster as usize] -= 1;
-        if op == OpClass::Branch && mispredicted && self.halted_for_branch {
-            // Redirect: the front-end restarts and refills the pipe.
-            self.halted_for_branch = false;
-            self.fetch_stalled_until = self
-                .fetch_stalled_until
-                .max(self.now + u64::from(self.cfg.fetch_to_dispatch));
-        }
-    }
-
-    fn complete_load(&mut self, dseq: u64) {
-        let idx = self.rob_index(dseq);
-        let entry = &mut self.rob[idx];
-        debug_assert_eq!(entry.state, RobState::Waiting);
-        entry.state = RobState::Completed;
-        let cluster = entry.cluster;
-        if let Some(tag) = entry.dst_tag {
-            self.values.mark_produced(tag);
-        }
-        self.inflight[cluster as usize] -= 1;
-    }
-
-    // ------------------------------------------------------------------
-    // Stage 2: commit.
-    // ------------------------------------------------------------------
-    fn commit(&mut self) {
-        let mut committed = 0;
-        while committed < self.cfg.commit_width {
-            if !matches!(self.rob.front(), Some(e) if e.state == RobState::Completed) {
-                break;
-            }
-            let entry = self.rob.pop_front().expect("checked above");
-            let dseq = self.rob_base;
-            self.rob_base += 1;
-            committed += 1;
-            self.stats.committed_uops += 1;
-            self.last_commit_cycle = self.now;
-            match entry.uop.op {
-                OpClass::Branch => {
-                    self.stats.branches += 1;
-                    if entry.mispredicted {
-                        self.stats.mispredicts += 1;
-                    }
-                }
-                OpClass::Load => self.lsq.free(dseq),
-                OpClass::Store => {
-                    let addr = entry.uop.mem_addr.expect("store without address");
-                    self.store_drain.push_back((dseq, addr));
-                }
-                _ => {}
-            }
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Stage 3: store drain (post-commit cache writes, write-port limited).
-    // ------------------------------------------------------------------
-    fn drain_stores(&mut self) {
-        while let Some(&(dseq, addr)) = self.store_drain.front() {
-            if !self.mem.try_store_write(addr) {
-                break;
-            }
-            self.lsq.free(dseq);
-            self.store_drain.pop_front();
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Stage 4: memory stage — loads with resolved addresses access the
-    // LSQ / cache hierarchy.
-    // ------------------------------------------------------------------
-    fn memory_stage(&mut self) {
-        let mut remaining = VecDeque::with_capacity(self.mem_pending.len());
-        let mut ports_exhausted = false;
-        while let Some(dseq) = self.mem_pending.pop_front() {
-            let addr = {
-                let idx = self.rob_index(dseq);
-                self.rob[idx].uop.mem_addr.expect("load without address")
-            };
-            match self.lsq.check_load(dseq, addr) {
-                LoadCheck::Forward => {
-                    self.stats.store_forwards += 1;
-                    let lat = u64::from(self.cfg.l1.hit_latency);
-                    self.schedule(self.now + lat, Event::LoadDone(dseq));
-                }
-                LoadCheck::WaitOnStore => remaining.push_back(dseq),
-                LoadCheck::GoToCache => {
-                    if ports_exhausted {
-                        remaining.push_back(dseq);
-                        continue;
-                    }
-                    match self.mem.try_load(addr) {
-                        Some((lat, path)) => {
-                            match path {
-                                LoadPath::L1Hit => self.stats.l1_hits += 1,
-                                LoadPath::L2Hit => {
-                                    self.stats.l1_misses += 1;
-                                    self.stats.l2_hits += 1;
-                                }
-                                LoadPath::Mem => {
-                                    self.stats.l1_misses += 1;
-                                    self.stats.l2_misses += 1;
-                                }
-                                LoadPath::Forward => unreachable!("cache never forwards"),
-                            }
-                            self.schedule(self.now + u64::from(lat), Event::LoadDone(dseq));
-                        }
-                        None => {
-                            ports_exhausted = true;
-                            remaining.push_back(dseq);
-                        }
-                    }
-                }
-            }
-        }
-        self.mem_pending = remaining;
-    }
-
-    // ------------------------------------------------------------------
-    // Stage 5: issue.
-    // ------------------------------------------------------------------
-    fn issue(&mut self) {
-        let n = self.cfg.num_clusters;
-        for c in 0..n {
-            self.issue_queue(c, QueueKind::Int, self.cfg.iq_int_issue);
-            self.issue_queue(c, QueueKind::Fp, self.cfg.iq_fp_issue);
-            self.issue_copies(c, self.cfg.copy_issue);
-        }
-    }
-
-    fn issue_queue(&mut self, cluster: usize, kind: QueueKind, width: usize) {
-        // Gather ready candidates oldest-first (split immutable scan from
-        // mutable processing to keep the borrow checker happy).
-        let mut picked: Vec<u64> = Vec::with_capacity(width);
-        for dseq in self.iqs[cluster][kind.index()].ids() {
-            if picked.len() >= width {
-                break;
-            }
-            let idx = (dseq - self.rob_base) as usize;
-            let entry = &self.rob[idx];
-            let ready = entry
-                .src_tags
-                .iter()
-                .flatten()
-                .all(|&t| self.values.ready_in(t, cluster as u8));
-            if ready {
-                picked.push(dseq);
-            }
-        }
-        self.iqs[cluster][kind.index()].remove_ids(&picked);
-        for dseq in picked {
-            self.start_execution(dseq);
-            self.stats.clusters[cluster].issued += 1;
-        }
-    }
-
-    fn start_execution(&mut self, dseq: u64) {
-        let idx = self.rob_index(dseq);
-        // Release source references: the operands are read at issue.
-        let src_tags = self.rob[idx].src_tags;
-        for tag in src_tags.iter().flatten() {
-            self.values.release(*tag);
-        }
-        let op = self.rob[idx].uop.op;
-        let lat = u64::from(self.cfg.latencies.of(op));
-        match op {
-            OpClass::Load => self.schedule(self.now + lat, Event::LoadAgu(dseq)),
-            _ => self.schedule(self.now + lat, Event::Exec(dseq)),
-        }
-    }
-
-    fn issue_copies(&mut self, cluster: usize, width: usize) {
-        let mut picked: Vec<u64> = Vec::with_capacity(width);
-        for id64 in self.iqs[cluster][QueueKind::Copy.index()].ids() {
-            if picked.len() >= width {
-                break;
-            }
-            let op = self.copies.get(id64 as u32);
-            if self.values.ready_in(op.tag, op.from) && self.links.try_send(op.from, op.to) {
-                picked.push(id64);
-            }
-        }
-        self.iqs[cluster][QueueKind::Copy.index()].remove_ids(&picked);
-        for id64 in picked {
-            // A copy micro-op spends one cycle reading the source register
-            // file after issue, then traverses the point-to-point link
-            // (`copy_latency`, paper Table 2: 1 cycle).
-            let lat = 1 + u64::from(self.cfg.copy_latency).max(1);
-            self.schedule(self.now + lat, Event::CopyArrive(id64 as u32));
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Stage 6: dispatch (decode/rename/steer).
-    // ------------------------------------------------------------------
-    fn refresh_occ_buf(&mut self) {
-        for (c, occ) in self.occ_buf.iter_mut().enumerate() {
-            for kind in QueueKind::ALL {
-                occ[kind.index()] = self.iqs[c][kind.index()].len();
-            }
-        }
-    }
-
-    /// Pick the cluster a copy of `tag` should be read from: the lowest
-    /// cluster where the value is already ready, else its home cluster
-    /// (the copy will wait there for the producer).
-    fn copy_source(&self, tag: ValueTag) -> u8 {
-        let ready = self.values.ready_mask(tag);
-        if ready != 0 {
-            ready.trailing_zeros() as u8
-        } else {
-            self.values.home(tag)
-        }
-    }
-
-    fn dispatch(&mut self, policy: &mut dyn SteeringPolicy) {
-        // The parallel-steering snapshot: a pipelined (non-serializing)
-        // steering unit computes its decisions while the bundle traverses
-        // the fetch-to-dispatch stages, so the location information it
-        // reads is `fetch_to_dispatch` cycles old by the time the bundle
-        // dispatches (Sec. 2.1's stale "bundle entry" information).
-        self.stale_ring
-            .push_back(self.rename.location_snapshot(&self.values));
-        if self.stale_ring.len() > self.cfg.fetch_to_dispatch as usize {
-            self.stale_loc = self.stale_ring.pop_front().expect("non-empty ring");
-        }
-        let mut budget_int = self.cfg.dispatch_width_int;
-        let mut budget_fp = self.cfg.dispatch_width_fp;
-        let mut dispatched_any = false;
-        let mut stalled = false;
-
-        while let Some(front) = self.fetchq.front() {
-            if front.ready > self.now {
-                break;
-            }
-            let uop = front.uop;
-            let mispredicted = front.mispredicted;
-
-            let budget = if uop.op.is_fp() {
-                &mut budget_fp
-            } else {
-                &mut budget_int
-            };
-            if *budget == 0 {
-                break;
-            }
-
-            // Structural checks that do not depend on the steering decision.
-            if self.rob.len() >= self.cfg.rob_entries {
-                self.stats.dispatch_stalls[StallReason::RobFull.index()] += 1;
-                stalled = true;
-                break;
-            }
-            if uop.op.is_mem() && !self.lsq.has_space() {
-                self.stats.dispatch_stalls[StallReason::LsqFull.index()] += 1;
-                stalled = true;
-                break;
-            }
-
-            // Ask the policy.
-            self.refresh_occ_buf();
-            let decision = {
-                let view = SteerView {
-                    num_clusters: self.cfg.num_clusters,
-                    rename: &self.rename,
-                    values: &self.values,
-                    stale_loc: &self.stale_loc,
-                    iq_occ: &self.occ_buf,
-                    iq_cap: [
-                        self.cfg.iq_int_entries,
-                        self.cfg.iq_fp_entries,
-                        self.cfg.copy_queue_entries,
-                    ],
-                    inflight: &self.inflight,
-                    busy_threshold: self.cfg.busy_occupancy_threshold,
-                };
-                policy.steer(&uop, &view)
-            };
-            let cluster = match decision {
-                SteerDecision::Stall => {
-                    self.stats.dispatch_stalls[StallReason::PolicyStall.index()] += 1;
-                    stalled = true;
-                    break;
-                }
-                SteerDecision::Cluster(c) => {
-                    assert!(
-                        (c as usize) < self.cfg.num_clusters,
-                        "policy steered to nonexistent cluster {c}"
-                    );
-                    c
-                }
-            };
-
-            // Structural checks for the chosen cluster.
-            let kind = uop.op.queue();
-            if !self.iqs[cluster as usize][kind.index()].has_space() {
-                self.stats.dispatch_stalls[StallReason::IqFull.index()] += 1;
-                stalled = true;
-                break;
-            }
-            if let Some(dst) = uop.dst {
-                let cap = match dst.class {
-                    RegClass::Int => self.cfg.int_regs_per_cluster,
-                    RegClass::Flt => self.cfg.fp_regs_per_cluster,
-                };
-                if self.values.rf_used(cluster, dst.class) as usize >= cap {
-                    self.stats.dispatch_stalls[StallReason::RfFull.index()] += 1;
-                    stalled = true;
-                    break;
-                }
-            }
-
-            // Plan copies for sources not present in the target cluster.
-            let mut copy_regs: Vec<(virtclust_uarch::ArchReg, u8)> = Vec::new();
-            let mut planned_per_cluster = [0usize; 8];
-            let mut copyq_blocked = false;
-            for src in uop.srcs.iter() {
-                if copy_regs.iter().any(|&(r, _)| r == src) {
-                    continue; // same register read twice: one copy.
-                }
-                let loc = self.rename.location(src, &self.values);
-                if loc & cluster_bit(cluster) != 0 {
-                    continue;
-                }
-                let from = self.copy_source(self.rename.tag(src));
-                let queue = &self.iqs[from as usize][QueueKind::Copy.index()];
-                if queue.len() + planned_per_cluster[from as usize] >= queue.capacity() {
-                    copyq_blocked = true;
-                    break;
-                }
-                planned_per_cluster[from as usize] += 1;
-                copy_regs.push((src, from));
-            }
-            if copyq_blocked {
-                self.stats.dispatch_stalls[StallReason::CopyQueueFull.index()] += 1;
-                stalled = true;
-                break;
-            }
-
-            // All checks passed: dispatch for real.
-            self.fetchq.pop_front();
-            let dseq = self.next_dseq;
-            self.next_dseq += 1;
-            debug_assert_eq!(dseq, self.rob_base + self.rob.len() as u64);
-
-            // Source references (one per read, duplicates included).
-            let mut src_tags = [None; 3];
-            for (i, src) in uop.srcs.iter().enumerate() {
-                let tag = self.rename.tag(src);
-                self.values.add_ref(tag);
-                src_tags[i] = Some(tag);
-            }
-
-            // Copy generation (the paper's copy generator, now policy-free).
-            for &(reg, from) in &copy_regs {
-                let tag = self.rename.tag(reg);
-                self.values.begin_copy(tag, cluster);
-                let id = self.copies.alloc(CopyOp {
-                    tag,
-                    from,
-                    to: cluster,
-                });
-                self.iqs[from as usize][QueueKind::Copy.index()].push(u64::from(id));
-                self.stats.copies_generated += 1;
-                self.stats.clusters[from as usize].copies_inserted += 1;
-            }
-
-            // Destination rename.
-            let dst_tag = uop.dst.map(|dst| {
-                let tag = self.values.alloc(dst.class, cluster);
-                self.rename.redefine(dst, tag, &mut self.values);
-                tag
-            });
-
-            if uop.op.is_mem() {
-                self.lsq.alloc(dseq, uop.op == OpClass::Store);
-            }
-
-            self.rob.push_back(RobEntry {
-                uop,
-                cluster,
-                state: RobState::Waiting,
-                dst_tag,
-                src_tags,
-                mispredicted,
-            });
-            self.iqs[cluster as usize][kind.index()].push(dseq);
-            self.inflight[cluster as usize] += 1;
-            self.stats.clusters[cluster as usize].dispatched += 1;
-            *budget -= 1;
-            dispatched_any = true;
-        }
-
-        if !dispatched_any && !stalled {
-            self.stats.frontend_starved_cycles += 1;
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Stage 7: fetch.
-    // ------------------------------------------------------------------
-    fn fetch(&mut self, trace: &mut dyn TraceSource, limits: &RunLimits) {
-        if self.halted_for_branch || self.now < self.fetch_stalled_until {
-            return;
-        }
-        for _ in 0..self.cfg.fetch_width {
-            if self.fetchq.len() >= self.fetch_buf_cap {
-                break;
-            }
-            if let Some(max) = limits.max_uops {
-                if self.fetched_uops >= max {
-                    self.trace_done = true;
-                    break;
-                }
-            }
-            let Some(uop) = trace.next_uop() else {
-                self.trace_done = true;
-                break;
-            };
-            self.fetched_uops += 1;
-
-            // Trace-cache model at region granularity.
-            let region = uop.inst.region;
-            let mut extra_delay = 0u64;
-            if self.cur_region != Some(region) {
-                self.cur_region = Some(region);
-                if !self.tcache.access(region, trace.region_uops(region)) {
-                    self.stats.trace_cache_misses += 1;
-                    extra_delay = u64::from(self.tcache.miss_penalty);
-                    self.fetch_stalled_until = self.now + extra_delay;
-                }
-            }
-
-            let mut mispredicted = false;
-            if let Some(binfo) = uop.branch {
-                let correct = self
-                    .predictor
-                    .predict_and_update(pc_of(uop.inst), binfo.taken);
-                // The predictor indexes by static instruction only; the
-                // trace-provided PC surrogate (`binfo.pc`) is deliberately
-                // unused, so distinct call sites of a shared region alias
-                // to one predictor entry — an accepted approximation of
-                // this trace-driven front-end.
-                let _ = binfo.pc;
-                mispredicted = !correct;
-            }
-
-            let ready = self.now + u64::from(self.cfg.fetch_to_dispatch) + extra_delay;
-            self.fetchq.push_back(FetchedUop {
-                uop,
-                ready,
-                mispredicted,
-            });
-
-            if mispredicted {
-                // Wrong path cannot be simulated: halt fetch until resolve.
-                self.halted_for_branch = true;
-                break;
-            }
-            if extra_delay > 0 {
-                break;
-            }
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // One cycle.
-    // ------------------------------------------------------------------
 
     /// Advance the machine by one cycle.
     pub fn step(
@@ -761,34 +103,7 @@ impl Machine {
         policy: &mut dyn SteeringPolicy,
         limits: &RunLimits,
     ) {
-        self.mem.begin_cycle();
-        self.links.begin_cycle();
-
-        self.process_events();
-        self.commit();
-        self.drain_stores();
-        self.memory_stage();
-        self.issue();
-        self.dispatch(policy);
-        self.fetch(trace, limits);
-
-        for (c, s) in self.stats.clusters.iter_mut().enumerate() {
-            s.occupancy_integral += u64::from(self.inflight[c]);
-        }
-
-        if !self.rob.is_empty() && self.now - self.last_commit_cycle > DEADLOCK_HORIZON {
-            panic!(
-                "simulator deadlock at cycle {}: rob={} lsq={} copies={} front={:?}",
-                self.now,
-                self.rob.len(),
-                self.lsq.len(),
-                self.copies.live(),
-                self.rob.front().map(|e| (e.uop.seq, e.uop.op, e.state))
-            );
-        }
-
-        self.now += 1;
-        self.stats.cycles = self.now;
+        self.session.step(trace, policy, limits);
     }
 
     /// Run to completion (or until a limit triggers), consuming the machine
@@ -799,38 +114,36 @@ impl Machine {
         policy: &mut dyn SteeringPolicy,
         limits: &RunLimits,
     ) -> SimStats {
-        policy.reset();
-        loop {
-            if let Some(max) = limits.max_cycles {
-                if self.now >= max {
-                    break;
-                }
-            }
-            self.step(trace, policy, limits);
-            if self.done() {
-                break;
-            }
-        }
-        self.stats
+        self.session.run(trace, policy, limits)
+    }
+
+    /// Recover the underlying session (e.g. to keep reusing its
+    /// allocations after a single-run start).
+    pub fn into_session(self) -> SimSession {
+        self.session
     }
 }
 
 /// Simulate `trace` on the machine described by `cfg` under `policy`.
 ///
-/// This is the main entry point of the crate.
+/// This is the main entry point of the crate for one-off runs. For many
+/// runs in one process, hold a [`SimSession`] and call
+/// [`SimSession::simulate`] per run — bit-identical results, without the
+/// per-run allocation cost.
 pub fn simulate(
     cfg: &MachineConfig,
     trace: &mut dyn TraceSource,
     policy: &mut dyn SteeringPolicy,
     limits: &RunLimits,
 ) -> SimStats {
-    Machine::new(cfg).run(trace, policy, limits)
+    SimSession::new(cfg).run(trace, policy, limits)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use virtclust_uarch::{ArchReg, Region, RegionBuilder, SliceTrace};
+    use crate::steering::{SteerDecision, SteerView};
+    use virtclust_uarch::{ArchReg, DynUop, Region, RegionBuilder, SliceTrace};
 
     /// Steer everything to cluster 0.
     struct ToZero;
@@ -1120,5 +433,28 @@ mod tests {
         );
         assert_eq!(stats.committed_uops, 0);
         assert!(stats.cycles <= 2);
+    }
+
+    #[test]
+    fn machine_single_step_then_into_session_reuse() {
+        let region = alu_chain_region(4);
+        let uops = expand(&region, 30);
+        let cfg = MachineConfig::default();
+        // Single-step half the run through the Machine view…
+        let mut machine = Machine::new(&cfg);
+        let mut trace = SliceTrace::new(&uops);
+        let mut policy = ToZero;
+        for _ in 0..10 {
+            machine.step(&mut trace, &mut policy, &RunLimits::unlimited());
+        }
+        assert_eq!(machine.cycle(), 10);
+        // …then recover the session and reuse its allocations for a full
+        // fresh run.
+        let mut session = machine.into_session();
+        let mut trace = SliceTrace::new(&uops);
+        let reused = session.simulate(&cfg, &mut trace, &mut ToZero, &RunLimits::unlimited());
+        let mut trace = SliceTrace::new(&uops);
+        let fresh = simulate(&cfg, &mut trace, &mut ToZero, &RunLimits::unlimited());
+        assert_eq!(reused, fresh);
     }
 }

@@ -83,15 +83,30 @@ impl LocalHistory {
     /// Create a predictor with `2^log2_entries` pattern counters and a
     /// proportionally sized history table.
     pub fn new(log2_entries: u32) -> Self {
+        let mut predictor = LocalHistory {
+            histories: Vec::new(),
+            pattern: Vec::new(),
+            hist_bits: 0,
+            hist_table_mask: 0,
+            pattern_mask: 0,
+        };
+        predictor.reset(log2_entries);
+        predictor
+    }
+
+    /// Forget all learned state and retarget to `log2_entries`, reusing the
+    /// tables when the size is unchanged (session reuse; equivalent to
+    /// [`LocalHistory::new`]).
+    pub fn reset(&mut self, log2_entries: u32) {
         let pattern_entries = 1usize << log2_entries;
         let hist_log2 = log2_entries.min(12);
-        LocalHistory {
-            histories: vec![0; 1usize << hist_log2],
-            pattern: vec![2u8; pattern_entries], // weakly taken
-            hist_bits: 10.min(log2_entries),
-            hist_table_mask: ((1usize << hist_log2) - 1) as u64,
-            pattern_mask: (pattern_entries - 1) as u64,
-        }
+        self.histories.clear();
+        self.histories.resize(1usize << hist_log2, 0);
+        self.pattern.clear();
+        self.pattern.resize(pattern_entries, 2); // weakly taken
+        self.hist_bits = 10.min(log2_entries);
+        self.hist_table_mask = ((1usize << hist_log2) - 1) as u64;
+        self.pattern_mask = (pattern_entries - 1) as u64;
     }
 
     #[inline]
@@ -140,13 +155,25 @@ pub struct TraceCache {
 impl TraceCache {
     /// Create a trace cache holding `capacity_uops` micro-ops.
     pub fn new(capacity_uops: usize) -> Self {
-        TraceCache {
+        let mut cache = TraceCache {
             resident: Vec::new(),
-            capacity_uops,
+            capacity_uops: 0,
             used_uops: 0,
             stamp: 0,
-            miss_penalty: 10,
-        }
+            miss_penalty: 0,
+        };
+        cache.reset(capacity_uops);
+        cache
+    }
+
+    /// Empty the cache and retarget to `capacity_uops` (session reuse;
+    /// equivalent to [`TraceCache::new`]).
+    pub fn reset(&mut self, capacity_uops: usize) {
+        self.resident.clear();
+        self.capacity_uops = capacity_uops;
+        self.used_uops = 0;
+        self.stamp = 0;
+        self.miss_penalty = 10;
     }
 
     /// Access the trace for `region` (with `region_uops` micro-ops).

@@ -20,11 +20,20 @@ pub struct IssueQueue {
 impl IssueQueue {
     /// Create a queue with `capacity` entries.
     pub fn new(capacity: usize) -> Self {
-        assert!(capacity >= 1);
-        IssueQueue {
+        let mut queue = IssueQueue {
             entries: VecDeque::with_capacity(capacity),
-            capacity,
-        }
+            capacity: 1,
+        };
+        queue.reset(capacity);
+        queue
+    }
+
+    /// Clear in place and retarget to `capacity`, keeping the entry
+    /// allocation — the session-reuse path of [`IssueQueue::new`].
+    pub fn reset(&mut self, capacity: usize) {
+        assert!(capacity >= 1);
+        self.entries.clear();
+        self.capacity = capacity;
     }
 
     /// Entries currently waiting.
@@ -129,6 +138,13 @@ impl CopySlab {
         Self::default()
     }
 
+    /// Drop every copy but keep the slab allocations (session reuse).
+    pub fn reset(&mut self) {
+        self.ops.clear();
+        self.free.clear();
+        self.live = 0;
+    }
+
     /// Allocate a copy op, returning its id.
     pub fn alloc(&mut self, op: CopyOp) -> u32 {
         self.live += 1;
@@ -174,15 +190,24 @@ pub struct LinkArbiter {
 impl LinkArbiter {
     /// Create an arbiter allowing `per_cycle` copies per link direction.
     pub fn new(per_cycle: usize) -> Self {
-        LinkArbiter {
+        let mut arbiter = LinkArbiter {
             used: [[0; 8]; 8],
-            per_cycle: per_cycle.min(255) as u8,
-        }
+            per_cycle: 0,
+        };
+        arbiter.reset(per_cycle);
+        arbiter
     }
 
     /// Reset budgets; call once per cycle.
     pub fn begin_cycle(&mut self) {
         self.used = [[0; 8]; 8];
+    }
+
+    /// Re-initialise to a possibly different per-cycle budget (session
+    /// reuse; equivalent to [`LinkArbiter::new`]).
+    pub fn reset(&mut self, per_cycle: usize) {
+        self.used = [[0; 8]; 8];
+        self.per_cycle = per_cycle.min(255) as u8;
     }
 
     /// Try to reserve a slot on the `from → to` direction this cycle.

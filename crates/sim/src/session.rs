@@ -1,0 +1,1137 @@
+//! Reusable simulation sessions.
+//!
+//! A [`SimSession`] owns every piece of heap state a simulation needs — the
+//! event calendar, ROB/LSQ/issue-queue buffers, rename and value tables,
+//! cache line arrays, predictor tables, occupancy scratch — and survives
+//! across runs: [`SimSession::reset`] returns all of it to the
+//! post-construction state by clearing in place instead of reallocating.
+//! One session can therefore serve an arbitrary stream of heterogeneous
+//! jobs (different machine configurations, steering policies and trace
+//! sources) at a fraction of the per-run setup cost of building a fresh
+//! [`crate::Machine`] each time — the state a 2-cluster machine allocates
+//! up front (L2 line array, predictor tables, event calendar) is on the
+//! order of a megabyte, all of which a reset simply re-zeroes.
+//!
+//! The contract, enforced by tests here, in `crates/core` and in the
+//! workspace `tests/properties.rs`, is **bit-identical statistics**: a
+//! reused session produces exactly the [`SimStats`] of a fresh
+//! [`crate::Machine::new`] run for every configuration and policy.
+//! [`crate::Machine`] and [`crate::simulate`] are thin per-run views over a
+//! private session.
+//!
+//! Besides reuse, the session is where the simulator's per-cycle hot-path
+//! allocations were removed (ROADMAP "Hot-path profiling"):
+//!
+//! * the event calendar recycles its slot vectors through a scratch buffer
+//!   instead of dropping one per cycle;
+//! * issue selection and the memory stage reuse session-owned scratch
+//!   buffers instead of allocating per cycle;
+//! * the dispatch stage's stale location snapshot (Sec. 2.1's "bundle
+//!   entry" view) is maintained incrementally — location masks only change
+//!   at dispatch (destination renames and copy insertions), so the
+//!   per-cycle walk over the whole rename table is gone;
+//! * per-uop copy planning uses a fixed inline array (micro-ops have at
+//!   most [`virtclust_uarch::MAX_SRCS`] sources).
+
+use std::collections::VecDeque;
+
+use virtclust_uarch::{
+    DynUop, MachineConfig, OpClass, QueueKind, RegClass, TraceSource, MAX_SRCS, NUM_ARCH_REGS,
+};
+
+use crate::cache::{LoadPath, MemorySystem};
+use crate::lsq::{LoadCheck, Lsq};
+use crate::machine::RunLimits;
+use crate::predictor::{pc_of, LocalHistory, TraceCache};
+use crate::queues::{CopyOp, CopySlab, IssueQueue, LinkArbiter};
+use crate::stats::{SimStats, StallReason};
+use crate::steering::{SteerDecision, SteerView, SteeringPolicy};
+use crate::value::{all_clusters, cluster_bit, ClusterMask, RenameTable, ValueTag, ValueTracker};
+
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    /// A non-memory micro-op finishes execution.
+    Exec(u64),
+    /// A load's address generation finishes; it enters the memory stage.
+    LoadAgu(u64),
+    /// A load's data arrives.
+    LoadDone(u64),
+    /// A copy micro-op arrives at its destination cluster.
+    CopyArrive(u32),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RobState {
+    Waiting,
+    Completed,
+}
+
+#[derive(Debug, Clone)]
+struct RobEntry {
+    uop: DynUop,
+    cluster: u8,
+    state: RobState,
+    dst_tag: Option<ValueTag>,
+    src_tags: [Option<ValueTag>; MAX_SRCS],
+    mispredicted: bool,
+}
+
+#[derive(Debug, Clone)]
+struct FetchedUop {
+    uop: DynUop,
+    ready: u64,
+    mispredicted: bool,
+}
+
+/// Cycles without a commit (while work is in flight) after which the
+/// simulator declares a deadlock — this is a bug, never a workload property.
+const DEADLOCK_HORIZON: u64 = 1_000_000;
+
+/// A long-lived simulation context: all heap state of the simulated
+/// machine, reusable across runs via [`SimSession::reset`].
+///
+/// ```
+/// use virtclust_sim::{SimSession, RunLimits, SteerDecision, SteerView, SteeringPolicy};
+/// use virtclust_uarch::{ArchReg, DynUop, MachineConfig, RegionBuilder, SliceTrace, TraceSource};
+///
+/// struct Zero;
+/// impl SteeringPolicy for Zero {
+///     fn name(&self) -> String { "zero".into() }
+///     fn steer(&mut self, _u: &DynUop, _v: &SteerView<'_>) -> SteerDecision {
+///         SteerDecision::Cluster(0)
+///     }
+/// }
+///
+/// let r = ArchReg::int;
+/// let region = RegionBuilder::new(0, "demo").alu(r(1), &[r(1), r(2)]).build();
+/// let mut uops = Vec::new();
+/// virtclust_uarch::trace::expand_region(&region, 0, &mut uops, |_, _| 0, |_, _| true);
+/// let mut trace = SliceTrace::new(&uops);
+///
+/// // One session, many runs: reset + rewind instead of rebuild + re-expand.
+/// let mut session = SimSession::new(&MachineConfig::default());
+/// let first = session.simulate(&MachineConfig::default(), &mut trace, &mut Zero,
+///                              &RunLimits::unlimited());
+/// trace.rewind().unwrap();
+/// let again = session.simulate(&MachineConfig::default(), &mut trace, &mut Zero,
+///                              &RunLimits::unlimited());
+/// assert_eq!(first, again, "reuse is bit-identical");
+/// ```
+pub struct SimSession {
+    cfg: MachineConfig,
+    now: u64,
+    // Backend state.
+    values: ValueTracker,
+    rename: RenameTable,
+    rob: VecDeque<RobEntry>,
+    rob_base: u64,
+    next_dseq: u64,
+    iqs: Vec<[IssueQueue; 3]>,
+    copies: CopySlab,
+    links: LinkArbiter,
+    lsq: Lsq,
+    mem: MemorySystem,
+    inflight: Vec<u32>,
+    // Event calendar. Slot vectors are recycled through `events_scratch`
+    // so steady-state cycles never allocate.
+    events: Vec<Vec<Event>>,
+    events_scratch: Vec<Event>,
+    horizon_mask: u64,
+    // Front-end state.
+    fetchq: VecDeque<FetchedUop>,
+    fetch_buf_cap: usize,
+    fetch_stalled_until: u64,
+    halted_for_branch: bool,
+    predictor: LocalHistory,
+    tcache: TraceCache,
+    cur_region: Option<u32>,
+    fetched_uops: u64,
+    trace_done: bool,
+    // Memory stage queues (`mem_scratch` is the retry-queue double buffer).
+    mem_pending: VecDeque<u64>,
+    mem_scratch: VecDeque<u64>,
+    store_drain: VecDeque<(u64, u64)>,
+    // Scratch.
+    occ_buf: Vec<[usize; 3]>,
+    picked: Vec<u64>,
+    // The live per-register location view, maintained incrementally at the
+    // points where it can change (dispatch renames / copy insertions), and
+    // the delayed ring that models the parallel steering unit's stale view.
+    cur_loc: [ClusterMask; NUM_ARCH_REGS],
+    stale_loc: [ClusterMask; NUM_ARCH_REGS],
+    stale_ring: VecDeque<[ClusterMask; NUM_ARCH_REGS]>,
+    // Bookkeeping.
+    stats: SimStats,
+    last_commit_cycle: u64,
+}
+
+impl SimSession {
+    /// Build a session configured for `cfg`. Construction and
+    /// [`SimSession::reset`] share one code path, so a freshly built and a
+    /// reset session are indistinguishable.
+    pub fn new(cfg: &MachineConfig) -> Self {
+        let mut values = ValueTracker::new(1);
+        let rename = RenameTable::new(&mut values);
+        let mut session = SimSession {
+            cfg: cfg.clone(),
+            now: 0,
+            values,
+            rename,
+            rob: VecDeque::with_capacity(cfg.rob_entries),
+            rob_base: 0,
+            next_dseq: 0,
+            iqs: Vec::new(),
+            copies: CopySlab::new(),
+            links: LinkArbiter::new(cfg.copies_per_link_per_cycle),
+            lsq: Lsq::new(cfg.lsq_entries),
+            mem: MemorySystem::new(cfg),
+            inflight: Vec::new(),
+            events: Vec::new(),
+            events_scratch: Vec::new(),
+            horizon_mask: 0,
+            fetchq: VecDeque::new(),
+            fetch_buf_cap: 0,
+            fetch_stalled_until: 0,
+            halted_for_branch: false,
+            predictor: LocalHistory::new(cfg.predictor_log2_entries),
+            tcache: TraceCache::new(cfg.trace_cache_uops),
+            cur_region: None,
+            fetched_uops: 0,
+            trace_done: false,
+            mem_pending: VecDeque::new(),
+            mem_scratch: VecDeque::new(),
+            store_drain: VecDeque::new(),
+            occ_buf: Vec::new(),
+            picked: Vec::new(),
+            cur_loc: [0; NUM_ARCH_REGS],
+            stale_loc: [0; NUM_ARCH_REGS],
+            stale_ring: VecDeque::with_capacity(cfg.fetch_to_dispatch as usize + 1),
+            stats: SimStats::new(cfg.num_clusters),
+            last_commit_cycle: 0,
+        };
+        session.reset(cfg);
+        session
+    }
+
+    /// Return the session to the initial state of a machine configured by
+    /// `cfg`, clearing buffers in place. After a reset the session behaves
+    /// exactly like `SimSession::new(cfg)`; the cost is a handful of
+    /// memsets over retained allocations.
+    ///
+    /// # Panics
+    /// Panics if `cfg` fails [`MachineConfig::validate`].
+    pub fn reset(&mut self, cfg: &MachineConfig) {
+        cfg.validate().expect("invalid machine configuration");
+        let n = cfg.num_clusters;
+
+        self.now = 0;
+        self.values.reset(n);
+        self.rename.reset(&mut self.values);
+        self.rob.clear();
+        self.rob_base = 0;
+        self.next_dseq = 0;
+
+        // Issue queues: reuse per-cluster triples, grow/shrink as needed.
+        self.iqs.truncate(n);
+        for qs in self.iqs.iter_mut() {
+            qs[QueueKind::Int.index()].reset(cfg.iq_int_entries);
+            qs[QueueKind::Fp.index()].reset(cfg.iq_fp_entries);
+            qs[QueueKind::Copy.index()].reset(cfg.copy_queue_entries);
+        }
+        while self.iqs.len() < n {
+            self.iqs.push([
+                IssueQueue::new(cfg.iq_int_entries),
+                IssueQueue::new(cfg.iq_fp_entries),
+                IssueQueue::new(cfg.copy_queue_entries),
+            ]);
+        }
+
+        self.copies.reset();
+        self.links.reset(cfg.copies_per_link_per_cycle);
+        self.lsq.reset(cfg.lsq_entries);
+        self.mem.reset(cfg);
+        self.inflight.clear();
+        self.inflight.resize(n, 0);
+
+        let horizon = (cfg.mem_latency as usize + 256).next_power_of_two();
+        for slot in self.events.iter_mut() {
+            slot.clear();
+        }
+        self.events.resize_with(horizon, Vec::new);
+        self.horizon_mask = (horizon - 1) as u64;
+        self.events_scratch.clear();
+
+        self.fetchq.clear();
+        self.fetch_buf_cap = cfg.fetch_width * (cfg.fetch_to_dispatch as usize + 4);
+        self.fetch_stalled_until = 0;
+        self.halted_for_branch = false;
+        self.predictor.reset(cfg.predictor_log2_entries);
+        self.tcache.reset(cfg.trace_cache_uops);
+        self.cur_region = None;
+        self.fetched_uops = 0;
+        self.trace_done = false;
+
+        self.mem_pending.clear();
+        self.mem_scratch.clear();
+        self.store_drain.clear();
+
+        self.occ_buf.clear();
+        self.occ_buf.resize(n, [0; 3]);
+        self.picked.clear();
+        // Initial rename state: every register ready in every cluster.
+        self.cur_loc = [all_clusters(n); NUM_ARCH_REGS];
+        self.stale_loc = [0; NUM_ARCH_REGS];
+        self.stale_ring.clear();
+
+        self.stats = SimStats::new(n);
+        self.last_commit_cycle = 0;
+        self.cfg = cfg.clone();
+    }
+
+    /// The configuration the session is currently set up for.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Current cycle.
+    pub fn cycle(&self) -> u64 {
+        self.now
+    }
+
+    /// Re-home the architected value of `reg` so it is resident in exactly
+    /// one `cluster` (instead of the default "ready everywhere"). Used to
+    /// set up steering scenarios such as the paper's Sec. 2.1 example.
+    /// Call before the first [`SimSession::step`].
+    pub fn place_register(&mut self, reg: virtclust_uarch::ArchReg, cluster: u8) {
+        assert_eq!(
+            self.now, 0,
+            "place_register only valid before simulation starts"
+        );
+        assert!((cluster as usize) < self.cfg.num_clusters);
+        let tag = self.values.alloc_ready_in(reg.class, cluster);
+        self.rename.redefine(reg, tag, &mut self.values);
+        self.cur_loc[reg.flat()] = cluster_bit(cluster);
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// True when the trace is exhausted and the pipeline fully drained.
+    pub fn done(&self) -> bool {
+        self.trace_done
+            && self.fetchq.is_empty()
+            && self.rob.is_empty()
+            && self.store_drain.is_empty()
+            && self.mem_pending.is_empty()
+            && self.copies.live() == 0
+    }
+
+    fn schedule(&mut self, at: u64, ev: Event) {
+        debug_assert!(at > self.now, "events must be in the future");
+        debug_assert!(
+            at - self.now <= self.horizon_mask,
+            "event beyond calendar horizon"
+        );
+        self.events[(at & self.horizon_mask) as usize].push(ev);
+    }
+
+    #[inline]
+    fn rob_index(&self, dseq: u64) -> usize {
+        debug_assert!(dseq >= self.rob_base);
+        (dseq - self.rob_base) as usize
+    }
+
+    // ------------------------------------------------------------------
+    // Stage 1: completion events.
+    // ------------------------------------------------------------------
+    fn process_events(&mut self) {
+        let slot = (self.now & self.horizon_mask) as usize;
+        if self.events[slot].is_empty() {
+            return;
+        }
+        // Swap the slot with the session's scratch vector instead of
+        // `mem::take`-ing it: taking would drop the slot's allocation every
+        // cycle (the "event calendar churn" of ROADMAP). Handlers never
+        // schedule into the current slot (events are strictly future and
+        // within the horizon), so pushing into `self.events` is safe while
+        // the batch is drained.
+        let mut batch = std::mem::replace(
+            &mut self.events[slot],
+            std::mem::take(&mut self.events_scratch),
+        );
+        for ev in batch.drain(..) {
+            match ev {
+                Event::Exec(dseq) => self.complete_exec(dseq),
+                Event::LoadAgu(dseq) => {
+                    let idx = self.rob_index(dseq);
+                    let addr = self.rob[idx].uop.mem_addr.expect("load without address");
+                    self.lsq.set_addr(dseq, addr);
+                    self.mem_pending.push_back(dseq);
+                }
+                Event::LoadDone(dseq) => self.complete_load(dseq),
+                Event::CopyArrive(id) => {
+                    let CopyOp { tag, to, .. } = self.copies.get(id);
+                    self.values.deliver_copy(tag, to);
+                    self.copies.release(id);
+                    self.stats.copies_delivered += 1;
+                }
+            }
+        }
+        self.events_scratch = batch;
+    }
+
+    fn complete_exec(&mut self, dseq: u64) {
+        let idx = self.rob_index(dseq);
+        let entry = &mut self.rob[idx];
+        debug_assert_eq!(entry.state, RobState::Waiting);
+        entry.state = RobState::Completed;
+        let cluster = entry.cluster;
+        let op = entry.uop.op;
+        let mispredicted = entry.mispredicted;
+        let dst = entry.dst_tag;
+
+        if op == OpClass::Store {
+            let addr = entry.uop.mem_addr.expect("store without address");
+            self.lsq.set_addr(dseq, addr);
+            self.lsq.set_data_ready(dseq);
+        }
+        if let Some(tag) = dst {
+            self.values.mark_produced(tag);
+        }
+        self.inflight[cluster as usize] -= 1;
+        if op == OpClass::Branch && mispredicted && self.halted_for_branch {
+            // Redirect: the front-end restarts and refills the pipe.
+            self.halted_for_branch = false;
+            self.fetch_stalled_until = self
+                .fetch_stalled_until
+                .max(self.now + u64::from(self.cfg.fetch_to_dispatch));
+        }
+    }
+
+    fn complete_load(&mut self, dseq: u64) {
+        let idx = self.rob_index(dseq);
+        let entry = &mut self.rob[idx];
+        debug_assert_eq!(entry.state, RobState::Waiting);
+        entry.state = RobState::Completed;
+        let cluster = entry.cluster;
+        if let Some(tag) = entry.dst_tag {
+            self.values.mark_produced(tag);
+        }
+        self.inflight[cluster as usize] -= 1;
+    }
+
+    // ------------------------------------------------------------------
+    // Stage 2: commit.
+    // ------------------------------------------------------------------
+    fn commit(&mut self) {
+        let mut committed = 0;
+        while committed < self.cfg.commit_width {
+            if !matches!(self.rob.front(), Some(e) if e.state == RobState::Completed) {
+                break;
+            }
+            let entry = self.rob.pop_front().expect("checked above");
+            let dseq = self.rob_base;
+            self.rob_base += 1;
+            committed += 1;
+            self.stats.committed_uops += 1;
+            self.last_commit_cycle = self.now;
+            match entry.uop.op {
+                OpClass::Branch => {
+                    self.stats.branches += 1;
+                    if entry.mispredicted {
+                        self.stats.mispredicts += 1;
+                    }
+                }
+                OpClass::Load => self.lsq.free(dseq),
+                OpClass::Store => {
+                    let addr = entry.uop.mem_addr.expect("store without address");
+                    self.store_drain.push_back((dseq, addr));
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Stage 3: store drain (post-commit cache writes, write-port limited).
+    // ------------------------------------------------------------------
+    fn drain_stores(&mut self) {
+        while let Some(&(dseq, addr)) = self.store_drain.front() {
+            if !self.mem.try_store_write(addr) {
+                break;
+            }
+            self.lsq.free(dseq);
+            self.store_drain.pop_front();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Stage 4: memory stage — loads with resolved addresses access the
+    // LSQ / cache hierarchy.
+    // ------------------------------------------------------------------
+    fn memory_stage(&mut self) {
+        // `mem_scratch` double-buffers the retry queue so this stage never
+        // allocates in steady state.
+        let mut remaining = std::mem::take(&mut self.mem_scratch);
+        debug_assert!(remaining.is_empty());
+        let mut ports_exhausted = false;
+        while let Some(dseq) = self.mem_pending.pop_front() {
+            let addr = {
+                let idx = self.rob_index(dseq);
+                self.rob[idx].uop.mem_addr.expect("load without address")
+            };
+            match self.lsq.check_load(dseq, addr) {
+                LoadCheck::Forward => {
+                    self.stats.store_forwards += 1;
+                    let lat = u64::from(self.cfg.l1.hit_latency);
+                    self.schedule(self.now + lat, Event::LoadDone(dseq));
+                }
+                LoadCheck::WaitOnStore => remaining.push_back(dseq),
+                LoadCheck::GoToCache => {
+                    if ports_exhausted {
+                        remaining.push_back(dseq);
+                        continue;
+                    }
+                    match self.mem.try_load(addr) {
+                        Some((lat, path)) => {
+                            match path {
+                                LoadPath::L1Hit => self.stats.l1_hits += 1,
+                                LoadPath::L2Hit => {
+                                    self.stats.l1_misses += 1;
+                                    self.stats.l2_hits += 1;
+                                }
+                                LoadPath::Mem => {
+                                    self.stats.l1_misses += 1;
+                                    self.stats.l2_misses += 1;
+                                }
+                                LoadPath::Forward => unreachable!("cache never forwards"),
+                            }
+                            self.schedule(self.now + u64::from(lat), Event::LoadDone(dseq));
+                        }
+                        None => {
+                            ports_exhausted = true;
+                            remaining.push_back(dseq);
+                        }
+                    }
+                }
+            }
+        }
+        std::mem::swap(&mut self.mem_pending, &mut remaining);
+        self.mem_scratch = remaining; // the drained old queue, kept as scratch
+    }
+
+    // ------------------------------------------------------------------
+    // Stage 5: issue.
+    // ------------------------------------------------------------------
+    fn issue(&mut self) {
+        let n = self.cfg.num_clusters;
+        for c in 0..n {
+            self.issue_queue(c, QueueKind::Int, self.cfg.iq_int_issue);
+            self.issue_queue(c, QueueKind::Fp, self.cfg.iq_fp_issue);
+            self.issue_copies(c, self.cfg.copy_issue);
+        }
+    }
+
+    fn issue_queue(&mut self, cluster: usize, kind: QueueKind, width: usize) {
+        // Gather ready candidates oldest-first (split immutable scan from
+        // mutable processing to keep the borrow checker happy). `picked` is
+        // session scratch, reused across calls.
+        let mut picked = std::mem::take(&mut self.picked);
+        debug_assert!(picked.is_empty());
+        for dseq in self.iqs[cluster][kind.index()].ids() {
+            if picked.len() >= width {
+                break;
+            }
+            let idx = (dseq - self.rob_base) as usize;
+            let entry = &self.rob[idx];
+            let ready = entry
+                .src_tags
+                .iter()
+                .flatten()
+                .all(|&t| self.values.ready_in(t, cluster as u8));
+            if ready {
+                picked.push(dseq);
+            }
+        }
+        self.iqs[cluster][kind.index()].remove_ids(&picked);
+        for &dseq in &picked {
+            self.start_execution(dseq);
+            self.stats.clusters[cluster].issued += 1;
+        }
+        picked.clear();
+        self.picked = picked;
+    }
+
+    fn start_execution(&mut self, dseq: u64) {
+        let idx = self.rob_index(dseq);
+        // Release source references: the operands are read at issue.
+        let src_tags = self.rob[idx].src_tags;
+        for tag in src_tags.iter().flatten() {
+            self.values.release(*tag);
+        }
+        let op = self.rob[idx].uop.op;
+        let lat = u64::from(self.cfg.latencies.of(op));
+        match op {
+            OpClass::Load => self.schedule(self.now + lat, Event::LoadAgu(dseq)),
+            _ => self.schedule(self.now + lat, Event::Exec(dseq)),
+        }
+    }
+
+    fn issue_copies(&mut self, cluster: usize, width: usize) {
+        let mut picked = std::mem::take(&mut self.picked);
+        debug_assert!(picked.is_empty());
+        for id64 in self.iqs[cluster][QueueKind::Copy.index()].ids() {
+            if picked.len() >= width {
+                break;
+            }
+            let op = self.copies.get(id64 as u32);
+            if self.values.ready_in(op.tag, op.from) && self.links.try_send(op.from, op.to) {
+                picked.push(id64);
+            }
+        }
+        self.iqs[cluster][QueueKind::Copy.index()].remove_ids(&picked);
+        for &id64 in &picked {
+            // A copy micro-op spends one cycle reading the source register
+            // file after issue, then traverses the point-to-point link
+            // (`copy_latency`, paper Table 2: 1 cycle).
+            let lat = 1 + u64::from(self.cfg.copy_latency).max(1);
+            self.schedule(self.now + lat, Event::CopyArrive(id64 as u32));
+        }
+        picked.clear();
+        self.picked = picked;
+    }
+
+    // ------------------------------------------------------------------
+    // Stage 6: dispatch (decode/rename/steer).
+    // ------------------------------------------------------------------
+    fn refresh_occ_buf(&mut self) {
+        for (c, occ) in self.occ_buf.iter_mut().enumerate() {
+            for kind in QueueKind::ALL {
+                occ[kind.index()] = self.iqs[c][kind.index()].len();
+            }
+        }
+    }
+
+    /// Pick the cluster a copy of `tag` should be read from: the lowest
+    /// cluster where the value is already ready, else its home cluster
+    /// (the copy will wait there for the producer).
+    fn copy_source(&self, tag: ValueTag) -> u8 {
+        let ready = self.values.ready_mask(tag);
+        if ready != 0 {
+            ready.trailing_zeros() as u8
+        } else {
+            self.values.home(tag)
+        }
+    }
+
+    fn dispatch(&mut self, policy: &mut dyn SteeringPolicy) {
+        // The parallel-steering snapshot: a pipelined (non-serializing)
+        // steering unit computes its decisions while the bundle traverses
+        // the fetch-to-dispatch stages, so the location information it
+        // reads is `fetch_to_dispatch` cycles old by the time the bundle
+        // dispatches (Sec. 2.1's stale "bundle entry" information).
+        // `cur_loc` is the incrementally maintained live view; location
+        // masks only change below (renames and copy insertions), so no
+        // per-cycle rename-table walk is needed.
+        debug_assert_eq!(
+            self.cur_loc,
+            self.rename.location_snapshot(&self.values),
+            "incremental location view diverged from the rename table"
+        );
+        self.stale_ring.push_back(self.cur_loc);
+        if self.stale_ring.len() > self.cfg.fetch_to_dispatch as usize {
+            self.stale_loc = self.stale_ring.pop_front().expect("non-empty ring");
+        }
+        let mut budget_int = self.cfg.dispatch_width_int;
+        let mut budget_fp = self.cfg.dispatch_width_fp;
+        let mut dispatched_any = false;
+        let mut stalled = false;
+
+        while let Some(front) = self.fetchq.front() {
+            if front.ready > self.now {
+                break;
+            }
+            let uop = front.uop;
+            let mispredicted = front.mispredicted;
+
+            let budget = if uop.op.is_fp() {
+                &mut budget_fp
+            } else {
+                &mut budget_int
+            };
+            if *budget == 0 {
+                break;
+            }
+
+            // Structural checks that do not depend on the steering decision.
+            if self.rob.len() >= self.cfg.rob_entries {
+                self.stats.dispatch_stalls[StallReason::RobFull.index()] += 1;
+                stalled = true;
+                break;
+            }
+            if uop.op.is_mem() && !self.lsq.has_space() {
+                self.stats.dispatch_stalls[StallReason::LsqFull.index()] += 1;
+                stalled = true;
+                break;
+            }
+
+            // Ask the policy.
+            self.refresh_occ_buf();
+            let decision = {
+                let view = SteerView {
+                    num_clusters: self.cfg.num_clusters,
+                    rename: &self.rename,
+                    values: &self.values,
+                    stale_loc: &self.stale_loc,
+                    iq_occ: &self.occ_buf,
+                    iq_cap: [
+                        self.cfg.iq_int_entries,
+                        self.cfg.iq_fp_entries,
+                        self.cfg.copy_queue_entries,
+                    ],
+                    inflight: &self.inflight,
+                    busy_threshold: self.cfg.busy_occupancy_threshold,
+                };
+                policy.steer(&uop, &view)
+            };
+            let cluster = match decision {
+                SteerDecision::Stall => {
+                    self.stats.dispatch_stalls[StallReason::PolicyStall.index()] += 1;
+                    stalled = true;
+                    break;
+                }
+                SteerDecision::Cluster(c) => {
+                    assert!(
+                        (c as usize) < self.cfg.num_clusters,
+                        "policy steered to nonexistent cluster {c}"
+                    );
+                    c
+                }
+            };
+
+            // Structural checks for the chosen cluster.
+            let kind = uop.op.queue();
+            if !self.iqs[cluster as usize][kind.index()].has_space() {
+                self.stats.dispatch_stalls[StallReason::IqFull.index()] += 1;
+                stalled = true;
+                break;
+            }
+            if let Some(dst) = uop.dst {
+                let cap = match dst.class {
+                    RegClass::Int => self.cfg.int_regs_per_cluster,
+                    RegClass::Flt => self.cfg.fp_regs_per_cluster,
+                };
+                if self.values.rf_used(cluster, dst.class) as usize >= cap {
+                    self.stats.dispatch_stalls[StallReason::RfFull.index()] += 1;
+                    stalled = true;
+                    break;
+                }
+            }
+
+            // Plan copies for sources not present in the target cluster.
+            // A micro-op has at most MAX_SRCS sources, so the plan fits a
+            // fixed inline array (no per-uop allocation).
+            let mut copy_regs = [(virtclust_uarch::ArchReg::int(0), 0u8); MAX_SRCS];
+            let mut n_copies = 0usize;
+            let mut planned_per_cluster = [0usize; 8];
+            let mut copyq_blocked = false;
+            for src in uop.srcs.iter() {
+                if copy_regs[..n_copies].iter().any(|&(r, _)| r == src) {
+                    continue; // same register read twice: one copy.
+                }
+                let loc = self.rename.location(src, &self.values);
+                if loc & cluster_bit(cluster) != 0 {
+                    continue;
+                }
+                let from = self.copy_source(self.rename.tag(src));
+                let queue = &self.iqs[from as usize][QueueKind::Copy.index()];
+                if queue.len() + planned_per_cluster[from as usize] >= queue.capacity() {
+                    copyq_blocked = true;
+                    break;
+                }
+                planned_per_cluster[from as usize] += 1;
+                copy_regs[n_copies] = (src, from);
+                n_copies += 1;
+            }
+            if copyq_blocked {
+                self.stats.dispatch_stalls[StallReason::CopyQueueFull.index()] += 1;
+                stalled = true;
+                break;
+            }
+
+            // All checks passed: dispatch for real.
+            self.fetchq.pop_front();
+            let dseq = self.next_dseq;
+            self.next_dseq += 1;
+            debug_assert_eq!(dseq, self.rob_base + self.rob.len() as u64);
+
+            // Source references (one per read, duplicates included).
+            let mut src_tags = [None; MAX_SRCS];
+            for (i, src) in uop.srcs.iter().enumerate() {
+                let tag = self.rename.tag(src);
+                self.values.add_ref(tag);
+                src_tags[i] = Some(tag);
+            }
+
+            // Copy generation (the paper's copy generator, now policy-free).
+            for &(reg, from) in &copy_regs[..n_copies] {
+                let tag = self.rename.tag(reg);
+                self.values.begin_copy(tag, cluster);
+                self.cur_loc[reg.flat()] |= cluster_bit(cluster);
+                let id = self.copies.alloc(CopyOp {
+                    tag,
+                    from,
+                    to: cluster,
+                });
+                self.iqs[from as usize][QueueKind::Copy.index()].push(u64::from(id));
+                self.stats.copies_generated += 1;
+                self.stats.clusters[from as usize].copies_inserted += 1;
+            }
+
+            // Destination rename.
+            let dst_tag = uop.dst.map(|dst| {
+                let tag = self.values.alloc(dst.class, cluster);
+                self.rename.redefine(dst, tag, &mut self.values);
+                self.cur_loc[dst.flat()] = cluster_bit(cluster);
+                tag
+            });
+
+            if uop.op.is_mem() {
+                self.lsq.alloc(dseq, uop.op == OpClass::Store);
+            }
+
+            self.rob.push_back(RobEntry {
+                uop,
+                cluster,
+                state: RobState::Waiting,
+                dst_tag,
+                src_tags,
+                mispredicted,
+            });
+            self.iqs[cluster as usize][kind.index()].push(dseq);
+            self.inflight[cluster as usize] += 1;
+            self.stats.clusters[cluster as usize].dispatched += 1;
+            *budget -= 1;
+            dispatched_any = true;
+        }
+
+        if !dispatched_any && !stalled {
+            self.stats.frontend_starved_cycles += 1;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Stage 7: fetch.
+    // ------------------------------------------------------------------
+    fn fetch(&mut self, trace: &mut dyn TraceSource, limits: &RunLimits) {
+        if self.halted_for_branch || self.now < self.fetch_stalled_until {
+            return;
+        }
+        for _ in 0..self.cfg.fetch_width {
+            if self.fetchq.len() >= self.fetch_buf_cap {
+                break;
+            }
+            if let Some(max) = limits.max_uops {
+                if self.fetched_uops >= max {
+                    self.trace_done = true;
+                    break;
+                }
+            }
+            let Some(uop) = trace.next_uop() else {
+                self.trace_done = true;
+                break;
+            };
+            self.fetched_uops += 1;
+
+            // Trace-cache model at region granularity.
+            let region = uop.inst.region;
+            let mut extra_delay = 0u64;
+            if self.cur_region != Some(region) {
+                self.cur_region = Some(region);
+                if !self.tcache.access(region, trace.region_uops(region)) {
+                    self.stats.trace_cache_misses += 1;
+                    extra_delay = u64::from(self.tcache.miss_penalty);
+                    self.fetch_stalled_until = self.now + extra_delay;
+                }
+            }
+
+            let mut mispredicted = false;
+            if let Some(binfo) = uop.branch {
+                let correct = self
+                    .predictor
+                    .predict_and_update(pc_of(uop.inst), binfo.taken);
+                // The predictor indexes by static instruction only; the
+                // trace-provided PC surrogate (`binfo.pc`) is deliberately
+                // unused, so distinct call sites of a shared region alias
+                // to one predictor entry — an accepted approximation of
+                // this trace-driven front-end.
+                let _ = binfo.pc;
+                mispredicted = !correct;
+            }
+
+            let ready = self.now + u64::from(self.cfg.fetch_to_dispatch) + extra_delay;
+            self.fetchq.push_back(FetchedUop {
+                uop,
+                ready,
+                mispredicted,
+            });
+
+            if mispredicted {
+                // Wrong path cannot be simulated: halt fetch until resolve.
+                self.halted_for_branch = true;
+                break;
+            }
+            if extra_delay > 0 {
+                break;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // One cycle.
+    // ------------------------------------------------------------------
+
+    /// Advance the machine by one cycle.
+    pub fn step(
+        &mut self,
+        trace: &mut dyn TraceSource,
+        policy: &mut dyn SteeringPolicy,
+        limits: &RunLimits,
+    ) {
+        self.mem.begin_cycle();
+        self.links.begin_cycle();
+
+        self.process_events();
+        self.commit();
+        self.drain_stores();
+        self.memory_stage();
+        self.issue();
+        self.dispatch(policy);
+        self.fetch(trace, limits);
+
+        for (c, s) in self.stats.clusters.iter_mut().enumerate() {
+            s.occupancy_integral += u64::from(self.inflight[c]);
+        }
+
+        if !self.rob.is_empty() && self.now - self.last_commit_cycle > DEADLOCK_HORIZON {
+            panic!(
+                "simulator deadlock at cycle {}: rob={} lsq={} copies={} front={:?}",
+                self.now,
+                self.rob.len(),
+                self.lsq.len(),
+                self.copies.live(),
+                self.rob.front().map(|e| (e.uop.seq, e.uop.op, e.state))
+            );
+        }
+
+        self.now += 1;
+        self.stats.cycles = self.now;
+    }
+
+    /// Run from the current state to completion (or until a limit
+    /// triggers), returning the statistics. Resets `policy` first, exactly
+    /// as [`crate::Machine::run`] does. The session is left *dirty*: call
+    /// [`SimSession::reset`] (or [`SimSession::simulate`], which does)
+    /// before the next run.
+    pub fn run(
+        &mut self,
+        trace: &mut dyn TraceSource,
+        policy: &mut dyn SteeringPolicy,
+        limits: &RunLimits,
+    ) -> SimStats {
+        policy.reset();
+        loop {
+            if let Some(max) = limits.max_cycles {
+                if self.now >= max {
+                    break;
+                }
+            }
+            self.step(trace, policy, limits);
+            if self.done() {
+                break;
+            }
+        }
+        std::mem::take(&mut self.stats)
+    }
+
+    /// Reset to `cfg` and run one complete simulation — the batch-engine
+    /// entry point. Bit-identical to `simulate(cfg, …)` on a fresh machine,
+    /// without the per-run allocation cost.
+    pub fn simulate(
+        &mut self,
+        cfg: &MachineConfig,
+        trace: &mut dyn TraceSource,
+        policy: &mut dyn SteeringPolicy,
+        limits: &RunLimits,
+    ) -> SimStats {
+        self.reset(cfg);
+        self.run(trace, policy, limits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{simulate, Machine};
+    use virtclust_uarch::{ArchReg, Region, RegionBuilder, SliceTrace};
+
+    /// Round-robin per uop (maximally copy-happy).
+    struct RoundRobin(u8);
+    impl SteeringPolicy for RoundRobin {
+        fn name(&self) -> String {
+            "round-robin".into()
+        }
+        fn steer(&mut self, _uop: &DynUop, view: &SteerView<'_>) -> SteerDecision {
+            let c = self.0;
+            self.0 = (self.0 + 1) % view.num_clusters() as u8;
+            SteerDecision::Cluster(c)
+        }
+        fn reset(&mut self) {
+            self.0 = 0;
+        }
+    }
+
+    fn r(i: u8) -> ArchReg {
+        ArchReg::int(i)
+    }
+
+    fn mixed_region() -> Region {
+        RegionBuilder::new(0, "mix")
+            .alu(r(1), &[r(1), r(2)])
+            .load(r(3), r(1))
+            .alu(r(2), &[r(3)])
+            .store(r(1), r(3))
+            .branch(r(2))
+            .build()
+    }
+
+    fn expand(region: &Region, iters: usize) -> Vec<DynUop> {
+        let mut uops = Vec::new();
+        let mut seq = 0;
+        for it in 0..iters {
+            seq = virtclust_uarch::trace::expand_region(
+                region,
+                seq,
+                &mut uops,
+                |s, _| 0x2000 + (s % 96) * 8,
+                |s, _| !(s + it as u64).is_multiple_of(4),
+            );
+        }
+        uops
+    }
+
+    #[test]
+    fn reused_session_matches_fresh_machines_across_mixed_configs() {
+        let region = mixed_region();
+        let uops = expand(&region, 120);
+        let mut session = SimSession::new(&MachineConfig::default());
+        // A mixed sequence: 2-cluster, 4-cluster, back to 2-cluster — with
+        // different policies and budgets — all through one session.
+        let runs = [
+            (MachineConfig::paper_2cluster(), RunLimits::unlimited()),
+            (MachineConfig::paper_4cluster(), RunLimits::uops(300)),
+            (MachineConfig::paper_2cluster(), RunLimits::uops(450)),
+            (
+                MachineConfig::default().with_clusters(3),
+                RunLimits::unlimited(),
+            ),
+        ];
+        for (cfg, limits) in &runs {
+            let fresh = {
+                let mut trace = SliceTrace::new(&uops);
+                simulate(cfg, &mut trace, &mut RoundRobin(0), limits)
+            };
+            let reused = {
+                let mut trace = SliceTrace::new(&uops);
+                session.simulate(cfg, &mut trace, &mut RoundRobin(0), limits)
+            };
+            assert_eq!(fresh, reused, "{} clusters", cfg.num_clusters);
+        }
+    }
+
+    #[test]
+    fn reset_clears_a_dirty_session_completely() {
+        let region = mixed_region();
+        let uops = expand(&region, 60);
+        let cfg = MachineConfig::default();
+        let mut session = SimSession::new(&cfg);
+        // Dirty the session with a *partial* run (mid-flight state).
+        {
+            let mut trace = SliceTrace::new(&uops);
+            let mut policy = RoundRobin(0);
+            for _ in 0..37 {
+                session.step(&mut trace, &mut policy, &RunLimits::unlimited());
+            }
+            assert!(!session.done(), "state must be mid-flight");
+        }
+        session.reset(&cfg);
+        assert_eq!(session.cycle(), 0);
+        let reused = {
+            let mut trace = SliceTrace::new(&uops);
+            session.simulate(
+                &cfg,
+                &mut trace,
+                &mut RoundRobin(0),
+                &RunLimits::unlimited(),
+            )
+        };
+        let fresh = {
+            let mut trace = SliceTrace::new(&uops);
+            simulate(
+                &cfg,
+                &mut trace,
+                &mut RoundRobin(0),
+                &RunLimits::unlimited(),
+            )
+        };
+        assert_eq!(fresh, reused);
+    }
+
+    #[test]
+    fn machine_is_a_thin_view_over_a_session() {
+        let region = mixed_region();
+        let uops = expand(&region, 40);
+        let cfg = MachineConfig::default();
+        let via_machine = {
+            let mut trace = SliceTrace::new(&uops);
+            Machine::new(&cfg).run(&mut trace, &mut RoundRobin(0), &RunLimits::unlimited())
+        };
+        let via_session = {
+            let mut trace = SliceTrace::new(&uops);
+            SimSession::new(&cfg).run(&mut trace, &mut RoundRobin(0), &RunLimits::unlimited())
+        };
+        assert_eq!(via_machine, via_session);
+    }
+
+    #[test]
+    fn place_register_keeps_the_incremental_location_view_consistent() {
+        // place_register re-homes a value; the incremental `cur_loc` view
+        // must follow (the debug assertion in dispatch checks every cycle).
+        let region = mixed_region();
+        let uops = expand(&region, 30);
+        let cfg = MachineConfig::default();
+        let run = |session: &mut SimSession| {
+            session.reset(&cfg);
+            session.place_register(r(1), 1);
+            session.place_register(r(2), 0);
+            let mut trace = SliceTrace::new(&uops);
+            let mut policy = RoundRobin(0);
+            policy.reset();
+            loop {
+                session.step(&mut trace, &mut policy, &RunLimits::unlimited());
+                if session.done() {
+                    break;
+                }
+            }
+            session.stats().clone()
+        };
+        let mut s1 = SimSession::new(&cfg);
+        let mut s2 = SimSession::new(&cfg);
+        let a = run(&mut s1);
+        let b = run(&mut s2);
+        assert_eq!(a, b);
+        assert_eq!(a.committed_uops, uops.len() as u64);
+    }
+}

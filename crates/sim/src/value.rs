@@ -91,6 +91,20 @@ impl ValueTracker {
         }
     }
 
+    /// Forget every value and retarget to `num_clusters`, keeping the slab
+    /// allocations (session reuse). Tag allocation after a reset proceeds
+    /// exactly as on a fresh tracker — the free list is empty and slots are
+    /// handed out in push order — so a reset tracker is indistinguishable
+    /// from [`ValueTracker::new`].
+    pub fn reset(&mut self, num_clusters: usize) {
+        assert!((1..=8).contains(&num_clusters));
+        self.slots.clear();
+        self.free.clear();
+        self.rf_used.clear();
+        self.rf_used.resize(num_clusters, [0; 2]);
+        self.num_clusters = num_clusters;
+    }
+
     fn alloc_slot(&mut self, st: ValueState) -> ValueTag {
         let occupancy = st.ready | st.pending;
         let class = st.class;
@@ -292,14 +306,23 @@ impl RenameTable {
     /// Create the initial mapping: every architectural register bound to a
     /// fresh value that is ready in all clusters.
     pub fn new(tracker: &mut ValueTracker) -> Self {
-        let mut map = [0; NUM_ARCH_REGS];
-        for (flat, slot) in map.iter_mut().enumerate() {
+        let mut table = RenameTable {
+            map: [0; NUM_ARCH_REGS],
+        };
+        table.reset(tracker);
+        table
+    }
+
+    /// Rebind every architectural register to a fresh ready-everywhere
+    /// value — the initial machine state. `tracker` must itself be freshly
+    /// reset (session reuse; this is the body of [`RenameTable::new`]).
+    pub fn reset(&mut self, tracker: &mut ValueTracker) {
+        for (flat, slot) in self.map.iter_mut().enumerate() {
             let reg = ArchReg::from_flat(flat);
             let tag = tracker.alloc_ready_everywhere(reg.class);
             tracker.add_ref(tag); // the table's own reference
             *slot = tag;
         }
-        RenameTable { map }
     }
 
     /// Current value tag of `reg`.

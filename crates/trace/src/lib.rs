@@ -25,7 +25,9 @@
 //!   [`TraceReader`] materialises one [`DynUop`](virtclust_uarch::DynUop)
 //!   at a time (and implements
 //!   [`TraceSource`](virtclust_uarch::TraceSource), so it plugs straight
-//!   into the simulator); traces never need to be memory-resident;
+//!   into the simulator); traces never need to be memory-resident, and a
+//!   reader [`rewinds`](TraceReader::rewind) to the first record without
+//!   re-parsing, so one parsed trace feeds many simulations;
 //! * **capture** — [`capture::record_stream`] /
 //!   [`capture::capture_to_file`] record any live `TraceSource` (such as
 //!   the synthetic workload expander);
@@ -53,7 +55,10 @@
 //! let mut w = TraceWriter::new(&mut buf, &program, Codec::Text, None).unwrap();
 //! for u in &uops { w.write_uop(u).unwrap(); }
 //! w.finish().unwrap();
-//! let mut reader = TraceReader::new(buf.as_slice()).unwrap();
+//! let mut reader = TraceReader::new(std::io::Cursor::new(&buf)).unwrap();
+//! assert_eq!(reader.read_all().unwrap(), uops);
+//! // Seekable sources rewind without re-parsing the embedded program.
+//! reader.rewind().unwrap();
 //! assert_eq!(reader.read_all().unwrap(), uops);
 //!
 //! // Capture helpers record any live TraceSource with a budget.

@@ -1,10 +1,10 @@
 //! Streaming trace reader.
 
 use std::fs::File;
-use std::io::{BufRead, BufReader};
+use std::io::{BufRead, BufReader, Seek, SeekFrom};
 use std::path::Path;
 
-use virtclust_uarch::{DynUop, Program, TraceSource};
+use virtclust_uarch::{DynUop, Program, RewindError, TraceSource};
 
 use crate::error::{Result, TraceError};
 use crate::record::RawRecord;
@@ -20,6 +20,12 @@ use crate::{binary, text, Codec};
 /// the embedded program's annotations with [`TraceReader::set_program`]:
 /// every subsequent record picks up the new hints, because on-disk records
 /// carry only dynamic facts.
+///
+/// The byte source must be seekable ([`Seek`]) so the reader can
+/// [`TraceReader::rewind`] to the first record without reopening the file
+/// or re-parsing the header and embedded program — the batch engine replays
+/// one parsed trace many times this way. In-memory sources wrap their bytes
+/// in [`std::io::Cursor`].
 pub struct TraceReader<R: BufRead> {
     r: R,
     codec: Codec,
@@ -30,6 +36,10 @@ pub struct TraceReader<R: BufRead> {
     last_seq: Option<u64>,
     done: bool,
     pending_err: Option<TraceError>,
+    /// Byte offset of the first dynamic record (the rewind target) and the
+    /// text line number at that offset.
+    data_start: u64,
+    data_line: u64,
 }
 
 impl TraceReader<BufReader<File>> {
@@ -39,9 +49,10 @@ impl TraceReader<BufReader<File>> {
     }
 }
 
-impl<R: BufRead> TraceReader<R> {
-    /// Wrap an arbitrary buffered byte source; parses the header and the
-    /// embedded program eagerly, leaving the cursor at the first record.
+impl<R: BufRead + Seek> TraceReader<R> {
+    /// Wrap an arbitrary buffered, seekable byte source; parses the header
+    /// and the embedded program eagerly, leaving the cursor at the first
+    /// record.
     pub fn new(mut r: R) -> Result<Self> {
         // Codec sniffing must work with a single buffered byte (the
         // `BufRead` contract only guarantees a non-empty `fill_buf` before
@@ -99,6 +110,7 @@ impl<R: BufRead> TraceReader<R> {
                 (text::parse_program_section(lines, false)?, declared)
             }
         };
+        let data_start = r.stream_position()?;
         Ok(TraceReader {
             r,
             codec,
@@ -109,9 +121,29 @@ impl<R: BufRead> TraceReader<R> {
             last_seq: None,
             done: false,
             pending_err: None,
+            data_start,
+            data_line: line_no,
         })
     }
 
+    /// Seek back to the first dynamic record, clearing end-of-stream and
+    /// error state, so the same stream can be traversed again. The header
+    /// and the embedded program are **not** re-parsed; a replacement
+    /// program installed via [`TraceReader::set_program`] stays in effect —
+    /// which is exactly what per-configuration replay over one parsed
+    /// trace needs (swap hints, rewind, simulate).
+    pub fn rewind(&mut self) -> Result<()> {
+        self.r.seek(SeekFrom::Start(self.data_start))?;
+        self.line_no = self.data_line;
+        self.read = 0;
+        self.last_seq = None;
+        self.done = false;
+        self.pending_err = None;
+        Ok(())
+    }
+}
+
+impl<R: BufRead> TraceReader<R> {
     /// The program embedded in the trace (as currently set).
     pub fn program(&self) -> &Program {
         &self.program
@@ -239,7 +271,7 @@ impl<R: BufRead> TraceReader<R> {
     }
 }
 
-impl<R: BufRead> TraceSource for TraceReader<R> {
+impl<R: BufRead + Seek> TraceSource for TraceReader<R> {
     fn next_uop(&mut self) -> Option<DynUop> {
         if self.pending_err.is_some() {
             return None;
@@ -265,6 +297,10 @@ impl<R: BufRead> TraceSource for TraceReader<R> {
             .regions
             .get(region as usize)
             .map_or(64, |r| r.len())
+    }
+
+    fn rewind(&mut self) -> std::result::Result<(), RewindError> {
+        TraceReader::rewind(self).map_err(|e| RewindError::new(e.to_string()))
     }
 }
 
@@ -326,7 +362,7 @@ mod tests {
                 }
                 w.finish().unwrap();
             }
-            let mut reader = TraceReader::new(buf.as_slice()).unwrap();
+            let mut reader = TraceReader::new(std::io::Cursor::new(&buf)).unwrap();
             assert_eq!(reader.codec(), codec);
             assert_eq!(reader.program(), &p);
             assert_eq!(reader.declared_len(), Some(uops.len() as u64));
@@ -349,7 +385,7 @@ mod tests {
             }
             w.finish().unwrap();
         }
-        let mut reader = TraceReader::new(buf.as_slice()).unwrap();
+        let mut reader = TraceReader::new(std::io::Cursor::new(&buf)).unwrap();
         assert_eq!(reader.region_uops(0), p.regions[0].len());
         assert_eq!(reader.region_uops(1), p.regions[1].len());
         assert_eq!(reader.region_uops(999), 64, "unknown region falls back");
@@ -360,6 +396,85 @@ mod tests {
         }
         assert_eq!(n, uops.len());
         assert!(reader.take_error().is_none());
+    }
+
+    #[test]
+    fn rewind_replays_the_stream_without_reparsing() {
+        let p = demo_program();
+        let uops = demo_uops(&p, 4);
+        for codec in [Codec::Text, Codec::Binary] {
+            let mut buf = Vec::new();
+            {
+                let mut w = TraceWriter::new(&mut buf, &p, codec, Some(uops.len() as u64)).unwrap();
+                for u in &uops {
+                    w.write_uop(u).unwrap();
+                }
+                w.finish().unwrap();
+            }
+            let mut reader = TraceReader::new(std::io::Cursor::new(&buf)).unwrap();
+            // Rewind from every interesting position: untouched, mid-stream
+            // and fully consumed (after the footer).
+            let first = reader.read_all().unwrap();
+            assert!(reader.finished());
+            reader.rewind().unwrap();
+            assert!(!reader.finished());
+            assert_eq!(reader.records_read(), 0);
+            let second = reader.read_all().unwrap();
+            assert_eq!(first, second, "{codec:?}");
+            reader.rewind().unwrap();
+            for _ in 0..3 {
+                reader.next_record().unwrap().unwrap();
+            }
+            reader.rewind().unwrap();
+            assert_eq!(reader.read_all().unwrap(), uops, "{codec:?} mid-stream");
+        }
+    }
+
+    #[test]
+    fn rewind_keeps_a_replacement_program_in_effect() {
+        let p = demo_program();
+        let uops = demo_uops(&p, 1);
+        let mut buf = Vec::new();
+        {
+            let mut w = TraceWriter::new(&mut buf, &p, Codec::Text, None).unwrap();
+            for u in &uops {
+                w.write_uop(u).unwrap();
+            }
+            w.finish().unwrap();
+        }
+        let mut reader = TraceReader::new(std::io::Cursor::new(&buf)).unwrap();
+        let mut annotated = p.clone();
+        annotated.inst_mut(InstId::new(0, 0)).hint = SteerHint::Static { cluster: 1 };
+        reader.set_program(annotated).unwrap();
+        reader.read_all().unwrap();
+        reader.rewind().unwrap();
+        let first = reader.next_record().unwrap().unwrap();
+        assert_eq!(
+            first.hint,
+            SteerHint::Static { cluster: 1 },
+            "the swapped program survives a rewind"
+        );
+    }
+
+    #[test]
+    fn rewind_clears_a_stashed_trace_source_error() {
+        let p = demo_program();
+        let uops = demo_uops(&p, 2);
+        let mut buf = Vec::new();
+        {
+            let mut w = TraceWriter::new(&mut buf, &p, Codec::Binary, None).unwrap();
+            for u in &uops {
+                w.write_uop(u).unwrap();
+            }
+            w.finish().unwrap();
+        }
+        buf.truncate(buf.len() - 6);
+        let mut reader = TraceReader::new(std::io::Cursor::new(&buf)).unwrap();
+        while reader.next_uop().is_some() {}
+        assert!(reader.pending_err.is_some());
+        reader.rewind().unwrap();
+        assert!(reader.pending_err.is_none(), "rewind clears the error");
+        assert!(reader.next_uop().is_some(), "stream restarts from record 0");
     }
 
     #[test]
@@ -374,7 +489,7 @@ mod tests {
             }
             w.finish().unwrap();
         }
-        let mut reader = TraceReader::new(buf.as_slice()).unwrap();
+        let mut reader = TraceReader::new(std::io::Cursor::new(&buf)).unwrap();
         let mut annotated = p.clone();
         annotated.inst_mut(InstId::new(0, 0)).hint = SteerHint::Vc {
             vc: 1,
@@ -393,7 +508,7 @@ mod tests {
 
         let mut reshaped = p.clone();
         reshaped.regions[0].insts.pop();
-        let mut reader = TraceReader::new(buf.as_slice()).unwrap();
+        let mut reader = TraceReader::new(std::io::Cursor::new(&buf)).unwrap();
         assert!(matches!(
             reader.set_program(reshaped),
             Err(TraceError::Inconsistent(_))
@@ -415,14 +530,14 @@ mod tests {
             }
             // Chop off the footer (and a bit more).
             buf.truncate(buf.len() - 6);
-            let mut reader = TraceReader::new(buf.as_slice()).unwrap();
+            let mut reader = TraceReader::new(std::io::Cursor::new(&buf)).unwrap();
             let err = reader.read_all().unwrap_err();
             assert!(
                 matches!(err, TraceError::Corrupt(_) | TraceError::Parse { .. }),
                 "{codec:?}: {err}"
             );
             // Through the TraceSource trait the error is stashed instead.
-            let mut reader = TraceReader::new(buf.as_slice()).unwrap();
+            let mut reader = TraceReader::new(std::io::Cursor::new(&buf)).unwrap();
             while reader.next_uop().is_some() {}
             assert!(reader.take_error().is_some(), "{codec:?}");
         }
@@ -435,7 +550,7 @@ mod tests {
             "{}\nprogram p\nregion 0 r\ni nop\ndyn\nu 0 0 0\nend 2\n",
             text::header_line()
         );
-        let mut reader = TraceReader::new(text.as_bytes()).unwrap();
+        let mut reader = TraceReader::new(std::io::Cursor::new(text.as_bytes())).unwrap();
         assert!(matches!(reader.read_all(), Err(TraceError::Corrupt(_))));
         let _ = p;
     }
@@ -446,7 +561,7 @@ mod tests {
             "# a hand-written trace\n\n{}\nprogram toy\n# static side\nregion 0 k\ni alu r1 = r1 r2\n\ndyn\n# dynamic side\nu 0 0 0\n\nend 1\n",
             text::header_line()
         );
-        let mut reader = TraceReader::new(text.as_bytes()).unwrap();
+        let mut reader = TraceReader::new(std::io::Cursor::new(text.as_bytes())).unwrap();
         let uops = reader.read_all().unwrap();
         assert_eq!(uops.len(), 1);
         assert_eq!(uops[0].op, virtclust_uarch::OpClass::IntAlu);

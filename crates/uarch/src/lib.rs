@@ -33,8 +33,8 @@ pub mod reg;
 pub mod trace;
 
 pub use config::{CacheConfig, ConfigError, LatencyModel, MachineConfig};
-pub use inst::{InstId, SrcList, StaticInst, SteerHint};
+pub use inst::{InstId, SrcList, StaticInst, SteerHint, MAX_SRCS};
 pub use op::{OpClass, QueueKind};
 pub use program::{Program, Region, RegionBuilder};
 pub use reg::{ArchReg, RegClass, NUM_ARCH_REGS, NUM_FLT_ARCH_REGS, NUM_INT_ARCH_REGS};
-pub use trace::{BranchInfo, DynUop, SliceTrace, TraceSource, VecTrace};
+pub use trace::{BranchInfo, DynUop, RewindError, SliceTrace, TraceSource, VecTrace};

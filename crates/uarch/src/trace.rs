@@ -78,6 +78,36 @@ impl DynUop {
     }
 }
 
+/// Error returned by [`TraceSource::rewind`] for sources that cannot
+/// restart their stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RewindError {
+    /// Human-readable reason the source could not rewind.
+    pub reason: String,
+}
+
+impl RewindError {
+    /// Build from any displayable reason.
+    pub fn new(reason: impl Into<String>) -> Self {
+        RewindError {
+            reason: reason.into(),
+        }
+    }
+
+    /// The default "not implemented" error.
+    pub fn unsupported() -> Self {
+        RewindError::new("this trace source does not support rewind")
+    }
+}
+
+impl std::fmt::Display for RewindError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace rewind failed: {}", self.reason)
+    }
+}
+
+impl std::error::Error for RewindError {}
+
 /// A source of dynamic micro-ops the simulator pulls from.
 ///
 /// Implementations must be deterministic: repeated full traversals (after
@@ -97,33 +127,45 @@ pub trait TraceSource {
     fn region_uops(&self, _region: u32) -> usize {
         64
     }
+
+    /// Restart the stream from its first micro-op, so one source can feed
+    /// many simulations without being rebuilt or re-parsed (the batch
+    /// engine's per-worker reuse path). A successful rewind must reproduce
+    /// the identical stream. The default errs: not every source can
+    /// restart.
+    fn rewind(&mut self) -> Result<(), RewindError> {
+        Err(RewindError::unsupported())
+    }
 }
 
-/// A trace fully materialised in memory, consumed by value.
+/// A trace fully materialised in memory (owning its micro-ops; rewindable).
 #[derive(Debug, Clone)]
 pub struct VecTrace {
-    uops: std::vec::IntoIter<DynUop>,
-    total: u64,
+    uops: Vec<DynUop>,
+    pos: usize,
 }
 
 impl VecTrace {
     /// Wrap a vector of micro-ops.
     pub fn new(uops: Vec<DynUop>) -> Self {
-        let total = uops.len() as u64;
-        VecTrace {
-            uops: uops.into_iter(),
-            total,
-        }
+        VecTrace { uops, pos: 0 }
     }
 }
 
 impl TraceSource for VecTrace {
     fn next_uop(&mut self) -> Option<DynUop> {
-        self.uops.next()
+        let u = self.uops.get(self.pos).copied();
+        self.pos += 1;
+        u
     }
 
     fn len_hint(&self) -> Option<u64> {
-        Some(self.total)
+        Some(self.uops.len() as u64)
+    }
+
+    fn rewind(&mut self) -> Result<(), RewindError> {
+        self.pos = 0;
+        Ok(())
     }
 }
 
@@ -156,6 +198,11 @@ impl TraceSource for SliceTrace<'_> {
 
     fn len_hint(&self) -> Option<u64> {
         Some(self.uops.len() as u64)
+    }
+
+    fn rewind(&mut self) -> Result<(), RewindError> {
+        self.reset();
+        Ok(())
     }
 }
 
@@ -241,6 +288,31 @@ mod tests {
         }
         assert_eq!(n, 4);
         assert!(t.next_uop().is_none());
+    }
+
+    #[test]
+    fn vec_trace_rewind_replays_identically() {
+        let region = demo_region();
+        let mut uops = Vec::new();
+        expand_region(&region, 0, &mut uops, |_, _| 0, |_, _| true);
+        let mut t = VecTrace::new(uops.clone());
+        let first: Vec<_> = std::iter::from_fn(|| t.next_uop()).collect();
+        t.rewind().unwrap();
+        let second: Vec<_> = std::iter::from_fn(|| t.next_uop()).collect();
+        assert_eq!(first, second);
+        assert_eq!(first, uops);
+    }
+
+    #[test]
+    fn rewind_defaults_to_unsupported() {
+        struct Endless;
+        impl TraceSource for Endless {
+            fn next_uop(&mut self) -> Option<DynUop> {
+                None
+            }
+        }
+        let err = Endless.rewind().unwrap_err();
+        assert!(err.to_string().contains("does not support rewind"), "{err}");
     }
 
     #[test]

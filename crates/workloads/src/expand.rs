@@ -69,6 +69,19 @@ impl<'p> TraceExpander<'p> {
         }
     }
 
+    /// Restart the stream from micro-op 0: afterwards the expander is
+    /// indistinguishable from a freshly constructed one over the same
+    /// program, parameters and seed (everything derives from the seed, so
+    /// re-seeding the RNG and zeroing the cursors is a full reset).
+    pub fn reset(&mut self) {
+        self.rng = SmallRng::seed_from_u64(self.seed);
+        self.queue.clear();
+        self.seq = 0;
+        for region in &mut self.cursors {
+            region.fill(0);
+        }
+    }
+
     /// Stable per-static-instruction hash (decides per-site behaviour such
     /// as base address and branch bias).
     fn site_hash(&self, id: InstId) -> u64 {
@@ -229,6 +242,11 @@ impl TraceSource for TraceExpander<'_> {
             .get(region as usize)
             .map_or(64, |r| r.len())
     }
+
+    fn rewind(&mut self) -> Result<(), virtclust_uarch::RewindError> {
+        self.reset();
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -315,6 +333,25 @@ mod tests {
         });
         assert_eq!(err, Err("sink full"));
         assert_eq!(seen, 10);
+    }
+
+    #[test]
+    fn rewind_reproduces_the_exact_stream() {
+        let p = KernelParams::base_int();
+        let program = build_program("t", &p, 1);
+        let mut ex = TraceExpander::new(&program, &p, 11);
+        let first: Vec<DynUop> = (0..3000).map(|_| ex.next_uop().unwrap()).collect();
+        ex.rewind().unwrap();
+        let second: Vec<DynUop> = (0..3000).map(|_| ex.next_uop().unwrap()).collect();
+        assert_eq!(first, second, "rewind must reproduce the stream exactly");
+        // Rewind mid-visit (queue non-empty) works too.
+        let mut ex = TraceExpander::new(&program, &p, 11);
+        for _ in 0..7 {
+            ex.next_uop();
+        }
+        ex.reset();
+        let third: Vec<DynUop> = (0..3000).map(|_| ex.next_uop().unwrap()).collect();
+        assert_eq!(first, third);
     }
 
     #[test]

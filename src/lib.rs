@@ -20,15 +20,17 @@
 //!   coarsening;
 //! * [`compiler`] — the VC partitioning pass (Fig. 2/3) and the OB (SPDI)
 //!   and RHOP baselines;
-//! * [`sim`] — the cycle-level clustered out-of-order simulator (Fig. 1);
+//! * [`sim`] — the cycle-level clustered out-of-order simulator (Fig. 1),
+//!   built around reusable `SimSession`s (reset-in-place across runs);
 //! * [`steer`] — the steering policies (Table 3) and the complexity model
 //!   (Table 1);
 //! * [`workloads`] — the synthetic SPEC CPU2000 suite with PinPoints-style
 //!   trace points;
 //! * [`trace`] — the versioned on-disk trace format (text + binary codecs),
 //!   streaming reader/writer, kernel importer and capture helpers;
-//! * [`core`] — experiment driver, metrics, figure generators (Figs. 5–7)
-//!   and the trace record/replay pipeline.
+//! * [`core`] — the batched evaluation engine (`EvalDriver`), experiment
+//!   driver, metrics, figure generators (Figs. 5–7) and the trace
+//!   record/replay pipeline.
 //!
 //! ```
 //! use virtclust::core::{run_point, Configuration};

@@ -8,11 +8,11 @@ use virtclust::compiler::{
     identify_chains, GreedyPlacer, PlacerConfig, RhopConfig, RhopPartitioner,
 };
 use virtclust::ddg::{Criticality, Ddg};
-use virtclust::sim::{simulate, RunLimits, SteerDecision, SteerView, SteeringPolicy};
+use virtclust::sim::{simulate, RunLimits, SimSession, SteerDecision, SteerView, SteeringPolicy};
 use virtclust::trace::{Codec, TraceReader, TraceWriter};
 use virtclust::uarch::{
-    ArchReg, DynUop, LatencyModel, MachineConfig, OpClass, Program, Region, StaticInst, SteerHint,
-    VecTrace,
+    ArchReg, DynUop, LatencyModel, MachineConfig, OpClass, Program, Region, SliceTrace, StaticInst,
+    SteerHint, TraceSource, VecTrace,
 };
 
 /// Strategy: a random static instruction over a small register window.
@@ -183,6 +183,36 @@ proptest! {
     }
 
     #[test]
+    fn reused_session_is_bit_identical_to_fresh_machines(
+        region in region_strategy(24),
+        iters in 1usize..5,
+        cluster_seq in prop::collection::vec(1usize..5, 2..5),
+    ) {
+        // One SimSession serves a random sequence of runs with mixed
+        // cluster counts (2-/4-/3-cluster machines interleaved) and a
+        // rewound trace; every run must be bit-identical to a fresh
+        // `Machine::new` run of the same cell. This is the session-reuse
+        // contract the batch engine is built on.
+        let uops = expand(&region, iters);
+        let mut session = SimSession::new(&MachineConfig::default());
+        let mut reused_trace = SliceTrace::new(&uops);
+        for &clusters in &cluster_seq {
+            let cfg = MachineConfig::default().with_clusters(clusters);
+            let fresh = {
+                let mut trace = SliceTrace::new(&uops);
+                let mut policy = HashSteer { clusters: clusters as u8 };
+                simulate(&cfg, &mut trace, &mut policy, &RunLimits::unlimited())
+            };
+            let reused = {
+                reused_trace.rewind().expect("slice traces rewind");
+                let mut policy = HashSteer { clusters: clusters as u8 };
+                session.simulate(&cfg, &mut reused_trace, &mut policy, &RunLimits::unlimited())
+            };
+            prop_assert_eq!(fresh, reused, "{} clusters", clusters);
+        }
+    }
+
+    #[test]
     fn simulation_is_deterministic(region in region_strategy(24), clusters in 1usize..4) {
         let uops = expand(&region, 3);
         let run = || {
@@ -217,7 +247,7 @@ proptest! {
                 w.write_uop(u).expect("write");
             }
             w.finish().expect("finish");
-            let mut reader = TraceReader::new(buf.as_slice()).expect("reader");
+            let mut reader = TraceReader::new(std::io::Cursor::new(&buf)).expect("reader");
             prop_assert_eq!(reader.program(), &program, "{:?}", codec);
             let back = reader.read_all().expect("read");
             prop_assert_eq!(&back, &uops, "{:?}", codec);

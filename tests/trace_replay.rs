@@ -100,7 +100,7 @@ fn codecs_roundtrip_a_100k_uop_stream_losslessly() {
             w.write_uop(u).unwrap();
         }
         assert_eq!(w.finish().unwrap(), n);
-        let mut reader = TraceReader::new(buf.as_slice()).unwrap();
+        let mut reader = TraceReader::new(std::io::Cursor::new(&buf)).unwrap();
         assert_eq!(reader.program(), &program, "{codec:?}");
         assert_eq!(reader.declared_len(), Some(n));
         let back = reader.read_all().unwrap();
