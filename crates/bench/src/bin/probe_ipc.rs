@@ -100,10 +100,30 @@ fn table_mode(uops: u64, machine: &MachineConfig) {
     }
 }
 
+/// Parse `--clusters 2|4|8` (default 2) from `argv`, returning the machine
+/// preset. A `--clusters` with a missing or unsupported value is an error,
+/// not a silent 2-cluster fallback.
+fn machine_from_args(argv: &[String]) -> MachineConfig {
+    let Some(i) = argv.iter().position(|a| a == "--clusters") else {
+        return MachineConfig::paper_2cluster();
+    };
+    argv.get(i + 1)
+        .and_then(|v| v.parse().ok())
+        .and_then(virtclust_bench::cluster_preset)
+        .unwrap_or_else(|| {
+            eprintln!(
+                "probe_ipc: --clusters must be 2, 4 or 8, got {}",
+                argv.get(i + 1).map_or("nothing", String::as_str)
+            );
+            std::process::exit(2);
+        })
+}
+
 fn main() {
-    let json = std::env::args().any(|a| a == "--json");
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let json = argv.iter().any(|a| a == "--json");
     let uops = uop_budget(20_000);
-    let machine = MachineConfig::paper_2cluster();
+    let machine = machine_from_args(&argv);
     if json {
         json_mode(uops, &machine);
     } else {

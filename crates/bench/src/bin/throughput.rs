@@ -3,7 +3,7 @@
 //! scheme, against the committed numbers in `results/BASELINES.md`.
 //!
 //! ```text
-//! throughput [--uops N] [--runs R] [--clusters 2|4] [--trace FILE]
+//! throughput [--uops N] [--runs R] [--clusters 2|4|8] [--trace FILE] [--stages]
 //! ```
 //!
 //! Default mode expands the `gzip-1` suite point once per scheme into an
@@ -19,6 +19,15 @@
 //! instead measures batched replay of a stored trace through
 //! [`EvalDriver`] (`R` × Table 3 cells, readers parsed once and rewound).
 //!
+//! `--stages` instead reports the per-stage wall-time share of a cycle
+//! (events+wakeup / commit / store-drain / memory / issue / dispatch /
+//! fetch) via [`SimSession::step_timed`] — the instrumented step loop the
+//! plain run never pays for — so perf PRs can point at the next
+//! bottleneck.
+//!
+//! In point mode on the 2-cluster machine the report ends with a delta
+//! against the committed per-scheme mean in `results/BASELINES.md`.
+//!
 //! `--uops` defaults to `VIRTCLUST_UOPS` or 20 000; `--runs` defaults
 //! to 8. Results are also written to `results/throughput.md`.
 
@@ -26,9 +35,9 @@ use std::fmt::Write as _;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use virtclust_bench::{threads, uop_budget, write_result};
+use virtclust_bench::{results_dir, threads, uop_budget, write_result};
 use virtclust_core::{Configuration, EvalDriver, EvalJob};
-use virtclust_sim::{simulate, RunLimits, SimSession};
+use virtclust_sim::{simulate, RunLimits, SimSession, StageTimers};
 use virtclust_trace::TraceReader;
 use virtclust_uarch::{DynUop, MachineConfig, SliceTrace, TraceSource};
 use virtclust_workloads::spec2000_points;
@@ -38,6 +47,7 @@ struct Args {
     runs: u64,
     clusters: usize,
     trace: Option<String>,
+    stages: bool,
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -46,6 +56,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         runs: 8,
         clusters: 2,
         trace: None,
+        stages: false,
     };
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
@@ -66,13 +77,15 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     .map_err(|_| "--runs needs an integer".to_string())?
             }
             "--clusters" => {
-                args.clusters = match value("--clusters")?.as_str() {
-                    "2" => 2,
-                    "4" => 4,
-                    other => return Err(format!("--clusters must be 2 or 4, got {other}")),
-                }
+                let v = value("--clusters")?;
+                args.clusters = v
+                    .parse()
+                    .ok()
+                    .filter(|&n| virtclust_bench::cluster_preset(n).is_some())
+                    .ok_or(format!("--clusters must be 2, 4 or 8, got {v}"))?;
             }
             "--trace" => args.trace = Some(value("--trace")?),
+            "--stages" => args.stages = true,
             other => return Err(format!("unknown argument {other}")),
         }
     }
@@ -97,6 +110,19 @@ fn expand_scheme(config: &Configuration, machine: &MachineConfig, uops: u64) -> 
     (0..uops)
         .map(|_| expander.next_uop().expect("endless stream"))
         .collect()
+}
+
+/// Parse the committed per-scheme mean (fresh, reused uops/s) from the
+/// first `| **mean** | … |` row of `results/BASELINES.md`, if present.
+/// Numbers may use spaces as thousands separators.
+fn committed_mean() -> Option<(f64, f64)> {
+    let text = std::fs::read_to_string(results_dir().join("BASELINES.md")).ok()?;
+    let row = text.lines().find(|l| l.starts_with("| **mean**"))?;
+    let mut nums = row.split("**").filter_map(|cell| {
+        let digits: String = cell.chars().filter(char::is_ascii_digit).collect();
+        (!digits.is_empty() && !cell.contains('%')).then(|| digits.parse::<f64>().ok())?
+    });
+    Some((nums.next()?, nums.next()?))
 }
 
 fn point_mode(args: &Args, machine: &MachineConfig) -> Result<String, String> {
@@ -169,6 +195,94 @@ fn point_mode(args: &Args, machine: &MachineConfig) -> Result<String, String> {
         sum_reused / n,
         (sum_reused / sum_fresh - 1.0) * 100.0,
     );
+    // Delta against the committed reference (2-cluster table only — that
+    // is what BASELINES.md pins). Informational: wall-clock comparisons
+    // across hosts are noise, but on the CI runner a large regression
+    // shows up here without digging through two tables.
+    if machine.num_clusters == 2 {
+        match committed_mean() {
+            Some((base_fresh, base_reused)) => {
+                let _ = writeln!(
+                    report,
+                    "\nvs committed baseline (results/BASELINES.md, mean uops/s): \
+                     fresh {:.0} -> {:.0} ({:+.1}%), reused {:.0} -> {:.0} ({:+.1}%)",
+                    base_fresh,
+                    sum_fresh / n,
+                    (sum_fresh / n / base_fresh - 1.0) * 100.0,
+                    base_reused,
+                    sum_reused / n,
+                    (sum_reused / n / base_reused - 1.0) * 100.0,
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    report,
+                    "\n(no committed mean row found in results/BASELINES.md — delta skipped)"
+                );
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// `--stages`: run each Table 3 scheme through the instrumented
+/// [`SimSession::step_timed`] loop and report where the wall-clock cycle
+/// budget goes, stage by stage.
+fn stages_mode(args: &Args, machine: &MachineConfig) -> Result<String, String> {
+    let clusters = machine.num_clusters as u32;
+    let mut report = String::from("| scheme | cycles |");
+    for name in StageTimers::NAMES {
+        let _ = write!(report, " {name} |");
+    }
+    report.push_str("\n|---|---|");
+    report.push_str(&"---|".repeat(StageTimers::NUM_STAGES));
+    report.push('\n');
+    let mut session = SimSession::new(machine);
+    let mut totals = StageTimers::default();
+    for config in Configuration::table3() {
+        let uops = expand_scheme(&config, machine, args.uops);
+        let mut trace = SliceTrace::new(&uops);
+        let mut policy = config.make_policy();
+        let mut timers = StageTimers::default();
+        for _ in 0..args.runs {
+            trace.rewind().map_err(|e| e.to_string())?;
+            session.reset(machine);
+            policy.reset();
+            loop {
+                session.step_timed(
+                    &mut trace,
+                    policy.as_mut(),
+                    &RunLimits::unlimited(),
+                    &mut timers,
+                );
+                if session.done() {
+                    break;
+                }
+            }
+        }
+        let _ = write!(report, "| {} | {} |", config.name(clusters), timers.cycles);
+        for i in 0..StageTimers::NUM_STAGES {
+            let _ = write!(report, " {:.1}% |", 100.0 * timers.share(i));
+        }
+        report.push('\n');
+        for (bucket, add) in totals.buckets.iter_mut().zip(timers.buckets) {
+            *bucket += add;
+        }
+        totals.cycles += timers.cycles;
+    }
+    let _ = write!(report, "| **all schemes** | {} |", totals.cycles);
+    for i in 0..StageTimers::NUM_STAGES {
+        let _ = write!(report, " **{:.1}%** |", 100.0 * totals.share(i));
+    }
+    let _ = writeln!(
+        report,
+        "\n\nShares are wall-clock per stage over {} run(s)/scheme at {} uops/cell \
+         ({:.0} ns/cycle all-in); the plain (untimed) step loop contains none of \
+         this instrumentation.",
+        args.runs,
+        args.uops,
+        totals.total().as_nanos() as f64 / totals.cycles.max(1) as f64,
+    );
     Ok(report)
 }
 
@@ -209,20 +323,18 @@ fn trace_mode(args: &Args, machine: &MachineConfig, file: &str) -> Result<String
 
 fn run(argv: &[String]) -> Result<(), String> {
     let args = parse_args(argv)?;
-    let machine = if args.clusters == 4 {
-        MachineConfig::paper_4cluster()
-    } else {
-        MachineConfig::paper_2cluster()
-    };
+    let machine = virtclust_bench::cluster_preset(args.clusters).expect("validated in parse_args");
     let header = format!(
         "# Simulation throughput ({} clusters, {} uops/cell, {} runs/scheme)\n\n\
          Wall-clock numbers; compare only against runs on the same host.\n\
          Committed reference: results/BASELINES.md.\n\n",
         machine.num_clusters, args.uops, args.runs,
     );
-    let body = match &args.trace {
-        Some(file) => trace_mode(&args, &machine, file)?,
-        None => point_mode(&args, &machine)?,
+    let body = match (&args.trace, args.stages) {
+        (Some(file), false) => trace_mode(&args, &machine, file)?,
+        (None, true) => stages_mode(&args, &machine)?,
+        (Some(_), true) => return Err("--stages and --trace are mutually exclusive".into()),
+        (None, false) => point_mode(&args, &machine)?,
     };
     let out = format!("{header}{body}");
     print!("{out}");

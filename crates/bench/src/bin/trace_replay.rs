@@ -4,10 +4,10 @@
 //! command-line round trip.
 //!
 //! ```text
-//! trace_replay record  <point>  <out-file> [--binary] [--uops N] [--clusters 2|4]
-//! trace_replay replay  <file>   [--scheme op|1c|ob|rhop|vcN|modN] [--uops N] [--clusters 2|4]
-//! trace_replay compare <file>   [--clusters 2|4]
-//! trace_replay batch   <file>...  [--uops N] [--clusters 2|4]
+//! trace_replay record  <point>  <out-file> [--binary] [--uops N] [--clusters 2|4|8]
+//! trace_replay replay  <file>   [--scheme op|1c|ob|rhop|vcN|modN] [--uops N] [--clusters 2|4|8]
+//! trace_replay compare <file>   [--clusters 2|4|8]
+//! trace_replay batch   <file>...  [--uops N] [--clusters 2|4|8]
 //! trace_replay import  <kernel> <out-file> [--binary] [--uops N] [--seed S]
 //! ```
 //!
@@ -43,10 +43,10 @@ use virtclust_workloads::{spec2000_points, KernelParams, TraceExpander};
 
 const USAGE: &str = "\
 usage:
-  trace_replay record  <point>  <out-file> [--binary] [--uops N] [--clusters 2|4]
-  trace_replay replay  <file>   [--scheme op|1c|ob|rhop|vcN|modN] [--uops N] [--clusters 2|4]
-  trace_replay compare <file>   [--clusters 2|4]
-  trace_replay batch   <file>...  [--uops N] [--clusters 2|4]
+  trace_replay record  <point>  <out-file> [--binary] [--uops N] [--clusters 2|4|8]
+  trace_replay replay  <file>   [--scheme op|1c|ob|rhop|vcN|modN] [--uops N] [--clusters 2|4|8]
+  trace_replay compare <file>   [--clusters 2|4|8]
+  trace_replay batch   <file>...  [--uops N] [--clusters 2|4|8]
   trace_replay import  <kernel> <out-file> [--binary] [--uops N] [--seed S]
 
 schemes: op, op-parallel, 1c (one-cluster), ob, rhop, vc2/vc4/..., mod64/...
@@ -101,11 +101,12 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     .map_err(|_| "--seed needs an integer".to_string())?
             }
             "--clusters" => {
-                args.clusters = match value("--clusters")?.as_str() {
-                    "2" => 2,
-                    "4" => 4,
-                    other => return Err(format!("--clusters must be 2 or 4, got {other}")),
-                }
+                let v = value("--clusters")?;
+                args.clusters = v
+                    .parse()
+                    .ok()
+                    .filter(|&n| virtclust_bench::cluster_preset(n).is_some())
+                    .ok_or(format!("--clusters must be 2, 4 or 8, got {v}"))?;
             }
             "--scheme" => args.scheme = value("--scheme")?,
             other if other.starts_with("--") => return Err(format!("unknown flag {other}")),
@@ -138,11 +139,7 @@ fn parse_scheme(name: &str) -> Result<Configuration, String> {
 }
 
 fn machine_for(clusters: usize) -> MachineConfig {
-    if clusters == 4 {
-        MachineConfig::paper_4cluster()
-    } else {
-        MachineConfig::paper_2cluster()
-    }
+    virtclust_bench::cluster_preset(clusters).expect("validated in parse_args")
 }
 
 fn codec_for(args: &Args) -> Codec {

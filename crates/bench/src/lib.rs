@@ -18,6 +18,21 @@
 
 use std::path::PathBuf;
 
+use virtclust_uarch::MachineConfig;
+
+/// Map a `--clusters` argument to the paper machine preset: 2 (Table 2
+/// baseline), 4 (Sec. 5.4 scaling) or 8 (the ROADMAP sweep extrapolation —
+/// location/wakeup masks beyond 4 bits). `None` for anything else; the
+/// single mapping every harness binary shares.
+pub fn cluster_preset(clusters: usize) -> Option<MachineConfig> {
+    match clusters {
+        2 => Some(MachineConfig::paper_2cluster()),
+        4 => Some(MachineConfig::paper_4cluster()),
+        8 => Some(MachineConfig::paper_8cluster()),
+        _ => None,
+    }
+}
+
 /// Micro-op budget per simulation cell: `VIRTCLUST_UOPS` or `default`.
 pub fn uop_budget(default: u64) -> u64 {
     match std::env::var("VIRTCLUST_UOPS") {

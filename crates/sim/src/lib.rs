@@ -60,7 +60,9 @@ pub use lsq::{LoadCheck, Lsq};
 pub use machine::{simulate, Machine, RunLimits};
 pub use predictor::{Gshare, LocalHistory, TraceCache};
 pub use queues::{CopyOp, CopySlab, IssueQueue, LinkArbiter};
-pub use session::SimSession;
+pub use session::{SimSession, StageTimers};
 pub use stats::{ClusterStats, SimStats, StallReason};
 pub use steering::{SteerDecision, SteerView, SteeringPolicy};
-pub use value::{all_clusters, cluster_bit, ClusterMask, RenameTable, ValueTag, ValueTracker};
+pub use value::{
+    all_clusters, cluster_bit, ClusterMask, RenameTable, ValueTag, ValueTracker, Waiter,
+};

@@ -2,53 +2,80 @@
 //!
 //! Each cluster owns a 48-entry INT queue (2 issues/cycle), a 48-entry FP
 //! queue (2 issues/cycle) and a 24-entry COPY queue (1 issue/cycle) —
-//! Table 2. Entries are kept in allocation (age) order; the scheduler scans
-//! oldest-first, the classic age-ordered select.
+//! Table 2. Select is oldest-first out-of-order within the queue, but the
+//! queue no longer *scans* for ready entries: it keeps an age-sorted
+//! **ready ring** fed by the wakeup network ([`crate::value::Waiter`]).
+//! Entries enter either ready (all sources readable at dispatch) or
+//! waiting (tracked only as a count here; the blocked state itself lives
+//! in the ROB's pending-source counters and the value tracker's waiter
+//! lists), and a [`IssueQueue::wake`] re-inserts a woken entry at its age
+//! position. [`IssueQueue::select_ready`] therefore touches at most the
+//! ready entries — never the waiting majority the old per-cycle scan
+//! re-tested.
 
 use std::collections::VecDeque;
 
 use crate::value::ValueTag;
 
-/// An age-ordered issue queue holding opaque ids (ROB sequence numbers for
-/// INT/FP queues, copy-slab ids for COPY queues).
+/// An issue queue holding opaque ids (ROB sequence numbers for INT/FP
+/// queues, copy-slab ids for COPY queues), split into a waiting count and
+/// an age-ordered ready ring.
+///
+/// Every entry has an *age key* that is strictly increasing in queue
+/// insertion order (the ROB dispatch sequence for INT/FP entries, the
+/// copy-slab allocation sequence for COPY entries); the ready ring is kept
+/// sorted by it, so popping the front is the classic oldest-first select.
 #[derive(Debug, Clone)]
 pub struct IssueQueue {
-    entries: VecDeque<u64>,
+    /// Entries present but not yet issueable (their wakeups are pending).
+    waiting: usize,
+    /// Issueable entries as `(age_key, id)`, ascending by key.
+    ready: VecDeque<(u64, u64)>,
     capacity: usize,
+    /// Debug mirror of every entry id in age order, for cross-checking the
+    /// wakeup-derived ready ring against the old full readiness scan.
+    #[cfg(debug_assertions)]
+    mirror: VecDeque<u64>,
 }
 
 impl IssueQueue {
     /// Create a queue with `capacity` entries.
     pub fn new(capacity: usize) -> Self {
         let mut queue = IssueQueue {
-            entries: VecDeque::with_capacity(capacity),
+            waiting: 0,
+            ready: VecDeque::with_capacity(capacity),
             capacity: 1,
+            #[cfg(debug_assertions)]
+            mirror: VecDeque::new(),
         };
         queue.reset(capacity);
         queue
     }
 
-    /// Clear in place and retarget to `capacity`, keeping the entry
+    /// Clear in place and retarget to `capacity`, keeping the ring
     /// allocation — the session-reuse path of [`IssueQueue::new`].
     pub fn reset(&mut self, capacity: usize) {
         assert!(capacity >= 1);
-        self.entries.clear();
+        self.waiting = 0;
+        self.ready.clear();
         self.capacity = capacity;
+        #[cfg(debug_assertions)]
+        self.mirror.clear();
     }
 
-    /// Entries currently waiting.
+    /// Entries currently allocated (waiting + ready).
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.waiting + self.ready.len()
     }
 
     /// True if empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len() == 0
     }
 
     /// True if another entry can be allocated.
     pub fn has_space(&self) -> bool {
-        self.entries.len() < self.capacity
+        self.len() < self.capacity
     }
 
     /// Capacity in entries.
@@ -56,53 +83,79 @@ impl IssueQueue {
         self.capacity
     }
 
-    /// Allocate an entry (dispatch).
+    /// Entries currently issueable.
+    pub fn ready_len(&self) -> usize {
+        self.ready.len()
+    }
+
+    /// Allocate an entry whose sources are all readable already: it goes
+    /// straight onto the ready ring. `key` must exceed every key inserted
+    /// before it (insertion order *is* age order).
     ///
     /// # Panics
     /// Panics if the queue is full — dispatch must check
     /// [`IssueQueue::has_space`] first (that check *is* the allocation-stall
     /// condition the paper measures).
-    pub fn push(&mut self, id: u64) {
+    pub fn push_ready(&mut self, key: u64, id: u64) {
         assert!(self.has_space(), "issue-queue overflow");
-        self.entries.push_back(id);
-    }
-
-    /// Iterate waiting entries oldest-first without removing them.
-    pub fn ids(&self) -> impl Iterator<Item = u64> + '_ {
-        self.entries.iter().copied()
-    }
-
-    /// Remove the given ids (which must be present), preserving the age
-    /// order of the remaining entries.
-    pub fn remove_ids(&mut self, ids: &[u64]) {
-        if ids.is_empty() {
-            return;
-        }
-        let before = self.entries.len();
-        self.entries.retain(|e| !ids.contains(e));
-        debug_assert_eq!(
-            before - self.entries.len(),
-            ids.len(),
-            "remove_ids: id not found"
+        debug_assert!(
+            self.ready.back().is_none_or(|&(k, _)| k < key),
+            "age keys must be inserted in increasing order"
         );
+        self.ready.push_back((key, id));
+        #[cfg(debug_assertions)]
+        self.mirror.push_back(id);
     }
 
-    /// Scan entries oldest-first, issuing up to `max_issue` whose `ready`
-    /// predicate holds; issued entries are removed and passed to `on_issue`.
-    /// Non-ready entries are skipped (full out-of-order select within the
-    /// queue).
-    pub fn select(
+    /// Allocate an entry blocked on at least one wakeup. Only the count is
+    /// kept here; [`IssueQueue::wake`] moves it onto the ready ring.
+    ///
+    /// # Panics
+    /// Panics if the queue is full (see [`IssueQueue::push_ready`]).
+    pub fn push_waiting(&mut self, id: u64) {
+        assert!(self.has_space(), "issue-queue overflow");
+        self.waiting += 1;
+        #[cfg(debug_assertions)]
+        self.mirror.push_back(id);
+        #[cfg(not(debug_assertions))]
+        let _ = id;
+    }
+
+    /// A waiting entry's last wakeup arrived: insert it into the ready ring
+    /// at its age position (`key` is its original insertion key).
+    pub fn wake(&mut self, key: u64, id: u64) {
+        debug_assert!(self.waiting > 0, "wake on a queue with no waiters");
+        self.waiting -= 1;
+        let at = self.ready.partition_point(|&(k, _)| k < key);
+        debug_assert!(
+            self.ready.get(at).is_none_or(|&(k, _)| k != key),
+            "duplicate age key in ready ring"
+        );
+        self.ready.insert(at, (key, id));
+    }
+
+    /// Oldest-first select over the *ready* entries only: offer each ready
+    /// id to `accept` in age order; accepted ids are removed and passed to
+    /// `on_issue`, rejected ids stay in place (they keep their age slot for
+    /// later cycles), and selection stops after `max_issue` acceptances.
+    /// Returns the number issued.
+    ///
+    /// INT/FP queues accept unconditionally (ready ⇒ issueable); COPY
+    /// queues use `accept` for the per-cycle link-bandwidth arbitration.
+    pub fn select_ready(
         &mut self,
         max_issue: usize,
-        mut ready: impl FnMut(u64) -> bool,
+        mut accept: impl FnMut(u64) -> bool,
         mut on_issue: impl FnMut(u64),
     ) -> usize {
         let mut issued = 0;
         let mut i = 0;
-        while i < self.entries.len() && issued < max_issue {
-            let id = self.entries[i];
-            if ready(id) {
-                self.entries.remove(i);
+        while i < self.ready.len() && issued < max_issue {
+            let (_, id) = self.ready[i];
+            if accept(id) {
+                self.ready.remove(i);
+                #[cfg(debug_assertions)]
+                self.mirror.retain(|&m| m != id);
                 on_issue(id);
                 issued += 1;
             } else {
@@ -110,6 +163,19 @@ impl IssueQueue {
             }
         }
         issued
+    }
+
+    /// Ready ids in age order (oldest first), without removing them.
+    pub fn ready_ids(&self) -> impl Iterator<Item = u64> + '_ {
+        self.ready.iter().map(|&(_, id)| id)
+    }
+
+    /// Debug mirror of *all* entry ids in age order (waiting + ready) —
+    /// the view the pre-wakeup scan iterated. Only exists under
+    /// `debug_assertions`; the release hot path carries no per-entry list.
+    #[cfg(debug_assertions)]
+    pub fn debug_all_ids(&self) -> impl Iterator<Item = u64> + '_ {
+        self.mirror.iter().copied()
     }
 }
 
@@ -124,12 +190,17 @@ pub struct CopyOp {
     pub to: u8,
 }
 
-/// Slab of in-flight copies (from allocation until link delivery).
+/// Slab of in-flight copies (from allocation until link delivery). Each
+/// copy also carries an allocation **sequence number** — the age key its
+/// issue-queue entry is ordered by (slab ids recycle, so they cannot
+/// encode age).
 #[derive(Debug, Clone, Default)]
 pub struct CopySlab {
     ops: Vec<CopyOp>,
+    seqs: Vec<u64>,
     free: Vec<u32>,
     live: usize,
+    next_seq: u64,
 }
 
 impl CopySlab {
@@ -141,20 +212,26 @@ impl CopySlab {
     /// Drop every copy but keep the slab allocations (session reuse).
     pub fn reset(&mut self) {
         self.ops.clear();
+        self.seqs.clear();
         self.free.clear();
         self.live = 0;
+        self.next_seq = 0;
     }
 
     /// Allocate a copy op, returning its id.
     pub fn alloc(&mut self, op: CopyOp) -> u32 {
         self.live += 1;
+        let seq = self.next_seq;
+        self.next_seq += 1;
         match self.free.pop() {
             Some(id) => {
                 self.ops[id as usize] = op;
+                self.seqs[id as usize] = seq;
                 id
             }
             None => {
                 self.ops.push(op);
+                self.seqs.push(seq);
                 (self.ops.len() - 1) as u32
             }
         }
@@ -163,6 +240,12 @@ impl CopySlab {
     /// Look up a live copy.
     pub fn get(&self, id: u32) -> CopyOp {
         self.ops[id as usize]
+    }
+
+    /// Allocation sequence number of a live copy — strictly increasing in
+    /// allocation order, the copy queue's age key.
+    pub fn seq(&self, id: u32) -> u64 {
+        self.seqs[id as usize]
     }
 
     /// Free a delivered copy.
@@ -230,52 +313,91 @@ mod tests {
     #[test]
     fn queue_capacity_and_overflow() {
         let mut q = IssueQueue::new(2);
-        q.push(1);
+        q.push_ready(0, 1);
         assert!(q.has_space());
-        q.push(2);
+        q.push_waiting(2);
         assert!(!q.has_space());
         assert_eq!(q.len(), 2);
+        assert_eq!(q.ready_len(), 1);
     }
 
     #[test]
     #[should_panic(expected = "overflow")]
     fn push_past_capacity_panics() {
         let mut q = IssueQueue::new(1);
-        q.push(1);
-        q.push(2);
+        q.push_ready(0, 1);
+        q.push_waiting(2);
     }
 
     #[test]
-    fn select_is_oldest_first_and_skips_not_ready() {
+    fn select_is_oldest_first_over_ready_entries() {
         let mut q = IssueQueue::new(8);
+        // Even ids ready at insert, odd ids waiting.
         for id in 0..5 {
-            q.push(id);
+            if id % 2 == 0 {
+                q.push_ready(id, id);
+            } else {
+                q.push_waiting(id);
+            }
         }
         let mut issued = Vec::new();
-        // Only even ids ready; width 2 -> issue 0 and 2.
-        let n = q.select(2, |id| id % 2 == 0, |id| issued.push(id));
+        let n = q.select_ready(2, |_| true, |id| issued.push(id));
         assert_eq!(n, 2);
         assert_eq!(issued, vec![0, 2]);
         assert_eq!(q.len(), 3);
-        // Remaining order preserved: 1, 3, 4.
-        let mut rest = Vec::new();
-        q.select(10, |_| true, |id| rest.push(id));
-        assert_eq!(rest, vec![1, 3, 4]);
+        assert_eq!(q.ready_len(), 1);
     }
 
     #[test]
-    fn select_respects_width() {
+    fn wake_restores_age_order() {
+        let mut q = IssueQueue::new(8);
+        q.push_waiting(10); // age key 10
+        q.push_ready(11, 11);
+        q.push_waiting(12); // age key 12
+        q.push_ready(13, 13);
+        // Younger entry wakes first, then the older one: the ring must
+        // still come out oldest-first.
+        q.wake(12, 12);
+        q.wake(10, 10);
+        let ready: Vec<u64> = q.ready_ids().collect();
+        assert_eq!(ready, vec![10, 11, 12, 13]);
+        let mut order = Vec::new();
+        q.select_ready(10, |_| true, |id| order.push(id));
+        assert_eq!(order, vec![10, 11, 12, 13]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn select_respects_width_and_rejections_keep_age_slots() {
         let mut q = IssueQueue::new(8);
         for id in 0..6 {
-            q.push(id);
+            q.push_ready(id, id);
         }
-        let n = q.select(2, |_| true, |_| {});
+        // Reject id 0 (e.g. link busy): it must stay at the ring front.
+        let mut issued = Vec::new();
+        let n = q.select_ready(2, |id| id != 0, |id| issued.push(id));
         assert_eq!(n, 2);
+        assert_eq!(issued, vec![1, 2]);
+        assert_eq!(q.ready_ids().next(), Some(0));
         assert_eq!(q.len(), 4);
     }
 
     #[test]
-    fn copy_slab_reuses_ids() {
+    fn reset_clears_waiting_and_ready_state() {
+        let mut q = IssueQueue::new(4);
+        q.push_waiting(1);
+        q.push_ready(2, 2);
+        q.reset(4);
+        assert!(q.is_empty());
+        assert_eq!(q.ready_len(), 0);
+        // A fresh waiting/wake round works after reset.
+        q.push_waiting(7);
+        q.wake(7, 7);
+        assert_eq!(q.ready_ids().collect::<Vec<_>>(), vec![7]);
+    }
+
+    #[test]
+    fn copy_slab_reuses_ids_but_not_seqs() {
         let mut s = CopySlab::new();
         let a = s.alloc(CopyOp {
             tag: 1,
@@ -289,13 +411,16 @@ mod tests {
         });
         assert_ne!(a, b);
         assert_eq!(s.live(), 2);
+        let seq_a = s.seq(a);
         s.release(a);
         let c = s.alloc(CopyOp {
             tag: 3,
             from: 0,
             to: 1,
         });
-        assert_eq!(c, a);
+        assert_eq!(c, a, "slot recycled");
+        assert!(s.seq(c) > seq_a, "age sequence never recycles");
+        assert!(s.seq(c) > s.seq(b));
         assert_eq!(s.get(c).tag, 3);
         assert_eq!(s.live(), 2);
         s.release(b);

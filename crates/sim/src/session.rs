@@ -19,9 +19,21 @@
 //! [`crate::Machine`] and [`crate::simulate`] are thin per-run views over a
 //! private session.
 //!
-//! Besides reuse, the session is where the simulator's per-cycle hot-path
-//! allocations were removed (ROADMAP "Hot-path profiling"):
+//! Besides reuse, the session is where the simulator's per-cycle hot paths
+//! were removed (ROADMAP "Hot-path profiling"):
 //!
+//! * **issue is event-driven, not polled**: a completing value wakes
+//!   exactly the consumers registered on it ([`crate::value::Waiter`]
+//!   lists in the value tracker), decrementing per-ROB-entry
+//!   pending-source counters; each issue queue keeps an age-sorted *ready
+//!   ring* ([`IssueQueue`]) the select stage pops at most `width` entries
+//!   from. The old code re-tested every queue entry's every source, in
+//!   every cluster, every cycle. Oldest-first select semantics are
+//!   preserved exactly (debug builds assert the ring against the full
+//!   readiness scan each cycle);
+//! * **issue-queue occupancy is counters, not walks**: the steering view's
+//!   occupancy buffer is maintained at entry insert/remove instead of
+//!   being rebuilt from the queues once per dispatched micro-op;
 //! * the event calendar recycles its slot vectors through a scratch buffer
 //!   instead of dropping one per cycle;
 //! * issue selection and the memory stage reuse session-owned scratch
@@ -46,7 +58,9 @@ use crate::predictor::{pc_of, LocalHistory, TraceCache};
 use crate::queues::{CopyOp, CopySlab, IssueQueue, LinkArbiter};
 use crate::stats::{SimStats, StallReason};
 use crate::steering::{SteerDecision, SteerView, SteeringPolicy};
-use crate::value::{all_clusters, cluster_bit, ClusterMask, RenameTable, ValueTag, ValueTracker};
+use crate::value::{
+    all_clusters, cluster_bit, ClusterMask, RenameTable, ValueTag, ValueTracker, Waiter,
+};
 
 #[derive(Debug, Clone, Copy)]
 enum Event {
@@ -73,6 +87,10 @@ struct RobEntry {
     state: RobState,
     dst_tag: Option<ValueTag>,
     src_tags: [Option<ValueTag>; MAX_SRCS],
+    /// Source reads not yet readable in `cluster` — one count per waiter
+    /// registered in the value tracker (duplicate reads included). The
+    /// entry joins its issue queue's ready ring when this reaches zero.
+    pending_srcs: u8,
     mispredicted: bool,
 }
 
@@ -86,6 +104,51 @@ struct FetchedUop {
 /// Cycles without a commit (while work is in flight) after which the
 /// simulator declares a deadlock — this is a bug, never a workload property.
 const DEADLOCK_HORIZON: u64 = 1_000_000;
+
+/// Wall-clock time spent in each pipeline stage, accumulated by
+/// [`SimSession::step_timed`]. Diagnostics only: the untimed
+/// [`SimSession::step`] monomorphizes the timing code away entirely
+/// (zero-cost when off), so enabling this is an explicit opt-in per step
+/// loop (`throughput --stages`).
+#[derive(Debug, Clone, Default)]
+pub struct StageTimers {
+    /// One bucket per stage, ordered as [`StageTimers::NAMES`].
+    pub buckets: [std::time::Duration; StageTimers::NUM_STAGES],
+    /// Cycles accumulated into the buckets.
+    pub cycles: u64,
+}
+
+impl StageTimers {
+    /// Number of timed stages per cycle.
+    pub const NUM_STAGES: usize = 7;
+
+    /// Stage names, in the order [`SimSession::step`] runs them.
+    pub const NAMES: [&'static str; Self::NUM_STAGES] = [
+        "events+wakeup",
+        "commit",
+        "store-drain",
+        "memory",
+        "issue",
+        "dispatch/steer",
+        "fetch",
+    ];
+
+    /// Total wall time across all buckets.
+    pub fn total(&self) -> std::time::Duration {
+        self.buckets.iter().sum()
+    }
+
+    /// Fraction of the total spent in bucket `i` (0.0 when nothing has
+    /// been accumulated yet).
+    pub fn share(&self, i: usize) -> f64 {
+        let total = self.total().as_secs_f64();
+        if total <= 0.0 {
+            0.0
+        } else {
+            self.buckets[i].as_secs_f64() / total
+        }
+    }
+}
 
 /// A long-lived simulation context: all heap state of the simulated
 /// machine, reusable across runs via [`SimSession::reset`].
@@ -151,9 +214,14 @@ pub struct SimSession {
     mem_pending: VecDeque<u64>,
     mem_scratch: VecDeque<u64>,
     store_drain: VecDeque<(u64, u64)>,
-    // Scratch.
+    // Issue-queue occupancy counters, `occ_buf[cluster][QueueKind]` —
+    // maintained incrementally at entry insert/remove (dispatch and issue),
+    // so the steering view reads cached counts instead of re-walking the
+    // queues once per dispatched uop.
     occ_buf: Vec<[usize; 3]>,
+    // Scratch.
     picked: Vec<u64>,
+    woken_scratch: Vec<Waiter>,
     // The live per-register location view, maintained incrementally at the
     // points where it can change (dispatch renames / copy insertions), and
     // the delayed ring that models the parallel steering unit's stale view.
@@ -203,6 +271,7 @@ impl SimSession {
             store_drain: VecDeque::new(),
             occ_buf: Vec::new(),
             picked: Vec::new(),
+            woken_scratch: Vec::new(),
             cur_loc: [0; NUM_ARCH_REGS],
             stale_loc: [0; NUM_ARCH_REGS],
             stale_ring: VecDeque::with_capacity(cfg.fetch_to_dispatch as usize + 1),
@@ -278,6 +347,7 @@ impl SimSession {
         self.occ_buf.clear();
         self.occ_buf.resize(n, [0; 3]);
         self.picked.clear();
+        self.woken_scratch.clear();
         // Initial rename state: every register ready in every cluster.
         self.cur_loc = [all_clusters(n); NUM_ARCH_REGS];
         self.stale_loc = [0; NUM_ARCH_REGS];
@@ -316,6 +386,14 @@ impl SimSession {
     /// Statistics so far.
     pub fn stats(&self) -> &SimStats {
         &self.stats
+    }
+
+    /// Wakeup state still registered: waiters linked on values plus wakes
+    /// not yet applied. Non-zero only while consumers are blocked mid-run;
+    /// zero on a drained ([`SimSession::done`]) or freshly reset session
+    /// (leak diagnostics for the wakeup network).
+    pub fn pending_wakeups(&self) -> usize {
+        self.values.pending_wakeup_state() + self.woken_scratch.len()
     }
 
     /// True when the trace is exhausted and the pipeline fully drained.
@@ -380,6 +458,41 @@ impl SimSession {
             }
         }
         self.events_scratch = batch;
+        // Every ready-bit transition of this cycle has happened; route the
+        // broadcast to the blocked consumers before the issue stage runs.
+        self.apply_wakeups();
+    }
+
+    /// Drain the value tracker's woken-consumer queue: decrement ROB
+    /// pending-source counters (moving fully woken micro-ops onto their
+    /// issue queue's ready ring at their age position) and mark woken copy
+    /// micro-ops issueable. Wake order within a cycle is irrelevant — the
+    /// rings re-establish age order.
+    fn apply_wakeups(&mut self) {
+        let mut woken = std::mem::take(&mut self.woken_scratch);
+        debug_assert!(woken.is_empty());
+        self.values.drain_woken(&mut woken);
+        for w in woken.drain(..) {
+            match w {
+                Waiter::Uop(dseq) => {
+                    let idx = self.rob_index(dseq);
+                    let entry = &mut self.rob[idx];
+                    debug_assert!(entry.pending_srcs > 0, "spurious uop wakeup");
+                    entry.pending_srcs -= 1;
+                    if entry.pending_srcs == 0 {
+                        let cluster = entry.cluster as usize;
+                        let kind = entry.uop.op.queue();
+                        self.iqs[cluster][kind.index()].wake(dseq, dseq);
+                    }
+                }
+                Waiter::Copy(id) => {
+                    let op = self.copies.get(id);
+                    let seq = self.copies.seq(id);
+                    self.iqs[op.from as usize][QueueKind::Copy.index()].wake(seq, u64::from(id));
+                }
+            }
+        }
+        self.woken_scratch = woken;
     }
 
     fn complete_exec(&mut self, dseq: u64) {
@@ -535,33 +648,64 @@ impl SimSession {
     }
 
     fn issue_queue(&mut self, cluster: usize, kind: QueueKind, width: usize) {
-        // Gather ready candidates oldest-first (split immutable scan from
-        // mutable processing to keep the borrow checker happy). `picked` is
-        // session scratch, reused across calls.
+        #[cfg(debug_assertions)]
+        self.debug_assert_ready_ring_matches_scan(cluster, kind);
+        // Pop up to `width` entries off the wakeup-maintained ready ring —
+        // oldest first, never touching the waiting entries the old scan
+        // re-tested every cycle. `picked` is session scratch (split the
+        // ring pops from the mutable processing for the borrow checker).
         let mut picked = std::mem::take(&mut self.picked);
         debug_assert!(picked.is_empty());
-        for dseq in self.iqs[cluster][kind.index()].ids() {
-            if picked.len() >= width {
-                break;
-            }
-            let idx = (dseq - self.rob_base) as usize;
-            let entry = &self.rob[idx];
-            let ready = entry
-                .src_tags
-                .iter()
-                .flatten()
-                .all(|&t| self.values.ready_in(t, cluster as u8));
-            if ready {
-                picked.push(dseq);
-            }
-        }
-        self.iqs[cluster][kind.index()].remove_ids(&picked);
+        self.iqs[cluster][kind.index()].select_ready(width, |_| true, |dseq| picked.push(dseq));
+        self.occ_buf[cluster][kind.index()] -= picked.len();
         for &dseq in &picked {
+            #[cfg(debug_assertions)]
+            {
+                let entry = &self.rob[self.rob_index(dseq)];
+                debug_assert_eq!(entry.pending_srcs, 0);
+                debug_assert!(entry
+                    .src_tags
+                    .iter()
+                    .flatten()
+                    .all(|&t| self.values.ready_in(t, cluster as u8)));
+            }
             self.start_execution(dseq);
             self.stats.clusters[cluster].issued += 1;
         }
         picked.clear();
         self.picked = picked;
+    }
+
+    /// Debug-only contract check: the wakeup-derived ready ring must equal
+    /// (same ids, same age order) what the pre-wakeup per-cycle readiness
+    /// scan over all queue entries would have selected from.
+    #[cfg(debug_assertions)]
+    fn debug_assert_ready_ring_matches_scan(&self, cluster: usize, kind: QueueKind) {
+        let q = &self.iqs[cluster][kind.index()];
+        let scan: Vec<u64> = q
+            .debug_all_ids()
+            .filter(|&id| match kind {
+                QueueKind::Copy => {
+                    let op = self.copies.get(id as u32);
+                    self.values.ready_in(op.tag, op.from)
+                }
+                _ => {
+                    let entry = &self.rob[self.rob_index(id)];
+                    entry
+                        .src_tags
+                        .iter()
+                        .flatten()
+                        .all(|&t| self.values.ready_in(t, cluster as u8))
+                }
+            })
+            .collect();
+        let ring: Vec<u64> = q.ready_ids().collect();
+        debug_assert_eq!(
+            ring, scan,
+            "wakeup ready ring diverged from the readiness scan \
+             (cluster {cluster}, {kind:?} queue, cycle {})",
+            self.now
+        );
     }
 
     fn start_execution(&mut self, dseq: u64) {
@@ -580,18 +724,31 @@ impl SimSession {
     }
 
     fn issue_copies(&mut self, cluster: usize, width: usize) {
+        #[cfg(debug_assertions)]
+        self.debug_assert_ready_ring_matches_scan(cluster, QueueKind::Copy);
+        // Ready-ring entries already have their source value readable at
+        // `from`; the per-cycle link-bandwidth arbitration is the accept
+        // predicate (a rejected copy keeps its age slot for later cycles).
         let mut picked = std::mem::take(&mut self.picked);
         debug_assert!(picked.is_empty());
-        for id64 in self.iqs[cluster][QueueKind::Copy.index()].ids() {
-            if picked.len() >= width {
-                break;
-            }
-            let op = self.copies.get(id64 as u32);
-            if self.values.ready_in(op.tag, op.from) && self.links.try_send(op.from, op.to) {
-                picked.push(id64);
-            }
+        {
+            let queue = &mut self.iqs[cluster][QueueKind::Copy.index()];
+            let links = &mut self.links;
+            let copies = &self.copies;
+            #[cfg(debug_assertions)]
+            let values = &self.values;
+            queue.select_ready(
+                width,
+                |id64| {
+                    let op = copies.get(id64 as u32);
+                    #[cfg(debug_assertions)]
+                    debug_assert!(values.ready_in(op.tag, op.from), "unready copy in ring");
+                    links.try_send(op.from, op.to)
+                },
+                |id64| picked.push(id64),
+            );
         }
-        self.iqs[cluster][QueueKind::Copy.index()].remove_ids(&picked);
+        self.occ_buf[cluster][QueueKind::Copy.index()] -= picked.len();
         for &id64 in &picked {
             // A copy micro-op spends one cycle reading the source register
             // file after issue, then traverses the point-to-point link
@@ -606,13 +763,6 @@ impl SimSession {
     // ------------------------------------------------------------------
     // Stage 6: dispatch (decode/rename/steer).
     // ------------------------------------------------------------------
-    fn refresh_occ_buf(&mut self) {
-        for (c, occ) in self.occ_buf.iter_mut().enumerate() {
-            for kind in QueueKind::ALL {
-                occ[kind.index()] = self.iqs[c][kind.index()].len();
-            }
-        }
-    }
 
     /// Pick the cluster a copy of `tag` should be read from: the lowest
     /// cluster where the value is already ready, else its home cluster
@@ -640,6 +790,19 @@ impl SimSession {
             self.rename.location_snapshot(&self.values),
             "incremental location view diverged from the rename table"
         );
+        // The occupancy counters are maintained at every queue insert and
+        // remove, so the per-dispatched-uop queue walk the steering view
+        // used to trigger is gone; assert they match the queues' own books.
+        #[cfg(debug_assertions)]
+        for (c, occ) in self.occ_buf.iter().enumerate() {
+            for kind in QueueKind::ALL {
+                debug_assert_eq!(
+                    occ[kind.index()],
+                    self.iqs[c][kind.index()].len(),
+                    "occupancy counter diverged (cluster {c}, {kind:?} queue)"
+                );
+            }
+        }
         self.stale_ring.push_back(self.cur_loc);
         if self.stale_ring.len() > self.cfg.fetch_to_dispatch as usize {
             self.stale_loc = self.stale_ring.pop_front().expect("non-empty ring");
@@ -677,8 +840,7 @@ impl SimSession {
                 break;
             }
 
-            // Ask the policy.
-            self.refresh_occ_buf();
+            // Ask the policy (occupancy counters are already current).
             let decision = {
                 let view = SteerView {
                     num_clusters: self.cfg.num_clusters,
@@ -767,12 +929,22 @@ impl SimSession {
             self.next_dseq += 1;
             debug_assert_eq!(dseq, self.rob_base + self.rob.len() as u64);
 
-            // Source references (one per read, duplicates included).
+            // Source references (one per read, duplicates included). A
+            // source not yet readable in the target cluster registers a
+            // wakeup waiter instead of being re-polled every cycle: its
+            // value is guaranteed to arrive there (the producer was steered
+            // there, a copy is already in flight, or the copy generator
+            // below inserts one this very dispatch).
             let mut src_tags = [None; MAX_SRCS];
+            let mut pending_srcs = 0u8;
             for (i, src) in uop.srcs.iter().enumerate() {
                 let tag = self.rename.tag(src);
                 self.values.add_ref(tag);
                 src_tags[i] = Some(tag);
+                if !self.values.ready_in(tag, cluster) {
+                    self.values.add_waiter(tag, cluster, Waiter::Uop(dseq));
+                    pending_srcs += 1;
+                }
             }
 
             // Copy generation (the paper's copy generator, now policy-free).
@@ -785,7 +957,18 @@ impl SimSession {
                     from,
                     to: cluster,
                 });
-                self.iqs[from as usize][QueueKind::Copy.index()].push(u64::from(id));
+                let seq = self.copies.seq(id);
+                let queue = &mut self.iqs[from as usize][QueueKind::Copy.index()];
+                if self.values.ready_in(tag, from) {
+                    queue.push_ready(seq, u64::from(id));
+                } else {
+                    // `from` is the producer's home cluster (copy_source
+                    // falls back to it when no cluster is ready yet): the
+                    // copy's register read waits for mark_produced there.
+                    queue.push_waiting(u64::from(id));
+                    self.values.add_waiter(tag, from, Waiter::Copy(id));
+                }
+                self.occ_buf[from as usize][QueueKind::Copy.index()] += 1;
                 self.stats.copies_generated += 1;
                 self.stats.clusters[from as usize].copies_inserted += 1;
             }
@@ -808,9 +991,16 @@ impl SimSession {
                 state: RobState::Waiting,
                 dst_tag,
                 src_tags,
+                pending_srcs,
                 mispredicted,
             });
-            self.iqs[cluster as usize][kind.index()].push(dseq);
+            let queue = &mut self.iqs[cluster as usize][kind.index()];
+            if pending_srcs == 0 {
+                queue.push_ready(dseq, dseq);
+            } else {
+                queue.push_waiting(dseq);
+            }
+            self.occ_buf[cluster as usize][kind.index()] += 1;
             self.inflight[cluster as usize] += 1;
             self.stats.clusters[cluster as usize].dispatched += 1;
             *budget -= 1;
@@ -900,16 +1090,83 @@ impl SimSession {
         policy: &mut dyn SteeringPolicy,
         limits: &RunLimits,
     ) {
+        self.step_impl::<false>(trace, policy, limits, &mut None);
+    }
+
+    /// Advance the machine by one cycle, accumulating per-stage wall time
+    /// into `timers`. Identical simulated behaviour to [`SimSession::step`]
+    /// (the stage sequence is shared code); only the host-time bookkeeping
+    /// differs.
+    pub fn step_timed(
+        &mut self,
+        trace: &mut dyn TraceSource,
+        policy: &mut dyn SteeringPolicy,
+        limits: &RunLimits,
+        timers: &mut StageTimers,
+    ) {
+        timers.cycles += 1;
+        self.step_impl::<true>(trace, policy, limits, &mut Some(timers));
+    }
+
+    /// Record the time since `*t0` into bucket `i` and restart the lap.
+    #[inline]
+    fn lap(
+        timers: &mut Option<&mut StageTimers>,
+        t0: &mut Option<std::time::Instant>,
+        bucket: usize,
+    ) {
+        if let (Some(t), Some(prev)) = (timers.as_deref_mut(), *t0) {
+            let now = std::time::Instant::now();
+            t.buckets[bucket] += now.duration_since(prev);
+            *t0 = Some(now);
+        }
+    }
+
+    /// The one cycle of the machine. `TIMED` is a compile-time switch: the
+    /// untimed instantiation contains no timing code at all.
+    fn step_impl<const TIMED: bool>(
+        &mut self,
+        trace: &mut dyn TraceSource,
+        policy: &mut dyn SteeringPolicy,
+        limits: &RunLimits,
+        timers: &mut Option<&mut StageTimers>,
+    ) {
         self.mem.begin_cycle();
         self.links.begin_cycle();
 
+        let mut t0 = if TIMED {
+            Some(std::time::Instant::now())
+        } else {
+            None
+        };
         self.process_events();
+        if TIMED {
+            Self::lap(timers, &mut t0, 0);
+        }
         self.commit();
+        if TIMED {
+            Self::lap(timers, &mut t0, 1);
+        }
         self.drain_stores();
+        if TIMED {
+            Self::lap(timers, &mut t0, 2);
+        }
         self.memory_stage();
+        if TIMED {
+            Self::lap(timers, &mut t0, 3);
+        }
         self.issue();
+        if TIMED {
+            Self::lap(timers, &mut t0, 4);
+        }
         self.dispatch(policy);
+        if TIMED {
+            Self::lap(timers, &mut t0, 5);
+        }
         self.fetch(trace, limits);
+        if TIMED {
+            Self::lap(timers, &mut t0, 6);
+        }
 
         for (c, s) in self.stats.clusters.iter_mut().enumerate() {
             s.occupancy_integral += u64::from(self.inflight[c]);
@@ -1103,6 +1360,83 @@ mod tests {
             SimSession::new(&cfg).run(&mut trace, &mut RoundRobin(0), &RunLimits::unlimited())
         };
         assert_eq!(via_machine, via_session);
+    }
+
+    #[test]
+    fn step_timed_is_bit_identical_to_step_and_fills_buckets() {
+        let region = mixed_region();
+        let uops = expand(&region, 80);
+        let cfg = MachineConfig::default();
+        let untimed = {
+            let mut trace = SliceTrace::new(&uops);
+            simulate(
+                &cfg,
+                &mut trace,
+                &mut RoundRobin(0),
+                &RunLimits::unlimited(),
+            )
+        };
+        let mut session = SimSession::new(&cfg);
+        let mut trace = SliceTrace::new(&uops);
+        let mut policy = RoundRobin(0);
+        policy.reset();
+        let mut timers = StageTimers::default();
+        loop {
+            session.step_timed(
+                &mut trace,
+                &mut policy,
+                &RunLimits::unlimited(),
+                &mut timers,
+            );
+            if session.done() {
+                break;
+            }
+        }
+        assert_eq!(session.stats().clone(), untimed, "timing must not perturb");
+        assert_eq!(timers.cycles, untimed.cycles);
+        assert!(timers.total() > std::time::Duration::ZERO);
+        let share_sum: f64 = (0..StageTimers::NUM_STAGES).map(|i| timers.share(i)).sum();
+        assert!((share_sum - 1.0).abs() < 1e-9, "shares sum to 1");
+    }
+
+    #[test]
+    fn wakeup_state_drains_at_completion_and_clears_on_reset() {
+        let region = mixed_region();
+        let uops = expand(&region, 60);
+        let cfg = MachineConfig::default();
+        let mut session = SimSession::new(&cfg);
+
+        // Mid-flight under copy-happy steering there are blocked consumers.
+        let mut trace = SliceTrace::new(&uops);
+        let mut policy = RoundRobin(0);
+        let mut saw_waiters = false;
+        for _ in 0..40 {
+            session.step(&mut trace, &mut policy, &RunLimits::unlimited());
+            saw_waiters |= session.pending_wakeups() > 0;
+        }
+        assert!(saw_waiters, "round-robin must block some consumers");
+
+        // Reset must clear the wakeup network in place…
+        session.reset(&cfg);
+        assert_eq!(session.pending_wakeups(), 0);
+
+        // …and a full run must end with no waiter leaked.
+        let mut trace = SliceTrace::new(&uops);
+        let reused = session.simulate(
+            &cfg,
+            &mut trace,
+            &mut RoundRobin(0),
+            &RunLimits::unlimited(),
+        );
+        assert_eq!(session.pending_wakeups(), 0);
+        let mut trace = SliceTrace::new(&uops);
+        let fresh = simulate(
+            &cfg,
+            &mut trace,
+            &mut RoundRobin(0),
+            &RunLimits::unlimited(),
+        );
+        assert_eq!(fresh, reused);
     }
 
     #[test]

@@ -14,6 +14,16 @@
 //! The steering-visible *location mask* is their union — exactly what the
 //! rename-table location bits would hold in hardware. [`RenameTable`] maps
 //! architectural registers to the current value.
+//!
+//! The tracker is also the simulator's **wakeup network**: consumers that
+//! find a source not yet ready in their cluster register a [`Waiter`] on
+//! the (value, cluster) pair instead of polling, and the ready-bit
+//! transitions ([`ValueTracker::mark_produced`], [`ValueTracker::
+//! deliver_copy`] — the broadcast a real out-of-order machine performs on
+//! its result buses) push the woken consumers onto an internal queue the
+//! session drains. Readiness is monotone (ready bits are only ever set),
+//! so every registered waiter is woken exactly once; the waiter's own
+//! reference on the value keeps the slot alive until then.
 
 use virtclust_uarch::{ArchReg, RegClass, NUM_ARCH_REGS};
 
@@ -40,6 +50,32 @@ pub fn all_clusters(n: usize) -> ClusterMask {
     }
 }
 
+/// A consumer blocked on a value becoming ready in some cluster. Pushed to
+/// the woken queue by the ready-bit transitions; the session interprets it
+/// (decrementing a ROB entry's pending-source counter, or marking a copy
+/// micro-op issueable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Waiter {
+    /// A dispatched micro-op, identified by its dispatch sequence number.
+    /// One registration per unready source read (duplicates included).
+    Uop(u64),
+    /// An inter-cluster copy micro-op waiting for its source register read,
+    /// identified by its copy-slab id.
+    Copy(u32),
+}
+
+/// Sentinel index terminating a waiter list.
+const NIL: u32 = u32::MAX;
+
+/// One node of a per-value waiter list (intrusive singly-linked list over a
+/// shared slab, so registration never allocates in steady state).
+#[derive(Debug, Clone, Copy)]
+struct WaiterNode {
+    cluster: u8,
+    who: Waiter,
+    next: u32,
+}
+
 #[derive(Debug, Clone)]
 struct ValueState {
     ready: ClusterMask,
@@ -48,6 +84,8 @@ struct ValueState {
     class: RegClass,
     home: u8,
     live: bool,
+    /// Head of this value's waiter list (`NIL` when empty).
+    waiters: u32,
 }
 
 /// Reference-counted tracker of register values and their cluster locations.
@@ -70,6 +108,12 @@ pub struct ValueTracker {
     /// `rf_used[cluster][class.index]` — live register count.
     rf_used: Vec<[u32; 2]>,
     num_clusters: usize,
+    /// Waiter-node slab shared by all per-value waiter lists.
+    waiter_nodes: Vec<WaiterNode>,
+    free_waiters: Vec<u32>,
+    /// Consumers woken by ready-bit transitions since the last
+    /// [`ValueTracker::drain_woken`], in wake order.
+    woken: Vec<Waiter>,
 }
 
 fn class_index(class: RegClass) -> usize {
@@ -88,6 +132,9 @@ impl ValueTracker {
             free: Vec::new(),
             rf_used: vec![[0; 2]; num_clusters],
             num_clusters,
+            waiter_nodes: Vec::new(),
+            free_waiters: Vec::new(),
+            woken: Vec::new(),
         }
     }
 
@@ -103,6 +150,9 @@ impl ValueTracker {
         self.rf_used.clear();
         self.rf_used.resize(num_clusters, [0; 2]);
         self.num_clusters = num_clusters;
+        self.waiter_nodes.clear();
+        self.free_waiters.clear();
+        self.woken.clear();
     }
 
     fn alloc_slot(&mut self, st: ValueState) -> ValueTag {
@@ -143,6 +193,7 @@ impl ValueTracker {
             class,
             home,
             live: true,
+            waiters: NIL,
         })
     }
 
@@ -157,6 +208,7 @@ impl ValueTracker {
             class,
             home: 0,
             live: true,
+            waiters: NIL,
         })
     }
 
@@ -173,6 +225,7 @@ impl ValueTracker {
             class,
             home: cluster,
             live: true,
+            waiters: NIL,
         })
     }
 
@@ -200,6 +253,11 @@ impl ValueTracker {
         debug_assert!(st.refs > 0, "release of unreferenced value {tag}");
         st.refs -= 1;
         if st.refs == 0 {
+            debug_assert_eq!(
+                st.waiters, NIL,
+                "value {tag} freed with waiters still registered \
+                 (a waiter must hold a reference until its wake)"
+            );
             let mask = st.ready | st.pending;
             let class = st.class;
             st.live = false;
@@ -209,12 +267,15 @@ impl ValueTracker {
     }
 
     /// The producer finished executing: the value is now readable in its
-    /// home cluster. Drops the producer's reference.
+    /// home cluster. Wakes the waiters registered for the home cluster and
+    /// drops the producer's reference.
     pub fn mark_produced(&mut self, tag: ValueTag) {
         let st = self.state_mut(tag);
-        let home_bit = cluster_bit(st.home);
+        let home = st.home;
+        let home_bit = cluster_bit(home);
         st.pending &= !home_bit;
         st.ready |= home_bit;
+        self.wake(tag, home);
         self.release(tag);
     }
 
@@ -236,14 +297,127 @@ impl ValueTracker {
     }
 
     /// A copy of `tag` arrived at `dest`: the value is now readable there.
-    /// Drops the copy's reference.
+    /// Wakes the waiters registered for `dest` and drops the copy's
+    /// reference.
     pub fn deliver_copy(&mut self, tag: ValueTag, dest: u8) {
         let bit = cluster_bit(dest);
         let st = self.state_mut(tag);
         debug_assert!(st.pending & bit != 0, "copy delivered without begin_copy");
         st.pending &= !bit;
         st.ready |= bit;
+        self.wake(tag, dest);
         self.release(tag);
+    }
+
+    /// Register `who` to be woken when `tag` becomes ready in `cluster`.
+    /// The caller must hold a reference on `tag` that outlives the wake
+    /// (consumers release at issue, copies at delivery), and readiness in
+    /// `cluster` must be guaranteed to arrive (the dispatch stage enforces
+    /// this: an unready source either has its producer steered to `cluster`
+    /// or a copy in flight towards it).
+    pub fn add_waiter(&mut self, tag: ValueTag, cluster: u8, who: Waiter) {
+        debug_assert!((cluster as usize) < self.num_clusters);
+        debug_assert!(
+            !self.ready_in(tag, cluster),
+            "waiter registered on an already-ready (value, cluster)"
+        );
+        debug_assert!(self.state(tag).refs > 0, "waiter on unreferenced value");
+        let node = WaiterNode {
+            cluster,
+            who,
+            next: self.slots[tag as usize].waiters,
+        };
+        let idx = match self.free_waiters.pop() {
+            Some(i) => {
+                self.waiter_nodes[i as usize] = node;
+                i
+            }
+            None => {
+                self.waiter_nodes.push(node);
+                (self.waiter_nodes.len() - 1) as u32
+            }
+        };
+        self.slots[tag as usize].waiters = idx;
+    }
+
+    /// Move every waiter of `tag` registered for `cluster` to the woken
+    /// queue (the result-bus broadcast). Waiters for other clusters stay
+    /// linked.
+    fn wake(&mut self, tag: ValueTag, cluster: u8) {
+        let mut cur = self.slots[tag as usize].waiters;
+        if cur == NIL {
+            return;
+        }
+        let mut kept = NIL;
+        while cur != NIL {
+            let node = self.waiter_nodes[cur as usize];
+            if node.cluster == cluster {
+                self.woken.push(node.who);
+                self.free_waiters.push(cur);
+            } else {
+                self.waiter_nodes[cur as usize].next = kept;
+                kept = cur;
+            }
+            cur = node.next;
+        }
+        self.slots[tag as usize].waiters = kept;
+    }
+
+    /// Remove one registration of `who` waiting on (`tag`, `cluster`)
+    /// *without* waking it — the squash primitive: a consumer leaving the
+    /// window mid-wait must unlink itself so a later ready transition does
+    /// not wake a recycled identity. Returns whether a matching waiter was
+    /// found.
+    ///
+    /// The current pipeline never squashes dispatched work (mispredicts
+    /// only halt fetch, so no wrong-path micro-op reaches an issue queue);
+    /// this is the forward-looking half of the wakeup contract that a
+    /// future wrong-path/flush model must call per registered waiter, and
+    /// it is unit-tested here so that model inherits a working primitive.
+    pub fn unlink_waiter(&mut self, tag: ValueTag, cluster: u8, who: Waiter) -> bool {
+        let mut cur = self.slots[tag as usize].waiters;
+        let mut prev = NIL;
+        while cur != NIL {
+            let node = self.waiter_nodes[cur as usize];
+            if node.cluster == cluster && node.who == who {
+                if prev == NIL {
+                    self.slots[tag as usize].waiters = node.next;
+                } else {
+                    self.waiter_nodes[prev as usize].next = node.next;
+                }
+                self.free_waiters.push(cur);
+                return true;
+            }
+            prev = cur;
+            cur = node.next;
+        }
+        false
+    }
+
+    /// Append (and clear) the consumers woken since the last drain. The
+    /// session calls this after each completion-event batch and interprets
+    /// the waiters; relative order within a drain carries no meaning (the
+    /// issue stage re-establishes age order).
+    pub fn drain_woken(&mut self, out: &mut Vec<Waiter>) {
+        out.append(&mut self.woken);
+    }
+
+    /// Number of waiters registered on `tag` (diagnostics / tests).
+    pub fn waiter_count(&self, tag: ValueTag) -> usize {
+        let mut n = 0;
+        let mut cur = self.slots[tag as usize].waiters;
+        while cur != NIL {
+            n += 1;
+            cur = self.waiter_nodes[cur as usize].next;
+        }
+        n
+    }
+
+    /// Total waiters registered across all values plus undrained wakes —
+    /// zero on an idle machine (leak check; [`ValueTracker::reset`] must
+    /// return this to zero).
+    pub fn pending_wakeup_state(&self) -> usize {
+        (self.waiter_nodes.len() - self.free_waiters.len()) + self.woken.len()
     }
 
     /// Is the value readable in `cluster` right now?
@@ -468,6 +642,107 @@ mod tests {
         assert_eq!(all_clusters(2), 0b11);
         assert_eq!(all_clusters(4), 0b1111);
         assert_eq!(all_clusters(8), 0xff);
+    }
+
+    fn drained(vt: &mut ValueTracker) -> Vec<Waiter> {
+        let mut out = Vec::new();
+        vt.drain_woken(&mut out);
+        out
+    }
+
+    #[test]
+    fn producer_completion_wakes_home_cluster_waiters_only() {
+        let mut vt = ValueTracker::new(2);
+        let t = vt.alloc(RegClass::Int, 1); // home = cluster 1
+        vt.add_ref(t); // consumer A (cluster 1)
+        vt.add_ref(t); // consumer B (cluster 0, waits for a copy)
+        vt.add_waiter(t, 1, Waiter::Uop(7));
+        vt.add_waiter(t, 0, Waiter::Uop(9));
+        assert_eq!(vt.waiter_count(t), 2);
+
+        vt.mark_produced(t);
+        assert_eq!(drained(&mut vt), vec![Waiter::Uop(7)], "home waiter only");
+        assert_eq!(vt.waiter_count(t), 1, "cluster-0 waiter still linked");
+
+        vt.begin_copy(t, 0);
+        vt.deliver_copy(t, 0);
+        assert_eq!(drained(&mut vt), vec![Waiter::Uop(9)]);
+        assert_eq!(vt.waiter_count(t), 0);
+        assert_eq!(vt.pending_wakeup_state(), 0);
+        vt.release(t);
+        vt.release(t);
+    }
+
+    #[test]
+    fn duplicate_source_reads_register_and_wake_twice() {
+        // A uop reading the same not-ready register twice holds two refs
+        // and two waiters; one ready transition must deliver two wakes
+        // (each decrementing the consumer's pending-source counter once).
+        let mut vt = ValueTracker::new(2);
+        let t = vt.alloc(RegClass::Int, 0);
+        vt.add_ref(t);
+        vt.add_ref(t);
+        vt.add_waiter(t, 0, Waiter::Uop(3));
+        vt.add_waiter(t, 0, Waiter::Uop(3));
+        vt.mark_produced(t);
+        assert_eq!(drained(&mut vt), vec![Waiter::Uop(3), Waiter::Uop(3)]);
+        vt.release(t);
+        vt.release(t);
+    }
+
+    #[test]
+    fn unlink_waiter_removes_without_waking() {
+        // The squash path: a consumer leaving the window mid-wait unlinks
+        // itself so the later ready transition cannot wake its recycled
+        // identity. Exercise head, middle and missing cases.
+        let mut vt = ValueTracker::new(4);
+        let t = vt.alloc(RegClass::Int, 2);
+        for _ in 0..3 {
+            vt.add_ref(t);
+        }
+        vt.add_waiter(t, 2, Waiter::Uop(1));
+        vt.add_waiter(t, 2, Waiter::Copy(5));
+        vt.add_waiter(t, 2, Waiter::Uop(2));
+        assert_eq!(vt.waiter_count(t), 3);
+
+        assert!(vt.unlink_waiter(t, 2, Waiter::Copy(5)), "middle node");
+        assert!(vt.unlink_waiter(t, 2, Waiter::Uop(2)), "head node");
+        assert!(!vt.unlink_waiter(t, 2, Waiter::Uop(42)), "absent waiter");
+        assert!(!vt.unlink_waiter(t, 1, Waiter::Uop(1)), "wrong cluster");
+        assert_eq!(vt.waiter_count(t), 1);
+
+        vt.mark_produced(t);
+        assert_eq!(
+            drained(&mut vt),
+            vec![Waiter::Uop(1)],
+            "unlinked waiters must not wake"
+        );
+        for _ in 0..3 {
+            vt.release(t);
+        }
+        assert_eq!(vt.pending_wakeup_state(), 0);
+    }
+
+    #[test]
+    fn reset_clears_wakeup_state_in_place() {
+        let mut vt = ValueTracker::new(2);
+        let t = vt.alloc(RegClass::Int, 0);
+        vt.add_ref(t);
+        vt.add_ref(t);
+        vt.add_waiter(t, 0, Waiter::Uop(1));
+        vt.add_waiter(t, 1, Waiter::Uop(2));
+        vt.mark_produced(t); // one undrained wake + one linked waiter
+        assert!(vt.pending_wakeup_state() > 0);
+        vt.reset(2);
+        assert_eq!(vt.pending_wakeup_state(), 0);
+        assert_eq!(vt.live_values(), 0);
+        // The slab is reusable: a fresh register/wake round works.
+        let t = vt.alloc(RegClass::Int, 1);
+        vt.add_ref(t);
+        vt.add_waiter(t, 1, Waiter::Uop(8));
+        vt.mark_produced(t);
+        assert_eq!(drained(&mut vt), vec![Waiter::Uop(8)]);
+        vt.release(t);
     }
 
     #[test]

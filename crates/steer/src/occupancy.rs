@@ -14,6 +14,13 @@
 //! bundle-entry snapshot, the cheap renaming-style implementation that
 //! mis-steers dependent bundles (Sec. 2.1: 2 copies where sequential needs
 //! none).
+//!
+//! The queue occupancies this policy consults
+//! ([`SteerView::occupancy`]/[`SteerView::is_busy`]) are cached counters
+//! the simulator maintains at every issue-queue insert and remove — per
+//! decision they cost a read, not a walk over the queues (the
+//! per-dispatched-uop occupancy rebuild was removed alongside the
+//! event-driven wakeup/select refactor in `virtclust-sim`).
 
 use virtclust_sim::{cluster_bit, SteerDecision, SteerView, SteeringPolicy};
 use virtclust_uarch::DynUop;

@@ -242,6 +242,14 @@ impl MachineConfig {
         Self::default().with_clusters(4)
     }
 
+    /// An 8-cluster extrapolation of the paper's scaling study (ROADMAP
+    /// "8-cluster runs"): identical per-cluster resources, eight clusters —
+    /// the maximum the cluster bit-masks support. Exercises location and
+    /// wakeup masks beyond 4 bits.
+    pub fn paper_8cluster() -> Self {
+        Self::default().with_clusters(8)
+    }
+
     /// Return a copy with a different cluster count.
     #[must_use]
     pub fn with_clusters(mut self, n: usize) -> Self {
@@ -432,6 +440,14 @@ mod tests {
         assert_eq!(four.num_clusters, 4);
         assert!(four.validate().is_ok());
         assert_eq!(four.with_clusters(2), base);
+    }
+
+    #[test]
+    fn eight_cluster_config_only_changes_cluster_count() {
+        let eight = MachineConfig::paper_8cluster();
+        assert_eq!(eight.num_clusters, 8);
+        assert!(eight.validate().is_ok());
+        assert_eq!(eight.with_clusters(2), MachineConfig::paper_2cluster());
     }
 
     #[test]

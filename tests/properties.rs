@@ -7,6 +7,7 @@ use proptest::prelude::*;
 use virtclust::compiler::{
     identify_chains, GreedyPlacer, PlacerConfig, RhopConfig, RhopPartitioner,
 };
+use virtclust::core::Configuration;
 use virtclust::ddg::{Criticality, Ddg};
 use virtclust::sim::{simulate, RunLimits, SimSession, SteerDecision, SteerView, SteeringPolicy};
 use virtclust::trace::{Codec, TraceReader, TraceWriter};
@@ -269,5 +270,70 @@ proptest! {
             .filter(|e| parts.part(e.from) != parts.part(e.to))
             .count();
         prop_assert_eq!(cut, disagree);
+    }
+}
+
+proptest! {
+    // Fewer cases: each one simulates 8 schemes × 3 machines twice, with
+    // the per-cycle debug cross-checks doing the heavy verification.
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn wakeup_issue_is_bit_identical_to_scan(
+        region in region_strategy(28),
+        hints in prop::collection::vec(hint_strategy(), 28..29),
+        iters in 1usize..4,
+    ) {
+        // The wakeup/select refactor replaced the per-cycle issue-queue
+        // readiness scan with dependency-driven wakeup lists; debug builds
+        // (this test runs as one) assert the wakeup-derived ready ring
+        // against the full readiness scan every cycle in every cluster and
+        // queue, and assert the incrementally maintained occupancy counters
+        // against the queues' own books. Driving the Table 3 schemes plus
+        // the ablations across 2-/4-/8-cluster machines over random hinted
+        // programs exercises those checks; the fresh-vs-reused equality
+        // additionally pins full `SimStats` bit-identity.
+        let mut region = region;
+        for (inst, hint) in region.insts.iter_mut().zip(hints) {
+            inst.hint = hint;
+        }
+        let schemes = [
+            Configuration::Op,
+            Configuration::OpParallel,
+            Configuration::OneCluster,
+            Configuration::Ob,
+            Configuration::Rhop,
+            Configuration::Vc { num_vcs: 2 },
+            Configuration::ModN { slice: 3 },
+            Configuration::OpNoStall,
+        ];
+        let mut session = SimSession::new(&MachineConfig::default());
+        for clusters in [2usize, 4, 8] {
+            let machine = MachineConfig::default().with_clusters(clusters);
+            for config in schemes {
+                let mut program = Program::new("prop");
+                program.add_region(region.clone());
+                config
+                    .software_pass(clusters as u32)
+                    .apply(&mut program, &machine.latencies);
+                let uops = expand(&program.regions[0], iters);
+                let fresh = {
+                    let mut trace = SliceTrace::new(&uops);
+                    let mut policy = config.make_policy();
+                    simulate(&machine, &mut trace, policy.as_mut(), &RunLimits::unlimited())
+                };
+                let reused = {
+                    let mut trace = SliceTrace::new(&uops);
+                    let mut policy = config.make_policy();
+                    session.simulate(&machine, &mut trace, policy.as_mut(), &RunLimits::unlimited())
+                };
+                prop_assert_eq!(
+                    &fresh, &reused,
+                    "{} on {} clusters", config.name(clusters as u32), clusters
+                );
+                prop_assert_eq!(fresh.committed_uops, uops.len() as u64);
+                prop_assert_eq!(fresh.copies_generated, fresh.copies_delivered);
+            }
+        }
     }
 }

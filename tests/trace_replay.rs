@@ -117,6 +117,7 @@ fn committed_corpus_stays_readable_and_replayable() {
         ("gzip-1.vct", 2_000),
         ("galgel.vctb", 4_000),
         ("dotprod.vct", 1_000),
+        ("smoke8.vct", 1_500),
     ] {
         let path = corpus.join(file);
         let mut reader = TraceReader::open(&path).unwrap_or_else(|e| {
@@ -134,6 +135,17 @@ fn committed_corpus_stays_readable_and_replayable() {
             "{file}: {commits:?}"
         );
     }
+
+    // The 8-cluster smoke cell (ROADMAP "8-cluster runs"): the smoke8
+    // kernel's eight chains spread over all eight clusters, exercising
+    // location/wakeup masks beyond 4 bits end to end.
+    let eight = MachineConfig::paper_8cluster();
+    let rows = replay_compare(corpus.join("smoke8.vct"), &Configuration::table3(), &eight).unwrap();
+    let commits: Vec<u64> = rows.iter().map(|(_, s)| s.committed_uops).collect();
+    assert!(
+        commits.iter().all(|&c| c == 1_500),
+        "smoke8 at 8 clusters: {commits:?}"
+    );
 }
 
 #[test]
