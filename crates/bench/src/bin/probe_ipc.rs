@@ -7,8 +7,10 @@
 //! * default — a human-readable table of OP vs one-cluster bottleneck
 //!   stats over a 12-point calibration subset;
 //! * `--json` — one machine-readable line per (point × Table 3 scheme)
-//!   over the **full 40-point suite**, run as one [`EvalDriver`] batch
-//!   (per-worker session reuse):
+//!   over the **full 40-point suite** (or a single point with
+//!   `--point NAME` — the CI debug-mirror smoke runs one cell per cluster
+//!   count that way), run as one [`EvalDriver`] batch (per-worker session
+//!   reuse):
 //!   `{"point":"gzip-1","scheme":"OP","ipc":0.733,"copies":1408,"uops":20000,"uops_per_sec":1445000}`.
 //!   The `ipc`/`copies`/`uops` fields are deterministic; `uops_per_sec`
 //!   is the cell's wall-clock simulation throughput on its worker (only
@@ -28,8 +30,15 @@ use virtclust_core::{run_point, Configuration, EvalDriver, EvalJob};
 use virtclust_uarch::MachineConfig;
 use virtclust_workloads::spec2000_points;
 
-fn json_mode(uops: u64, machine: &MachineConfig) {
-    let points = spec2000_points();
+fn json_mode(uops: u64, machine: &MachineConfig, point_filter: Option<&str>) {
+    let mut points = spec2000_points();
+    if let Some(name) = point_filter {
+        points.retain(|p| p.name == name);
+        if points.is_empty() {
+            eprintln!("probe_ipc: --point {name} matches no suite point");
+            std::process::exit(2);
+        }
+    }
     let configs = Configuration::table3();
     // Row-major (point × scheme) job list — the batch path.
     let jobs: Vec<EvalJob> = points
@@ -124,9 +133,19 @@ fn main() {
     let json = argv.iter().any(|a| a == "--json");
     let uops = uop_budget(20_000);
     let machine = machine_from_args(&argv);
+    let point_filter = argv.iter().position(|a| a == "--point").map(|i| {
+        argv.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("probe_ipc: --point needs a suite point name");
+            std::process::exit(2);
+        })
+    });
     if json {
-        json_mode(uops, &machine);
+        json_mode(uops, &machine, point_filter.as_deref());
     } else {
+        if point_filter.is_some() {
+            eprintln!("probe_ipc: --point only applies to --json mode");
+            std::process::exit(2);
+        }
         table_mode(uops, &machine);
     }
 }

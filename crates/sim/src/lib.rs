@@ -62,7 +62,7 @@ pub use predictor::{Gshare, LocalHistory, TraceCache};
 pub use queues::{CopyOp, CopySlab, IssueQueue, LinkArbiter};
 pub use session::{SimSession, StageTimers};
 pub use stats::{ClusterStats, SimStats, StallReason};
-pub use steering::{SteerDecision, SteerView, SteeringPolicy};
+pub use steering::{SteerDecision, SteerSummary, SteerView, SteeringPolicy};
 pub use value::{
     all_clusters, cluster_bit, ClusterMask, RenameTable, ValueTag, ValueTracker, Waiter,
 };

@@ -13,8 +13,44 @@
 //! forward from the youngest older store with a matching address and ready
 //! data. Loads free their entry at commit; stores free it when their
 //! post-commit cache write drains.
+//!
+//! ## The address index
+//!
+//! [`Lsq::check_load`] used to walk every older entry (up to the full
+//! 256-entry queue) per load, per retry cycle — the dominant cost of the
+//! simulator's memory stage (ROADMAP "hot-path cost"). Stores with a known
+//! address are now also kept in a small **address index**: a fixed array of
+//! buckets keyed by the cache-line number of the address (line-granular so
+//! aliasing traffic lands in one bucket), each bucket an age-ordered list
+//! of `(seq, addr, data_ready)` triples. A load check touches only the
+//! stores of its own line's bucket instead of the whole queue. Only stores
+//! with a computed address are indexed — exactly the set the linear scan
+//! could match (unknown-address stores are optimistically non-conflicting,
+//! dead entries are unlinked at [`Lsq::free`]/[`Lsq::squash_from`]).
+//!
+//! The pre-index linear search survives as [`Lsq::check_load_scan`], the
+//! reference implementation: debug builds run both on every check and
+//! assert they agree, and the workspace differential property tests
+//! (`tests/properties.rs`) drive random same-line/aliasing op sequences
+//! through both in any build profile.
 
 use std::collections::VecDeque;
+
+/// Cache-line granularity of the address index (64-byte lines, matching
+/// `MachineConfig::line_bytes`' fixed default). The index is correct for
+/// any granularity — matches are still exact-address — this only decides
+/// which stores share a bucket.
+const LINE_SHIFT: u32 = 6;
+
+/// Number of index buckets (power of two; line numbers are masked into
+/// this range, so distinct lines may share a bucket — the per-entry `addr`
+/// keeps matching exact).
+const INDEX_BUCKETS: usize = 64;
+
+#[inline]
+fn bucket_of(addr: u64) -> usize {
+    ((addr >> LINE_SHIFT) as usize) & (INDEX_BUCKETS - 1)
+}
 
 /// One LSQ entry.
 #[derive(Debug, Clone, Copy)]
@@ -24,6 +60,14 @@ struct LsqEntry {
     addr: Option<u64>,
     data_ready: bool,
     alive: bool,
+}
+
+/// One indexed store: an alive store whose address is known.
+#[derive(Debug, Clone, Copy)]
+struct StoreRef {
+    seq: u64,
+    addr: u64,
+    data_ready: bool,
 }
 
 /// Outcome of a load's LSQ search.
@@ -43,6 +87,9 @@ pub struct Lsq {
     entries: VecDeque<LsqEntry>,
     live: usize,
     capacity: usize,
+    /// Address index: `index[bucket_of(addr)]` holds every alive store with
+    /// a known address on that line set, ascending by `seq` (age order).
+    index: Vec<Vec<StoreRef>>,
 }
 
 impl Lsq {
@@ -52,18 +99,23 @@ impl Lsq {
             entries: VecDeque::with_capacity(capacity.min(4096)),
             live: 0,
             capacity: 1,
+            index: vec![Vec::new(); INDEX_BUCKETS],
         };
         lsq.reset(capacity);
         lsq
     }
 
-    /// Clear in place and retarget to `capacity`, keeping the entry
-    /// allocation (session reuse; equivalent to [`Lsq::new`]).
+    /// Clear in place and retarget to `capacity`, keeping the entry and
+    /// bucket allocations (session reuse; equivalent to [`Lsq::new`] — in
+    /// particular no bucket retains a stale store).
     pub fn reset(&mut self, capacity: usize) {
         assert!(capacity >= 1);
         self.entries.clear();
         self.live = 0;
         self.capacity = capacity;
+        for bucket in self.index.iter_mut() {
+            bucket.clear();
+        }
     }
 
     /// Entries currently allocated.
@@ -79,6 +131,12 @@ impl Lsq {
     /// True if a new memory op can be allocated.
     pub fn has_space(&self) -> bool {
         self.live < self.capacity
+    }
+
+    /// Stores currently present in the address index (alive, address
+    /// known). Diagnostics for the index-consistency tests.
+    pub fn indexed_stores(&self) -> usize {
+        self.index.iter().map(Vec::len).sum()
     }
 
     /// Allocate an entry for the memory op `seq` (must be called in
@@ -105,10 +163,28 @@ impl Lsq {
         self.entries.binary_search_by_key(&seq, |e| e.seq).ok()
     }
 
-    /// Record the computed effective address of `seq`.
+    /// Record the computed effective address of `seq`. Stores enter the
+    /// address index here; loads never do (only stores can be matched).
     pub fn set_addr(&mut self, seq: u64, addr: u64) {
         let i = self.position(seq).expect("set_addr on unknown LSQ entry");
+        debug_assert!(
+            self.entries[i].addr.is_none(),
+            "address of LSQ entry {seq} set twice"
+        );
         self.entries[i].addr = Some(addr);
+        if self.entries[i].is_store {
+            let data_ready = self.entries[i].data_ready;
+            let bucket = &mut self.index[bucket_of(addr)];
+            let at = bucket.partition_point(|s| s.seq < seq);
+            bucket.insert(
+                at,
+                StoreRef {
+                    seq,
+                    addr,
+                    data_ready,
+                },
+            );
+        }
     }
 
     /// Mark the store `seq`'s data as ready to forward.
@@ -118,17 +194,53 @@ impl Lsq {
             .expect("set_data_ready on unknown LSQ entry");
         debug_assert!(self.entries[i].is_store);
         self.entries[i].data_ready = true;
+        if let Some(addr) = self.entries[i].addr {
+            let bucket = &mut self.index[bucket_of(addr)];
+            let at = bucket.partition_point(|s| s.seq < seq);
+            debug_assert!(bucket.get(at).is_some_and(|s| s.seq == seq));
+            bucket[at].data_ready = true;
+        }
     }
 
-    /// Resolve the load `seq` at address `addr` against older stores.
+    /// Resolve the load `seq` at address `addr` against strictly older
+    /// (`seq' < seq`) stores.
     ///
     /// Older stores with *unknown* addresses are optimistically assumed not
     /// to conflict (no replay machinery is modelled; see DESIGN.md).
+    ///
+    /// Cost: a scan of the address-line bucket only — no queue lookup at
+    /// all. Debug builds assert the result against
+    /// [`Lsq::check_load_scan`] on every call.
     pub fn check_load(&self, seq: u64, addr: u64) -> LoadCheck {
-        let end = match self.position(seq) {
-            Some(i) => i,
-            None => self.entries.len(),
-        };
+        let bucket = &self.index[bucket_of(addr)];
+        // The bucket is age-sorted, so start at the youngest strictly-older
+        // store instead of skipping younger ones entry by entry.
+        let end = bucket.partition_point(|s| s.seq < seq);
+        let mut result = LoadCheck::GoToCache;
+        for s in bucket[..end].iter().rev() {
+            if s.addr == addr {
+                result = if s.data_ready {
+                    LoadCheck::Forward
+                } else {
+                    LoadCheck::WaitOnStore
+                };
+                break;
+            }
+        }
+        debug_assert_eq!(
+            result,
+            self.check_load_scan(seq, addr),
+            "address index diverged from the linear scan (load {seq} @ {addr:#x})"
+        );
+        result
+    }
+
+    /// Reference implementation of [`Lsq::check_load`]: the pre-index
+    /// linear walk over every older entry. Kept callable in every build
+    /// profile so differential tests can cross-check the index; debug
+    /// builds additionally run it inside every `check_load`.
+    pub fn check_load_scan(&self, seq: u64, addr: u64) -> LoadCheck {
+        let end = self.entries.partition_point(|e| e.seq < seq);
         for e in self.entries.iter().take(end).rev() {
             if !e.alive || !e.is_store {
                 continue;
@@ -144,15 +256,53 @@ impl Lsq {
         LoadCheck::GoToCache
     }
 
+    /// Unlink `seq` from its address-index bucket, if indexed.
+    fn unindex(&mut self, i: usize) {
+        let e = self.entries[i];
+        if !e.is_store {
+            return;
+        }
+        if let Some(addr) = e.addr {
+            let bucket = &mut self.index[bucket_of(addr)];
+            let at = bucket.partition_point(|s| s.seq < e.seq);
+            debug_assert!(bucket.get(at).is_some_and(|s| s.seq == e.seq));
+            bucket.remove(at);
+        }
+    }
+
     /// Free the entry of `seq` (load commit or store drain completion).
     pub fn free(&mut self, seq: u64) {
         let i = self.position(seq).expect("free of unknown LSQ entry");
         debug_assert!(self.entries[i].alive, "double free of LSQ entry");
+        self.unindex(i);
         self.entries[i].alive = false;
         self.live -= 1;
         while matches!(self.entries.front(), Some(e) if !e.alive) {
             self.entries.pop_front();
         }
+    }
+
+    /// Squash every entry with sequence number `>= first`, unlinking any
+    /// indexed store so no bucket retains a squashed entry. Returns how
+    /// many live entries were removed.
+    ///
+    /// The current pipeline never squashes dispatched work (mispredicts
+    /// only halt fetch), so nothing in the simulator calls this yet; like
+    /// `ValueTracker::unlink_waiter` it is the forward-looking half of the
+    /// contract a future wrong-path/flush model needs, unit-tested here so
+    /// that model inherits a working primitive.
+    pub fn squash_from(&mut self, first: u64) -> usize {
+        let mut squashed = 0;
+        while matches!(self.entries.back(), Some(e) if e.seq >= first) {
+            let i = self.entries.len() - 1;
+            if self.entries[i].alive {
+                self.unindex(i);
+                self.live -= 1;
+                squashed += 1;
+            }
+            self.entries.pop_back();
+        }
+        squashed
     }
 }
 
@@ -225,6 +375,7 @@ mod tests {
         assert_eq!(q.check_load(2, 0x80), LoadCheck::Forward);
         q.free(1);
         assert_eq!(q.check_load(2, 0x80), LoadCheck::GoToCache);
+        assert_eq!(q.indexed_stores(), 0, "freed store must leave the index");
     }
 
     #[test]
@@ -233,6 +384,7 @@ mod tests {
         q.alloc(1, true); // address never computed yet
         q.alloc(2, false);
         assert_eq!(q.check_load(2, 0x123), LoadCheck::GoToCache);
+        assert_eq!(q.indexed_stores(), 0, "unknown-address store not indexed");
     }
 
     #[test]
@@ -248,5 +400,143 @@ mod tests {
         q.alloc(4, true);
         q.alloc(5, false);
         assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn same_line_aliasing_stores_share_a_bucket_but_match_exactly() {
+        // Three stores on one 64-byte line at different offsets: the load
+        // must forward only from the exact-address match, not from the
+        // line-mates that share its bucket.
+        let mut q = Lsq::new(8);
+        q.alloc(1, true);
+        q.alloc(2, true);
+        q.alloc(3, true);
+        q.alloc(4, false);
+        q.set_addr(1, 0x1000);
+        q.set_addr(2, 0x1008);
+        q.set_addr(3, 0x1030);
+        for s in 1..=3 {
+            q.set_data_ready(s);
+        }
+        assert_eq!(q.indexed_stores(), 3);
+        assert_eq!(q.check_load(4, 0x1008), LoadCheck::Forward);
+        assert_eq!(q.check_load(4, 0x1010), LoadCheck::GoToCache);
+        assert_eq!(q.check_load(4, 0x1008), q.check_load_scan(4, 0x1008));
+        assert_eq!(q.check_load(4, 0x1010), q.check_load_scan(4, 0x1010));
+    }
+
+    #[test]
+    fn partial_overlap_on_one_line_is_not_a_forwarding_match() {
+        // The model is exact-address (word) matching: a store at 0x1000 and
+        // a load at 0x1004 overlap the same line but are distinct words, so
+        // the load goes to the cache — and the scan agrees. (A byte-granular
+        // model would conflict here; DESIGN.md documents the simplification.)
+        let mut q = Lsq::new(8);
+        q.alloc(1, true);
+        q.alloc(2, false);
+        q.set_addr(1, 0x1000);
+        q.set_data_ready(1);
+        assert_eq!(q.check_load(2, 0x1004), LoadCheck::GoToCache);
+        assert_eq!(q.check_load_scan(2, 0x1004), LoadCheck::GoToCache);
+        assert_eq!(q.check_load(2, 0x1000), LoadCheck::Forward);
+    }
+
+    #[test]
+    fn squash_from_unlinks_indexed_stores() {
+        let mut q = Lsq::new(8);
+        q.alloc(1, true);
+        q.alloc(2, false);
+        q.alloc(3, true);
+        q.alloc(4, true); // address never computed
+        q.set_addr(1, 0x200);
+        q.set_data_ready(1);
+        q.set_addr(3, 0x200);
+        q.set_data_ready(3);
+        q.alloc(5, false);
+        assert_eq!(q.check_load(5, 0x200), LoadCheck::Forward, "store 3 wins");
+
+        // Squash the tail from seq 3: store 3 must vanish from the bucket,
+        // store 1 must keep forwarding.
+        assert_eq!(q.squash_from(3), 3);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.indexed_stores(), 1);
+        q.alloc(5, false);
+        assert_eq!(q.check_load(5, 0x200), LoadCheck::Forward);
+        assert_eq!(q.check_load_scan(5, 0x200), LoadCheck::Forward);
+        q.free(1);
+        assert_eq!(q.check_load(5, 0x200), LoadCheck::GoToCache);
+    }
+
+    #[test]
+    fn squash_from_skips_already_freed_entries() {
+        let mut q = Lsq::new(8);
+        q.alloc(1, false);
+        q.alloc(2, true);
+        q.alloc(3, false);
+        q.set_addr(2, 0x40);
+        q.free(2); // dead, not yet compacted (not at front)
+        assert_eq!(q.squash_from(2), 1, "only the live load counts");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.indexed_stores(), 0);
+    }
+
+    #[test]
+    fn reset_reuse_leaves_no_stale_buckets() {
+        let mut q = Lsq::new(8);
+        q.alloc(1, true);
+        q.alloc(2, true);
+        q.set_addr(1, 0x500);
+        q.set_data_ready(1);
+        q.set_addr(2, 0x540);
+        assert_eq!(q.indexed_stores(), 2);
+
+        q.reset(8);
+        assert_eq!(q.indexed_stores(), 0);
+        assert!(q.is_empty());
+
+        // The same sequence numbers and addresses after reset must behave
+        // like a fresh queue: no forwarding from the pre-reset store.
+        q.alloc(1, false);
+        assert_eq!(q.check_load(1, 0x500), LoadCheck::GoToCache);
+        q.alloc(2, true);
+        q.set_addr(2, 0x500);
+        q.set_data_ready(2);
+        q.alloc(3, false);
+        assert_eq!(q.check_load(3, 0x500), LoadCheck::Forward);
+    }
+
+    #[test]
+    fn distinct_lines_sharing_a_bucket_do_not_match() {
+        // Two addresses whose line numbers collide modulo the bucket count
+        // (lines 0 and 64 both mask to bucket 0): exact-address matching
+        // must keep them apart even inside one bucket.
+        let a = 0x0u64;
+        let b = (INDEX_BUCKETS as u64) << LINE_SHIFT;
+        assert_eq!(bucket_of(a), bucket_of(b), "test premise: same bucket");
+        let mut q = Lsq::new(8);
+        q.alloc(1, true);
+        q.alloc(2, false);
+        q.set_addr(1, a);
+        q.set_data_ready(1);
+        assert_eq!(q.check_load(2, b), LoadCheck::GoToCache);
+        assert_eq!(q.check_load(2, a), LoadCheck::Forward);
+    }
+
+    #[test]
+    fn late_address_keeps_bucket_age_ordered() {
+        // Store 1 computes its address *after* store 3 (out-of-order AGU):
+        // the bucket must still be age-ordered so the youngest-older match
+        // wins.
+        let mut q = Lsq::new(8);
+        q.alloc(1, true);
+        q.alloc(3, true);
+        q.alloc(5, false);
+        q.set_addr(3, 0x80);
+        q.set_addr(1, 0x80); // late arrival, older store
+        q.set_data_ready(1);
+        // Youngest older matching store is 3, whose data is not ready.
+        assert_eq!(q.check_load(5, 0x80), LoadCheck::WaitOnStore);
+        q.set_data_ready(3);
+        assert_eq!(q.check_load(5, 0x80), LoadCheck::Forward);
     }
 }

@@ -57,7 +57,7 @@ use crate::machine::RunLimits;
 use crate::predictor::{pc_of, LocalHistory, TraceCache};
 use crate::queues::{CopyOp, CopySlab, IssueQueue, LinkArbiter};
 use crate::stats::{SimStats, StallReason};
-use crate::steering::{SteerDecision, SteerView, SteeringPolicy};
+use crate::steering::{SteerDecision, SteerSummary, SteerView, SteeringPolicy};
 use crate::value::{
     all_clusters, cluster_bit, ClusterMask, RenameTable, ValueTag, ValueTracker, Waiter,
 };
@@ -210,18 +210,26 @@ pub struct SimSession {
     cur_region: Option<u32>,
     fetched_uops: u64,
     trace_done: bool,
-    // Memory stage queues (`mem_scratch` is the retry-queue double buffer).
-    mem_pending: VecDeque<u64>,
-    mem_scratch: VecDeque<u64>,
+    // Memory stage queues, `(dseq, addr)` so retries never re-derive the
+    // address from the ROB (`mem_scratch` is the retry-queue double
+    // buffer).
+    mem_pending: VecDeque<(u64, u64)>,
+    mem_scratch: VecDeque<(u64, u64)>,
     store_drain: VecDeque<(u64, u64)>,
-    // Issue-queue occupancy counters, `occ_buf[cluster][QueueKind]` —
-    // maintained incrementally at entry insert/remove (dispatch and issue),
-    // so the steering view reads cached counts instead of re-walking the
-    // queues once per dispatched uop.
-    occ_buf: Vec<[usize; 3]>,
+    // The steering view's backing store: issue-queue occupancy counters
+    // plus busy/full bit masks, maintained incrementally at entry
+    // insert/remove (dispatch and issue) with the busy threshold resolved
+    // to an integer limit at reset — the steering view reads cached state
+    // instead of re-walking queues or re-evaluating float thresholds once
+    // per dispatched uop.
+    steer_sum: SteerSummary,
     // Scratch.
     picked: Vec<u64>,
     woken_scratch: Vec<Waiter>,
+    // Issueable entries across every ready ring (∑ ready_len) — maintained
+    // at push_ready/wake/select so the issue stage is one comparison on
+    // the (frequent) cycles where nothing can issue.
+    ready_entries: usize,
     // The live per-register location view, maintained incrementally at the
     // points where it can change (dispatch renames / copy insertions), and
     // the delayed ring that models the parallel steering unit's stale view.
@@ -269,9 +277,10 @@ impl SimSession {
             mem_pending: VecDeque::new(),
             mem_scratch: VecDeque::new(),
             store_drain: VecDeque::new(),
-            occ_buf: Vec::new(),
+            steer_sum: SteerSummary::new(),
             picked: Vec::new(),
             woken_scratch: Vec::new(),
+            ready_entries: 0,
             cur_loc: [0; NUM_ARCH_REGS],
             stale_loc: [0; NUM_ARCH_REGS],
             stale_ring: VecDeque::with_capacity(cfg.fetch_to_dispatch as usize + 1),
@@ -344,10 +353,18 @@ impl SimSession {
         self.mem_scratch.clear();
         self.store_drain.clear();
 
-        self.occ_buf.clear();
-        self.occ_buf.resize(n, [0; 3]);
+        self.steer_sum.reset(
+            n,
+            [
+                cfg.iq_int_entries,
+                cfg.iq_fp_entries,
+                cfg.copy_queue_entries,
+            ],
+            cfg.busy_occupancy_threshold,
+        );
         self.picked.clear();
         self.woken_scratch.clear();
+        self.ready_entries = 0;
         // Initial rename state: every register ready in every cluster.
         self.cur_loc = [all_clusters(n); NUM_ARCH_REGS];
         self.stale_loc = [0; NUM_ARCH_REGS];
@@ -445,8 +462,10 @@ impl SimSession {
                 Event::LoadAgu(dseq) => {
                     let idx = self.rob_index(dseq);
                     let addr = self.rob[idx].uop.mem_addr.expect("load without address");
-                    self.lsq.set_addr(dseq, addr);
-                    self.mem_pending.push_back(dseq);
+                    // The LSQ tracks addresses only for stores — loads are
+                    // never matched against, so the load's address rides
+                    // the memory-stage queue instead.
+                    self.mem_pending.push_back((dseq, addr));
                 }
                 Event::LoadDone(dseq) => self.complete_load(dseq),
                 Event::CopyArrive(id) => {
@@ -483,12 +502,14 @@ impl SimSession {
                         let cluster = entry.cluster as usize;
                         let kind = entry.uop.op.queue();
                         self.iqs[cluster][kind.index()].wake(dseq, dseq);
+                        self.ready_entries += 1;
                     }
                 }
                 Waiter::Copy(id) => {
                     let op = self.copies.get(id);
                     let seq = self.copies.seq(id);
                     self.iqs[op.from as usize][QueueKind::Copy.index()].wake(seq, u64::from(id));
+                    self.ready_entries += 1;
                 }
             }
         }
@@ -585,26 +606,27 @@ impl SimSession {
     // LSQ / cache hierarchy.
     // ------------------------------------------------------------------
     fn memory_stage(&mut self) {
+        // Most cycles have no load waiting; skip the double-buffer dance
+        // entirely then.
+        if self.mem_pending.is_empty() {
+            return;
+        }
         // `mem_scratch` double-buffers the retry queue so this stage never
         // allocates in steady state.
         let mut remaining = std::mem::take(&mut self.mem_scratch);
         debug_assert!(remaining.is_empty());
         let mut ports_exhausted = false;
-        while let Some(dseq) = self.mem_pending.pop_front() {
-            let addr = {
-                let idx = self.rob_index(dseq);
-                self.rob[idx].uop.mem_addr.expect("load without address")
-            };
+        while let Some((dseq, addr)) = self.mem_pending.pop_front() {
             match self.lsq.check_load(dseq, addr) {
                 LoadCheck::Forward => {
                     self.stats.store_forwards += 1;
                     let lat = u64::from(self.cfg.l1.hit_latency);
                     self.schedule(self.now + lat, Event::LoadDone(dseq));
                 }
-                LoadCheck::WaitOnStore => remaining.push_back(dseq),
+                LoadCheck::WaitOnStore => remaining.push_back((dseq, addr)),
                 LoadCheck::GoToCache => {
                     if ports_exhausted {
-                        remaining.push_back(dseq);
+                        remaining.push_back((dseq, addr));
                         continue;
                     }
                     match self.mem.try_load(addr) {
@@ -625,7 +647,7 @@ impl SimSession {
                         }
                         None => {
                             ports_exhausted = true;
-                            remaining.push_back(dseq);
+                            remaining.push_back((dseq, addr));
                         }
                     }
                 }
@@ -640,6 +662,19 @@ impl SimSession {
     // ------------------------------------------------------------------
     fn issue(&mut self) {
         let n = self.cfg.num_clusters;
+        // Nothing anywhere is issueable (the common case on stall cycles):
+        // one comparison instead of walking every cluster's queues. Debug
+        // builds still cross-check every ring against the readiness scan.
+        if self.ready_entries == 0 {
+            #[cfg(debug_assertions)]
+            for c in 0..n {
+                for kind in QueueKind::ALL {
+                    self.debug_assert_ready_ring_matches_scan(c, kind);
+                    debug_assert_eq!(self.iqs[c][kind.index()].ready_len(), 0);
+                }
+            }
+            return;
+        }
         for c in 0..n {
             self.issue_queue(c, QueueKind::Int, self.cfg.iq_int_issue);
             self.issue_queue(c, QueueKind::Fp, self.cfg.iq_fp_issue);
@@ -650,6 +685,9 @@ impl SimSession {
     fn issue_queue(&mut self, cluster: usize, kind: QueueKind, width: usize) {
         #[cfg(debug_assertions)]
         self.debug_assert_ready_ring_matches_scan(cluster, kind);
+        if self.iqs[cluster][kind.index()].ready_len() == 0 {
+            return;
+        }
         // Pop up to `width` entries off the wakeup-maintained ready ring —
         // oldest first, never touching the waiting entries the old scan
         // re-tested every cycle. `picked` is session scratch (split the
@@ -657,7 +695,8 @@ impl SimSession {
         let mut picked = std::mem::take(&mut self.picked);
         debug_assert!(picked.is_empty());
         self.iqs[cluster][kind.index()].select_ready(width, |_| true, |dseq| picked.push(dseq));
-        self.occ_buf[cluster][kind.index()] -= picked.len();
+        self.steer_sum.remove(cluster, kind, picked.len());
+        self.ready_entries -= picked.len();
         for &dseq in &picked {
             #[cfg(debug_assertions)]
             {
@@ -726,6 +765,9 @@ impl SimSession {
     fn issue_copies(&mut self, cluster: usize, width: usize) {
         #[cfg(debug_assertions)]
         self.debug_assert_ready_ring_matches_scan(cluster, QueueKind::Copy);
+        if self.iqs[cluster][QueueKind::Copy.index()].ready_len() == 0 {
+            return;
+        }
         // Ready-ring entries already have their source value readable at
         // `from`; the per-cycle link-bandwidth arbitration is the accept
         // predicate (a rejected copy keeps its age slot for later cycles).
@@ -748,7 +790,9 @@ impl SimSession {
                 |id64| picked.push(id64),
             );
         }
-        self.occ_buf[cluster][QueueKind::Copy.index()] -= picked.len();
+        self.steer_sum
+            .remove(cluster, QueueKind::Copy, picked.len());
+        self.ready_entries -= picked.len();
         for &id64 in &picked {
             // A copy micro-op spends one cycle reading the source register
             // file after issue, then traverses the point-to-point link
@@ -776,6 +820,49 @@ impl SimSession {
         }
     }
 
+    /// Debug-only contract check: everything the incremental steering view
+    /// exposes must equal a from-scratch rebuild — the location masks must
+    /// match a full rename-table walk, and the occupancy summary's counts,
+    /// busy bits and full bits must match the queues' own books re-derived
+    /// through the original float threshold predicate.
+    #[cfg(debug_assertions)]
+    fn debug_assert_steering_view_matches_rebuild(&self) {
+        debug_assert_eq!(
+            self.cur_loc,
+            self.rename.location_snapshot(&self.values),
+            "incremental location view diverged from the rename table"
+        );
+        debug_assert_eq!(
+            self.ready_entries,
+            self.iqs
+                .iter()
+                .flat_map(|qs| qs.iter().map(IssueQueue::ready_len))
+                .sum::<usize>(),
+            "ready-entry count diverged from the rings"
+        );
+        for c in 0..self.cfg.num_clusters {
+            for kind in QueueKind::ALL {
+                let occ = self.iqs[c][kind.index()].len();
+                let cap = self.steer_sum.capacity(kind);
+                debug_assert_eq!(
+                    self.steer_sum.occupancy(c as u8, kind),
+                    occ,
+                    "occupancy counter diverged (cluster {c}, {kind:?} queue)"
+                );
+                debug_assert_eq!(
+                    self.steer_sum.is_busy(c as u8, kind),
+                    occ as f64 >= self.cfg.busy_occupancy_threshold * cap as f64,
+                    "busy bit diverged (cluster {c}, {kind:?} queue, occ {occ})"
+                );
+                debug_assert_eq!(
+                    self.steer_sum.has_space(c as u8, kind),
+                    occ < cap,
+                    "full bit diverged (cluster {c}, {kind:?} queue, occ {occ})"
+                );
+            }
+        }
+    }
+
     fn dispatch(&mut self, policy: &mut dyn SteeringPolicy) {
         // The parallel-steering snapshot: a pipelined (non-serializing)
         // steering unit computes its decisions while the bundle traverses
@@ -785,24 +872,8 @@ impl SimSession {
         // `cur_loc` is the incrementally maintained live view; location
         // masks only change below (renames and copy insertions), so no
         // per-cycle rename-table walk is needed.
-        debug_assert_eq!(
-            self.cur_loc,
-            self.rename.location_snapshot(&self.values),
-            "incremental location view diverged from the rename table"
-        );
-        // The occupancy counters are maintained at every queue insert and
-        // remove, so the per-dispatched-uop queue walk the steering view
-        // used to trigger is gone; assert they match the queues' own books.
         #[cfg(debug_assertions)]
-        for (c, occ) in self.occ_buf.iter().enumerate() {
-            for kind in QueueKind::ALL {
-                debug_assert_eq!(
-                    occ[kind.index()],
-                    self.iqs[c][kind.index()].len(),
-                    "occupancy counter diverged (cluster {c}, {kind:?} queue)"
-                );
-            }
-        }
+        self.debug_assert_steering_view_matches_rebuild();
         self.stale_ring.push_back(self.cur_loc);
         if self.stale_ring.len() > self.cfg.fetch_to_dispatch as usize {
             self.stale_loc = self.stale_ring.pop_front().expect("non-empty ring");
@@ -840,21 +911,16 @@ impl SimSession {
                 break;
             }
 
-            // Ask the policy (occupancy counters are already current).
+            // Ask the policy. The view is a window onto incrementally
+            // maintained state (locations, occupancy summary), so building
+            // it per micro-op copies a handful of references.
             let decision = {
                 let view = SteerView {
                     num_clusters: self.cfg.num_clusters,
-                    rename: &self.rename,
-                    values: &self.values,
+                    cur_loc: &self.cur_loc,
                     stale_loc: &self.stale_loc,
-                    iq_occ: &self.occ_buf,
-                    iq_cap: [
-                        self.cfg.iq_int_entries,
-                        self.cfg.iq_fp_entries,
-                        self.cfg.copy_queue_entries,
-                    ],
+                    summary: &self.steer_sum,
                     inflight: &self.inflight,
-                    busy_threshold: self.cfg.busy_occupancy_threshold,
                 };
                 policy.steer(&uop, &view)
             };
@@ -903,7 +969,8 @@ impl SimSession {
                 if copy_regs[..n_copies].iter().any(|&(r, _)| r == src) {
                     continue; // same register read twice: one copy.
                 }
-                let loc = self.rename.location(src, &self.values);
+                let loc = self.cur_loc[src.flat()];
+                debug_assert_eq!(loc, self.rename.location(src, &self.values));
                 if loc & cluster_bit(cluster) != 0 {
                     continue;
                 }
@@ -961,6 +1028,7 @@ impl SimSession {
                 let queue = &mut self.iqs[from as usize][QueueKind::Copy.index()];
                 if self.values.ready_in(tag, from) {
                     queue.push_ready(seq, u64::from(id));
+                    self.ready_entries += 1;
                 } else {
                     // `from` is the producer's home cluster (copy_source
                     // falls back to it when no cluster is ready yet): the
@@ -968,7 +1036,7 @@ impl SimSession {
                     queue.push_waiting(u64::from(id));
                     self.values.add_waiter(tag, from, Waiter::Copy(id));
                 }
-                self.occ_buf[from as usize][QueueKind::Copy.index()] += 1;
+                self.steer_sum.insert(from as usize, QueueKind::Copy);
                 self.stats.copies_generated += 1;
                 self.stats.clusters[from as usize].copies_inserted += 1;
             }
@@ -997,10 +1065,11 @@ impl SimSession {
             let queue = &mut self.iqs[cluster as usize][kind.index()];
             if pending_srcs == 0 {
                 queue.push_ready(dseq, dseq);
+                self.ready_entries += 1;
             } else {
                 queue.push_waiting(dseq);
             }
-            self.occ_buf[cluster as usize][kind.index()] += 1;
+            self.steer_sum.insert(cluster as usize, kind);
             self.inflight[cluster as usize] += 1;
             self.stats.clusters[cluster as usize].dispatched += 1;
             *budget -= 1;

@@ -299,7 +299,13 @@ impl<R: BufRead + Seek> TraceSource for TraceReader<R> {
             .map_or(64, |r| r.len())
     }
 
+    fn source_kind(&self) -> &'static str {
+        "TraceReader"
+    }
+
     fn rewind(&mut self) -> std::result::Result<(), RewindError> {
+        // A reader *is* rewindable; an error here is a transient seek/parse
+        // failure, not a refusal.
         TraceReader::rewind(self).map_err(|e| RewindError::new(e.to_string()))
     }
 }

@@ -78,31 +78,49 @@ impl DynUop {
     }
 }
 
-/// Error returned by [`TraceSource::rewind`] for sources that cannot
-/// restart their stream.
+/// Error returned by [`TraceSource::rewind`]. Typed so batch runners can
+/// tell a source that can *never* restart (drop it, or re-open the input)
+/// from a transient failure of a rewindable source (report it) — instead
+/// of string-matching, or worse, panicking deep inside a driver loop.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct RewindError {
-    /// Human-readable reason the source could not rewind.
-    pub reason: String,
+pub enum RewindError {
+    /// This source kind cannot restart its stream at all — the default
+    /// behaviour, carrying [`TraceSource::source_kind`] so the error names
+    /// the offending implementation.
+    Unsupported {
+        /// The source kind that refused (e.g. `"TraceExpander"`).
+        source: &'static str,
+    },
+    /// The source supports rewinding but this attempt failed (e.g. an I/O
+    /// error seeking a trace file).
+    Failed {
+        /// Human-readable reason the rewind failed.
+        reason: String,
+    },
 }
 
 impl RewindError {
-    /// Build from any displayable reason.
+    /// A transient failure of a rewindable source.
     pub fn new(reason: impl Into<String>) -> Self {
-        RewindError {
+        RewindError::Failed {
             reason: reason.into(),
         }
     }
 
-    /// The default "not implemented" error.
-    pub fn unsupported() -> Self {
-        RewindError::new("this trace source does not support rewind")
+    /// The "this source kind cannot rewind" error, naming the source.
+    pub fn unsupported_by(source: &'static str) -> Self {
+        RewindError::Unsupported { source }
     }
 }
 
 impl std::fmt::Display for RewindError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "trace rewind failed: {}", self.reason)
+        match self {
+            RewindError::Unsupported { source } => {
+                write!(f, "trace rewind failed: {source} does not support rewind")
+            }
+            RewindError::Failed { reason } => write!(f, "trace rewind failed: {reason}"),
+        }
     }
 }
 
@@ -128,13 +146,23 @@ pub trait TraceSource {
         64
     }
 
+    /// Stable name of this source kind, carried by the default
+    /// [`TraceSource::rewind`] error so a refusal is attributable.
+    /// Implementations should return their type name.
+    fn source_kind(&self) -> &'static str {
+        "unknown trace source"
+    }
+
     /// Restart the stream from its first micro-op, so one source can feed
     /// many simulations without being rebuilt or re-parsed (the batch
     /// engine's per-worker reuse path). A successful rewind must reproduce
-    /// the identical stream. The default errs: not every source can
-    /// restart.
+    /// the identical stream. The default errs with
+    /// [`RewindError::Unsupported`] naming
+    /// [`TraceSource::source_kind`]: not every source can restart, and a
+    /// driver that reuses sources across cells must handle the refusal
+    /// (not every caller panics — see `EvalDriver`'s per-worker reuse).
     fn rewind(&mut self) -> Result<(), RewindError> {
-        Err(RewindError::unsupported())
+        Err(RewindError::unsupported_by(self.source_kind()))
     }
 }
 
@@ -161,6 +189,10 @@ impl TraceSource for VecTrace {
 
     fn len_hint(&self) -> Option<u64> {
         Some(self.uops.len() as u64)
+    }
+
+    fn source_kind(&self) -> &'static str {
+        "VecTrace"
     }
 
     fn rewind(&mut self) -> Result<(), RewindError> {
@@ -198,6 +230,10 @@ impl TraceSource for SliceTrace<'_> {
 
     fn len_hint(&self) -> Option<u64> {
         Some(self.uops.len() as u64)
+    }
+
+    fn source_kind(&self) -> &'static str {
+        "SliceTrace"
     }
 
     fn rewind(&mut self) -> Result<(), RewindError> {
@@ -310,9 +346,20 @@ mod tests {
             fn next_uop(&mut self) -> Option<DynUop> {
                 None
             }
+            fn source_kind(&self) -> &'static str {
+                "Endless"
+            }
         }
         let err = Endless.rewind().unwrap_err();
-        assert!(err.to_string().contains("does not support rewind"), "{err}");
+        assert_eq!(
+            err,
+            RewindError::Unsupported { source: "Endless" },
+            "the typed variant names the refusing source kind"
+        );
+        assert!(
+            err.to_string().contains("Endless does not support rewind"),
+            "{err}"
+        );
     }
 
     #[test]

@@ -243,6 +243,10 @@ impl TraceSource for TraceExpander<'_> {
             .map_or(64, |r| r.len())
     }
 
+    fn source_kind(&self) -> &'static str {
+        "TraceExpander"
+    }
+
     fn rewind(&mut self) -> Result<(), virtclust_uarch::RewindError> {
         self.reset();
         Ok(())

@@ -147,3 +147,56 @@ fn batched_corpus_replay_matches_one_shot_replay_trace() {
         );
     }
 }
+
+#[test]
+fn non_rewindable_source_fails_typed_instead_of_panicking() {
+    // The batch engine's per-worker reuse pattern — simulate a cell, rewind
+    // the source, simulate the next cell — against a source that cannot
+    // restart. The second cell must surface `RewindError::Unsupported`
+    // naming the source kind at the seam, instead of a panic (or a silent
+    // empty re-run) deep inside the driver loop.
+    use virtclust::uarch::{DynUop, RewindError, TraceSource};
+
+    struct OneShot {
+        uops: Vec<DynUop>,
+        pos: usize,
+    }
+    impl TraceSource for OneShot {
+        fn next_uop(&mut self) -> Option<DynUop> {
+            let u = self.uops.get(self.pos).copied();
+            self.pos += 1;
+            u
+        }
+        fn source_kind(&self) -> &'static str {
+            "OneShot"
+        }
+        // No `rewind` override: the default refusal applies.
+    }
+
+    let machine = MachineConfig::paper_2cluster();
+    let p = point("gzip-1");
+    let program = p.build_program();
+    let mut expander = p.expander(&program);
+    let uops: Vec<DynUop> = (0..500)
+        .map(|_| expander.next_uop().expect("endless"))
+        .collect();
+
+    let mut session = SimSession::new(&machine);
+    let mut source = OneShot { uops, pos: 0 };
+    let config = Configuration::Op;
+
+    // Cell 1 runs fine.
+    let mut policy = config.make_policy();
+    let first = session.simulate(
+        &machine,
+        &mut source,
+        policy.as_mut(),
+        &RunLimits::unlimited(),
+    );
+    assert_eq!(first.committed_uops, 500);
+
+    // Cell 2: the reuse loop must see the typed refusal before re-running.
+    let err = source.rewind().expect_err("OneShot cannot rewind");
+    assert_eq!(err, RewindError::Unsupported { source: "OneShot" });
+    assert!(matches!(err, RewindError::Unsupported { source } if source == "OneShot"));
+}

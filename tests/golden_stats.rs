@@ -1,0 +1,214 @@
+//! Golden-stats regression suite: a committed snapshot of **full**
+//! [`SimStats`] for a 30-cell subset of the `probe_ipc` matrix (2/4/8
+//! clusters × the five Table 3 schemes × two suite points, at the fixed
+//! 20 k-uop budget `results/BASELINES.md` pins). Any machine-model change —
+//! intended or not — shows up as a textual diff against
+//! `results/golden/probe_ipc_20k.txt`.
+//!
+//! Regenerate (one command, after an *intended* model change):
+//!
+//! ```sh
+//! GOLDEN_REGEN=1 cargo test --test golden_stats
+//! ```
+//!
+//! then commit the rewritten snapshot together with the change that caused
+//! it. The test fails when the env var is unset and any cell diverges.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use virtclust::core::{run_point, Configuration};
+use virtclust::sim::{SimStats, StallReason};
+use virtclust::uarch::MachineConfig;
+use virtclust::workloads::spec2000_points;
+
+/// The fixed per-cell micro-op budget (matches `results/BASELINES.md`).
+const BUDGET: u64 = 20_000;
+
+/// Suite points in the subset: one integer-heavy, one FP-heavy.
+const POINTS: [&str; 2] = ["gzip-1", "galgel"];
+
+/// Cluster counts spanning the full matrix (2-bit to 8-bit cluster masks).
+const CLUSTERS: [usize; 3] = [2, 4, 8];
+
+fn preset(clusters: usize) -> MachineConfig {
+    match clusters {
+        2 => MachineConfig::paper_2cluster(),
+        4 => MachineConfig::paper_4cluster(),
+        8 => MachineConfig::paper_8cluster(),
+        _ => unreachable!("CLUSTERS only lists paper presets"),
+    }
+}
+
+fn snapshot_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("results")
+        .join("golden")
+        .join("probe_ipc_20k.txt")
+}
+
+/// Serialize every field of a [`SimStats`] into stable `key=value` lines.
+/// The exhaustive destructuring makes this fail to compile when `SimStats`
+/// grows a field, so the snapshot can never silently under-cover.
+fn serialize_stats(stats: &SimStats, out: &mut String) {
+    let SimStats {
+        cycles,
+        committed_uops,
+        copies_generated,
+        copies_delivered,
+        dispatch_stalls,
+        frontend_starved_cycles,
+        branches,
+        mispredicts,
+        l1_hits,
+        l1_misses,
+        l2_hits,
+        l2_misses,
+        store_forwards,
+        trace_cache_misses,
+        clusters,
+    } = stats;
+    let _ = writeln!(out, "cycles={cycles}");
+    let _ = writeln!(out, "committed_uops={committed_uops}");
+    let _ = writeln!(out, "copies_generated={copies_generated}");
+    let _ = writeln!(out, "copies_delivered={copies_delivered}");
+    for reason in StallReason::ALL {
+        let _ = writeln!(
+            out,
+            "dispatch_stalls.{reason}={}",
+            dispatch_stalls[reason.index()]
+        );
+    }
+    let _ = writeln!(out, "frontend_starved_cycles={frontend_starved_cycles}");
+    let _ = writeln!(out, "branches={branches}");
+    let _ = writeln!(out, "mispredicts={mispredicts}");
+    let _ = writeln!(out, "l1_hits={l1_hits}");
+    let _ = writeln!(out, "l1_misses={l1_misses}");
+    let _ = writeln!(out, "l2_hits={l2_hits}");
+    let _ = writeln!(out, "l2_misses={l2_misses}");
+    let _ = writeln!(out, "store_forwards={store_forwards}");
+    let _ = writeln!(out, "trace_cache_misses={trace_cache_misses}");
+    for (i, c) in clusters.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "cluster{i}=dispatched:{},copies_inserted:{},issued:{},occupancy_integral:{}",
+            c.dispatched, c.copies_inserted, c.issued, c.occupancy_integral
+        );
+    }
+}
+
+/// Run every cell of the subset and render the whole snapshot text.
+fn render_snapshot() -> String {
+    let points = spec2000_points();
+    let mut out = String::from(
+        "# Golden SimStats snapshot: probe_ipc subset, 20000 uops/cell.\n\
+         # Regenerate with: GOLDEN_REGEN=1 cargo test --test golden_stats\n",
+    );
+    for clusters in CLUSTERS {
+        let machine = preset(clusters);
+        for point_name in POINTS {
+            let point = points
+                .iter()
+                .find(|p| p.name == point_name)
+                .expect("subset point exists in the suite");
+            for config in Configuration::table3() {
+                let stats = run_point(point, &config, &machine, BUDGET);
+                let _ = writeln!(
+                    out,
+                    "\n[cell point={point_name} scheme={} clusters={clusters} uops={BUDGET}]",
+                    config.name(clusters as u32)
+                );
+                serialize_stats(&stats, &mut out);
+            }
+        }
+    }
+    out
+}
+
+/// Report the first line where `actual` diverges from `expected`.
+fn first_divergence(expected: &str, actual: &str) -> Option<(usize, String, String)> {
+    let mut exp = expected.lines();
+    let mut act = actual.lines();
+    let mut line_no = 0;
+    loop {
+        line_no += 1;
+        match (exp.next(), act.next()) {
+            (None, None) => return None,
+            (e, a) if e != a => {
+                return Some((
+                    line_no,
+                    e.unwrap_or("<end of snapshot>").to_string(),
+                    a.unwrap_or("<end of run>").to_string(),
+                ))
+            }
+            _ => {}
+        }
+    }
+}
+
+#[test]
+fn golden_stats_match_the_committed_snapshot() {
+    let actual = render_snapshot();
+    let path = snapshot_path();
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).expect("create results/golden");
+        std::fs::write(&path, &actual).expect("write snapshot");
+        println!("regenerated {}", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read the golden snapshot {}: {e}\n\
+             (create it with GOLDEN_REGEN=1 cargo test --test golden_stats)",
+            path.display()
+        )
+    });
+    if let Some((line, exp, act)) = first_divergence(&expected, &actual) {
+        panic!(
+            "golden stats diverged from {} at line {line}:\n\
+             expected: {exp}\n\
+             actual:   {act}\n\
+             If this change is intended, regenerate with:\n\
+             GOLDEN_REGEN=1 cargo test --test golden_stats",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn golden_diff_detects_any_stats_perturbation() {
+    // The harness's teeth: perturbing any single serialized counter of any
+    // cell must be caught by the comparison. (The "fails on intentional
+    // perturbation" acceptance check, kept as a durable test instead of a
+    // one-off manual experiment.)
+    let machine = preset(2);
+    let points = spec2000_points();
+    let point = points.iter().find(|p| p.name == POINTS[0]).unwrap();
+    let stats = run_point(point, &Configuration::Op, &machine, 2_000);
+    let mut reference = String::new();
+    serialize_stats(&stats, &mut reference);
+
+    let mut perturbed = stats.clone();
+    perturbed.cycles += 1;
+    let mut text = String::new();
+    serialize_stats(&perturbed, &mut text);
+    assert!(
+        first_divergence(&reference, &text).is_some(),
+        "a cycles perturbation must diff"
+    );
+
+    let mut perturbed = stats.clone();
+    perturbed.clusters[1].issued += 1;
+    let mut text = String::new();
+    serialize_stats(&perturbed, &mut text);
+    let (line, exp, act) = first_divergence(&reference, &text).expect("per-cluster diff");
+    assert_ne!(exp, act);
+    assert!(line > 0);
+
+    // Truncation (a vanished cluster) is also caught.
+    let mut perturbed = stats.clone();
+    perturbed.clusters.pop();
+    let mut text = String::new();
+    serialize_stats(&perturbed, &mut text);
+    assert!(first_divergence(&reference, &text).is_some());
+}

@@ -9,7 +9,9 @@ use virtclust::compiler::{
 };
 use virtclust::core::Configuration;
 use virtclust::ddg::{Criticality, Ddg};
-use virtclust::sim::{simulate, RunLimits, SimSession, SteerDecision, SteerView, SteeringPolicy};
+use virtclust::sim::{
+    simulate, LoadCheck, Lsq, RunLimits, SimSession, SteerDecision, SteerView, SteeringPolicy,
+};
 use virtclust::trace::{Codec, TraceReader, TraceWriter};
 use virtclust::uarch::{
     ArchReg, DynUop, LatencyModel, MachineConfig, OpClass, Program, Region, SliceTrace, StaticInst,
@@ -273,6 +275,111 @@ proptest! {
     }
 }
 
+/// One randomly scripted operation against a [`Lsq`] (applied only when
+/// valid for the current queue state).
+#[derive(Debug, Clone, Copy)]
+struct LsqScript {
+    is_store: bool,
+    /// Index into the aliasing line set (includes pairs of distinct lines
+    /// that collide onto one index bucket).
+    line: u8,
+    offset: u8,
+    addr_known: bool,
+    data_ready: bool,
+    freed: bool,
+}
+
+fn lsq_script_strategy() -> impl Strategy<Value = Vec<LsqScript>> {
+    prop::collection::vec(
+        (0u8..2, 0u8..6, 0u8..4, 0u8..8).prop_map(|(is_store, line, offset, flags)| LsqScript {
+            is_store: is_store == 1,
+            line,
+            offset,
+            addr_known: flags & 1 != 0,
+            data_ready: flags & 2 != 0,
+            freed: flags & 4 != 0,
+        }),
+        1..48,
+    )
+}
+
+/// Map the small line index to real line numbers, deliberately including
+/// pairs that collide modulo the LSQ index's bucket count (64): lines 0/64
+/// and 1/65 share a bucket but must never cross-match.
+fn lsq_addr(line: u8, offset: u8) -> u64 {
+    let line_no: u64 = [0, 1, 2, 64, 65, 128][line as usize];
+    line_no * 64 + u64::from(offset) * 8
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // Differential property for the tentpole LSQ index: drive random
+    // same-line/aliasing op scripts through the indexed `Lsq` and compare
+    // EVERY load check against the linear-scan reference implementation,
+    // through address arrival, data-ready transitions, frees and squashes.
+    // Runs the comparison explicitly, so it has teeth in release builds
+    // too (debug builds additionally assert the same equivalence inside
+    // every `check_load`).
+    #[test]
+    fn indexed_lsq_is_bit_identical_to_scan(script in lsq_script_strategy()) {
+        let mut lsq = Lsq::new(script.len().max(1));
+        // Allocate in program order; sprinkle seq gaps like real dispatch.
+        let seqs: Vec<u64> = script.iter().enumerate().map(|(i, _)| 3 * i as u64 + 1).collect();
+        for (op, &seq) in script.iter().zip(&seqs) {
+            lsq.alloc(seq, op.is_store);
+        }
+        let compare_all = |lsq: &Lsq| -> Result<(), TestCaseError> {
+            for &seq in seqs.iter().chain([0, u64::MAX].iter()) {
+                for line in 0..6u8 {
+                    for offset in 0..4u8 {
+                        let addr = lsq_addr(line, offset);
+                        prop_assert_eq!(
+                            lsq.check_load(seq, addr),
+                            lsq.check_load_scan(seq, addr),
+                            "seq {} addr {:#x}", seq, addr
+                        );
+                    }
+                }
+            }
+            Ok(())
+        };
+        for (op, &seq) in script.iter().zip(&seqs) {
+            if op.addr_known {
+                lsq.set_addr(seq, lsq_addr(op.line, op.offset));
+            }
+            if op.is_store && op.data_ready {
+                lsq.set_data_ready(seq);
+            }
+        }
+        compare_all(&lsq)?;
+        for (op, &seq) in script.iter().zip(&seqs) {
+            if op.freed {
+                lsq.free(seq);
+            }
+        }
+        compare_all(&lsq)?;
+        // Squash the youngest half, then verify again and check the index
+        // retains exactly the alive, address-known stores.
+        let boundary = seqs[seqs.len() / 2];
+        lsq.squash_from(boundary);
+        compare_all(&lsq)?;
+        let expected_indexed = script
+            .iter()
+            .zip(&seqs)
+            .filter(|(op, &seq)| op.is_store && op.addr_known && !op.freed && seq < boundary)
+            .count();
+        prop_assert_eq!(lsq.indexed_stores(), expected_indexed);
+        // Reset reuse leaves no stale bucket behind.
+        lsq.reset(script.len().max(1));
+        prop_assert_eq!(lsq.indexed_stores(), 0);
+        lsq.alloc(1, false);
+        for line in 0..6u8 {
+            prop_assert_eq!(lsq.check_load(1, lsq_addr(line, 0)), LoadCheck::GoToCache);
+        }
+    }
+}
+
 proptest! {
     // Fewer cases: each one simulates 8 schemes × 3 machines twice, with
     // the per-cycle debug cross-checks doing the heavy verification.
@@ -333,6 +440,111 @@ proptest! {
                 );
                 prop_assert_eq!(fresh.committed_uops, uops.len() as u64);
                 prop_assert_eq!(fresh.copies_generated, fresh.copies_delivered);
+            }
+        }
+    }
+}
+
+/// Memory-dense random region: every other slot a load or store, so the
+/// LSQ index and the memory stage see sustained pressure.
+fn mem_heavy_region_strategy(max_len: usize) -> impl Strategy<Value = Region> {
+    let reg = (0u8..8).prop_map(ArchReg::int);
+    let mem = prop_oneof![
+        (reg.clone(), reg.clone()).prop_map(|(d, a)| StaticInst::new(OpClass::Load, &[a], Some(d))),
+        (reg.clone(), reg.clone()).prop_map(|(a, v)| StaticInst::new(
+            OpClass::Store,
+            &[a, v],
+            None
+        )),
+    ];
+    prop::collection::vec((inst_strategy(), mem), 1..max_len / 2).prop_map(|pairs| {
+        let mut r = Region::new(0, "mem-prop");
+        for (a, b) in pairs {
+            r.push(a);
+            r.push(b);
+        }
+        r
+    })
+}
+
+/// Address model with heavy line aliasing plus index-bucket collisions
+/// (line numbers 0/64 and 1/65 share an LSQ index bucket): repeated exact
+/// addresses across iterations make store-to-load forwarding and
+/// WaitOnStore paths reachable.
+fn aliasing_addr(s: u64) -> u64 {
+    let line: u64 = [0, 1, 2, 64, 65, 128][(s % 6) as usize];
+    line * 64 + ((s / 6) % 8) * 8
+}
+
+proptest! {
+    // Each case simulates 8 schemes × 3 machines twice; the per-dispatch
+    // debug cross-checks (`debug_assert_steering_view_matches_rebuild`,
+    // the scan-vs-index assert inside every `Lsq::check_load`, and the
+    // ready-ring mirrors) do the heavy verification.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    // The tentpole's second prong: the incrementally maintained steering
+    // view (live location masks, occupancy counters, busy/full bit masks)
+    // must be indistinguishable from a per-uop rebuild. Debug builds
+    // assert the view against a from-scratch reconstruction every dispatch
+    // cycle; this property drives those checks across random hinted
+    // programs × all schemes × 2/4/8-cluster machines under memory-dense
+    // aliasing traffic, and pins full-stats bit-identity fresh-vs-reused.
+    #[test]
+    fn incremental_steering_view_matches_rebuild(
+        region in mem_heavy_region_strategy(24),
+        hints in prop::collection::vec(hint_strategy(), 24..25),
+        iters in 1usize..4,
+    ) {
+        let mut region = region;
+        for (inst, hint) in region.insts.iter_mut().zip(hints) {
+            inst.hint = hint;
+        }
+        let schemes = [
+            Configuration::Op,
+            Configuration::OpParallel,
+            Configuration::OneCluster,
+            Configuration::Ob,
+            Configuration::Rhop,
+            Configuration::Vc { num_vcs: 2 },
+            Configuration::ModN { slice: 3 },
+            Configuration::OpNoStall,
+        ];
+        let mut session = SimSession::new(&MachineConfig::default());
+        for clusters in [2usize, 4, 8] {
+            let machine = MachineConfig::default().with_clusters(clusters);
+            for config in schemes {
+                let mut program = Program::new("mem-prop");
+                program.add_region(region.clone());
+                config
+                    .software_pass(clusters as u32)
+                    .apply(&mut program, &machine.latencies);
+                let mut uops = Vec::new();
+                let mut seq = 0;
+                for it in 0..iters {
+                    seq = virtclust::uarch::trace::expand_region(
+                        &program.regions[0],
+                        seq,
+                        &mut uops,
+                        |s, _| aliasing_addr(s),
+                        |s, _| !(s + it as u64).is_multiple_of(3),
+                    );
+                }
+                let fresh = {
+                    let mut trace = SliceTrace::new(&uops);
+                    let mut policy = config.make_policy();
+                    simulate(&machine, &mut trace, policy.as_mut(), &RunLimits::unlimited())
+                };
+                let reused = {
+                    let mut trace = SliceTrace::new(&uops);
+                    let mut policy = config.make_policy();
+                    session.simulate(&machine, &mut trace, policy.as_mut(), &RunLimits::unlimited())
+                };
+                prop_assert_eq!(
+                    &fresh, &reused,
+                    "{} on {} clusters", config.name(clusters as u32), clusters
+                );
+                prop_assert_eq!(fresh.committed_uops, uops.len() as u64);
             }
         }
     }
