@@ -3,11 +3,13 @@
 //! scheme, against the committed numbers in `results/BASELINES.md`.
 //!
 //! ```text
-//! throughput [--uops N] [--runs R] [--clusters 2|4|8] [--trace FILE] [--stages]
+//! throughput [--uops N] [--runs R] [--clusters 2|4|8] [--point NAME]
+//!            [--trace FILE] [--stages]
 //! ```
 //!
-//! Default mode expands the `gzip-1` suite point once per scheme into an
-//! in-memory trace, then runs it `R` times two ways:
+//! Default mode expands a suite point (`--point`, default `gzip-1`; any
+//! Fig. 5 name, e.g. `mcf` for an idle-heavy memory-bound stream) once
+//! per scheme into an in-memory trace, then runs it `R` times two ways:
 //!
 //! * **fresh** — a new [`Machine`] per run (the pre-refactor cost model:
 //!   every run reallocates caches, predictor tables, the event calendar);
@@ -25,8 +27,9 @@
 //! plain run never pays for — so perf PRs can point at the next
 //! bottleneck.
 //!
-//! In point mode on the 2-cluster machine the report ends with a delta
-//! against the committed per-scheme mean in `results/BASELINES.md`.
+//! In `gzip-1` point mode on the 2-cluster machine the report ends with a
+//! delta against the committed per-scheme mean in `results/BASELINES.md`
+//! (other points have no committed pin).
 //!
 //! `--uops` defaults to `VIRTCLUST_UOPS` or 20 000; `--runs` defaults
 //! to 8. Results are also written to `results/throughput.md`.
@@ -46,6 +49,7 @@ struct Args {
     uops: u64,
     runs: u64,
     clusters: usize,
+    point: String,
     trace: Option<String>,
     stages: bool,
 }
@@ -55,6 +59,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         uops: uop_budget(20_000),
         runs: 8,
         clusters: 2,
+        point: "gzip-1".into(),
         trace: None,
         stages: false,
     };
@@ -84,6 +89,13 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     .filter(|&n| virtclust_bench::cluster_preset(n).is_some())
                     .ok_or(format!("--clusters must be 2, 4 or 8, got {v}"))?;
             }
+            "--point" => {
+                let v = value("--point")?;
+                if !spec2000_points().iter().any(|p| p.name == v) {
+                    return Err(format!("--point: unknown suite point {v}"));
+                }
+                args.point = v;
+            }
             "--trace" => args.trace = Some(value("--trace")?),
             "--stages" => args.stages = true,
             other => return Err(format!("unknown argument {other}")),
@@ -95,13 +107,19 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     Ok(args)
 }
 
-/// Expand `uops` micro-ops of gzip-1 under `config`'s compiler pass into an
-/// in-memory trace (hints baked in, like a frozen per-scheme stream).
-fn expand_scheme(config: &Configuration, machine: &MachineConfig, uops: u64) -> Vec<DynUop> {
+/// Expand `uops` micro-ops of a suite point under `config`'s compiler pass
+/// into an in-memory trace (hints baked in, like a frozen per-scheme
+/// stream).
+fn expand_scheme(
+    config: &Configuration,
+    machine: &MachineConfig,
+    uops: u64,
+    point: &str,
+) -> Vec<DynUop> {
     let point = spec2000_points()
         .into_iter()
-        .find(|p| p.name == "gzip-1")
-        .expect("suite point");
+        .find(|p| p.name == point)
+        .expect("suite point validated in parse_args");
     let mut program = point.build_program();
     config
         .software_pass(machine.num_clusters as u32)
@@ -133,7 +151,7 @@ fn point_mode(args: &Args, machine: &MachineConfig) -> Result<String, String> {
     let mut session = SimSession::new(machine);
     let (mut sum_fresh, mut sum_reused) = (0.0f64, 0.0f64);
     for config in Configuration::table3() {
-        let uops = expand_scheme(&config, machine, args.uops);
+        let uops = expand_scheme(&config, machine, args.uops, &args.point);
 
         // Fresh: a new machine (and a new trace view) per run.
         let t0 = Instant::now();
@@ -199,7 +217,7 @@ fn point_mode(args: &Args, machine: &MachineConfig) -> Result<String, String> {
     // is what BASELINES.md pins). Informational: wall-clock comparisons
     // across hosts are noise, but on the CI runner a large regression
     // shows up here without digging through two tables.
-    if machine.num_clusters == 2 {
+    if machine.num_clusters == 2 && args.point == "gzip-1" {
         match committed_mean() {
             Some((base_fresh, base_reused)) => {
                 let _ = writeln!(
@@ -240,7 +258,7 @@ fn stages_mode(args: &Args, machine: &MachineConfig) -> Result<String, String> {
     let mut session = SimSession::new(machine);
     let mut totals = StageTimers::default();
     for config in Configuration::table3() {
-        let uops = expand_scheme(&config, machine, args.uops);
+        let uops = expand_scheme(&config, machine, args.uops, &args.point);
         let mut trace = SliceTrace::new(&uops);
         let mut policy = config.make_policy();
         let mut timers = StageTimers::default();
@@ -325,10 +343,10 @@ fn run(argv: &[String]) -> Result<(), String> {
     let args = parse_args(argv)?;
     let machine = virtclust_bench::cluster_preset(args.clusters).expect("validated in parse_args");
     let header = format!(
-        "# Simulation throughput ({} clusters, {} uops/cell, {} runs/scheme)\n\n\
+        "# Simulation throughput ({} clusters, {} point, {} uops/cell, {} runs/scheme)\n\n\
          Wall-clock numbers; compare only against runs on the same host.\n\
          Committed reference: results/BASELINES.md.\n\n",
-        machine.num_clusters, args.uops, args.runs,
+        machine.num_clusters, args.point, args.uops, args.runs,
     );
     let body = match (&args.trace, args.stages) {
         (Some(file), false) => trace_mode(&args, &machine, file)?,

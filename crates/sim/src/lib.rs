@@ -61,7 +61,7 @@ pub use machine::{simulate, Machine, RunLimits};
 pub use predictor::{Gshare, LocalHistory, TraceCache};
 pub use queues::{CopyOp, CopySlab, IssueQueue, LinkArbiter};
 pub use session::{SimSession, StageTimers};
-pub use stats::{ClusterStats, SimStats, StallReason};
+pub use stats::{ClusterStats, IdleCycleKind, SimStats, StallReason};
 pub use steering::{SteerDecision, SteerSummary, SteerView, SteeringPolicy};
 pub use value::{
     all_clusters, cluster_bit, ClusterMask, RenameTable, ValueTag, ValueTracker, Waiter,

@@ -119,16 +119,24 @@ impl Lsq {
     }
 
     /// Entries currently allocated.
+    #[inline]
     pub fn len(&self) -> usize {
         self.live
     }
 
-    /// True if no entries are allocated.
+    /// True if no entries are allocated — the quiescence predicate the
+    /// session's drain check asserts (a drained pipeline must have freed
+    /// every LSQ entry at commit or store drain).
+    #[inline]
     pub fn is_empty(&self) -> bool {
         self.live == 0
     }
 
-    /// True if a new memory op can be allocated.
+    /// True if a new memory op can be allocated. Dispatch consults this
+    /// before steering, which also makes it part of the idle-span
+    /// predicate: an LSQ-full stall cycle is skippable precisely because
+    /// this answer cannot change while commit and store drain are inert.
+    #[inline]
     pub fn has_space(&self) -> bool {
         self.live < self.capacity
     }

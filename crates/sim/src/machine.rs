@@ -17,9 +17,11 @@
 //!        └──────────────────────────────┘
 //! ```
 //!
-//! One [`Machine::step`] is one cycle. Stage order within a cycle (standard
-//! reverse-pipeline update): completion events → commit → store drain →
-//! memory stage → issue → dispatch/steer → fetch.
+//! One [`Machine::step`] is one cycle — or, when the machine is provably
+//! idle, one *span* of cycles skipped in O(1) with bit-identical
+//! statistics (see [`SimSession::step`]). Stage order within a cycle
+//! (standard reverse-pipeline update): completion events → commit → store
+//! drain → memory stage → issue → dispatch/steer → fetch.
 //!
 //! The pipeline itself lives in [`crate::session::SimSession`], which owns
 //! all heap state and can be reset and reused across runs. [`Machine`] is
@@ -96,7 +98,22 @@ impl Machine {
         self.session.done()
     }
 
-    /// Advance the machine by one cycle.
+    /// Whether event-driven idle-cycle skipping is active (see
+    /// [`SimSession::set_cycle_skipping`]).
+    pub fn cycle_skipping(&self) -> bool {
+        self.session.cycle_skipping()
+    }
+
+    /// Force idle-cycle skipping on or off, overriding the
+    /// `VIRTCLUST_NO_SKIP` process default. Statistics are bit-identical
+    /// either way; only the [`Machine::cycle`] stride per [`Machine::step`]
+    /// differs.
+    pub fn set_cycle_skipping(&mut self, enabled: bool) {
+        self.session.set_cycle_skipping(enabled);
+    }
+
+    /// Advance the machine by one cycle — or across a provably idle span
+    /// in one call (see [`SimSession::step`]).
     pub fn step(
         &mut self,
         trace: &mut dyn TraceSource,
@@ -440,14 +457,19 @@ mod tests {
         let region = alu_chain_region(4);
         let uops = expand(&region, 30);
         let cfg = MachineConfig::default();
-        // Single-step half the run through the Machine view…
+        // Single-step part of the run through the Machine view… (a step
+        // advances at least one cycle; idle-span skipping may cover more)
         let mut machine = Machine::new(&cfg);
         let mut trace = SliceTrace::new(&uops);
         let mut policy = ToZero;
         for _ in 0..10 {
             machine.step(&mut trace, &mut policy, &RunLimits::unlimited());
         }
-        assert_eq!(machine.cycle(), 10);
+        assert!(machine.cycle() >= 10);
+        machine.set_cycle_skipping(false);
+        let at = machine.cycle();
+        machine.step(&mut trace, &mut policy, &RunLimits::unlimited());
+        assert_eq!(machine.cycle(), at + 1, "strict stepping when forced off");
         // …then recover the session and reuse its allocations for a full
         // fresh run.
         let mut session = machine.into_session();

@@ -64,16 +64,19 @@ impl IssueQueue {
     }
 
     /// Entries currently allocated (waiting + ready).
+    #[inline]
     pub fn len(&self) -> usize {
         self.waiting + self.ready.len()
     }
 
     /// True if empty.
+    #[inline]
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
     /// True if another entry can be allocated.
+    #[inline]
     pub fn has_space(&self) -> bool {
         self.len() < self.capacity
     }
@@ -84,8 +87,17 @@ impl IssueQueue {
     }
 
     /// Entries currently issueable.
+    #[inline]
     pub fn ready_len(&self) -> usize {
         self.ready.len()
+    }
+
+    /// True when at least one entry is issueable — the cheap "any work
+    /// pending here?" predicate the issue stage and the session's
+    /// idle-span checks lean on (O(1), never walks entries).
+    #[inline]
+    pub fn has_ready(&self) -> bool {
+        !self.ready.is_empty()
     }
 
     /// Allocate an entry whose sources are all readable already: it goes

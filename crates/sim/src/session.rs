@@ -22,6 +22,15 @@
 //! Besides reuse, the session is where the simulator's per-cycle hot paths
 //! were removed (ROADMAP "Hot-path profiling"):
 //!
+//! * **idle cycles are skipped, not stepped**: when every stage is
+//!   provably a no-op — no event due, no commit-ready head, nothing
+//!   issueable, dispatch starved or structurally stalled before the
+//!   policy, fetch inert — [`SimSession::step`] advances `now` straight
+//!   to the next cycle anything can happen (earliest calendar event,
+//!   front-uop ready cycle, fetch restall deadline) and replicates the
+//!   skipped cycles' counters arithmetically ([`crate::IdleCycleKind`]).
+//!   Debug builds single-step the same span and assert the replication is
+//!   exact; `VIRTCLUST_NO_SKIP=1` forces strict stepping;
 //! * **issue is event-driven, not polled**: a completing value wakes
 //!   exactly the consumers registered on it ([`crate::value::Waiter`]
 //!   lists in the value tracker), decrementing per-ROB-entry
@@ -56,7 +65,7 @@ use crate::lsq::{LoadCheck, Lsq};
 use crate::machine::RunLimits;
 use crate::predictor::{pc_of, LocalHistory, TraceCache};
 use crate::queues::{CopyOp, CopySlab, IssueQueue, LinkArbiter};
-use crate::stats::{SimStats, StallReason};
+use crate::stats::{IdleCycleKind, SimStats, StallReason};
 use crate::steering::{SteerDecision, SteerSummary, SteerView, SteeringPolicy};
 use crate::value::{
     all_clusters, cluster_bit, ClusterMask, RenameTable, ValueTag, ValueTracker, Waiter,
@@ -200,6 +209,10 @@ pub struct SimSession {
     events: Vec<Vec<Event>>,
     events_scratch: Vec<Event>,
     horizon_mask: u64,
+    // Events currently in the calendar across all slots: lets the
+    // idle-span query bail out (or bound its slot scan) without touching
+    // the slot vectors.
+    events_live: usize,
     // Front-end state.
     fetchq: VecDeque<FetchedUop>,
     fetch_buf_cap: usize,
@@ -239,6 +252,23 @@ pub struct SimSession {
     // Bookkeeping.
     stats: SimStats,
     last_commit_cycle: u64,
+    // Event-driven idle-cycle skipping: `skip_enabled` is resolved at
+    // reset from the per-session override (survives resets) or, absent
+    // one, the `VIRTCLUST_NO_SKIP` process default.
+    skip_enabled: bool,
+    skip_override: Option<bool>,
+}
+
+/// Process-wide default for idle-cycle skipping: enabled unless the
+/// `VIRTCLUST_NO_SKIP` environment variable is set to a non-empty value
+/// other than `0`. Read once per process; per-session control goes
+/// through [`SimSession::set_cycle_skipping`].
+fn cycle_skipping_default() -> bool {
+    static DEFAULT: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *DEFAULT.get_or_init(|| match std::env::var_os("VIRTCLUST_NO_SKIP") {
+        None => true,
+        Some(v) => v.is_empty() || v == "0",
+    })
 }
 
 impl SimSession {
@@ -265,6 +295,7 @@ impl SimSession {
             events: Vec::new(),
             events_scratch: Vec::new(),
             horizon_mask: 0,
+            events_live: 0,
             fetchq: VecDeque::new(),
             fetch_buf_cap: 0,
             fetch_stalled_until: 0,
@@ -286,6 +317,8 @@ impl SimSession {
             stale_ring: VecDeque::with_capacity(cfg.fetch_to_dispatch as usize + 1),
             stats: SimStats::new(cfg.num_clusters),
             last_commit_cycle: 0,
+            skip_enabled: true,
+            skip_override: None,
         };
         session.reset(cfg);
         session
@@ -338,6 +371,7 @@ impl SimSession {
         self.events.resize_with(horizon, Vec::new);
         self.horizon_mask = (horizon - 1) as u64;
         self.events_scratch.clear();
+        self.events_live = 0;
 
         self.fetchq.clear();
         self.fetch_buf_cap = cfg.fetch_width * (cfg.fetch_to_dispatch as usize + 4);
@@ -372,6 +406,7 @@ impl SimSession {
 
         self.stats = SimStats::new(n);
         self.last_commit_cycle = 0;
+        self.skip_enabled = self.skip_override.unwrap_or_else(cycle_skipping_default);
         self.cfg = cfg.clone();
     }
 
@@ -405,6 +440,24 @@ impl SimSession {
         &self.stats
     }
 
+    /// Whether event-driven idle-cycle skipping is currently active (see
+    /// [`SimSession::set_cycle_skipping`]).
+    pub fn cycle_skipping(&self) -> bool {
+        self.skip_enabled
+    }
+
+    /// Force idle-cycle skipping on or off for this session, overriding
+    /// the `VIRTCLUST_NO_SKIP` process default. The override survives
+    /// [`SimSession::reset`], so differential tests can pin one session to
+    /// each mode. Skipping is a pure host-speed optimization — statistics
+    /// are bit-identical either way (the contract the golden-stats pins,
+    /// the CI bit-identity gate and `tests/properties.rs` enforce) — so
+    /// the only reasons to turn it off are A/B measurement and debugging.
+    pub fn set_cycle_skipping(&mut self, enabled: bool) {
+        self.skip_override = Some(enabled);
+        self.skip_enabled = enabled;
+    }
+
     /// Wakeup state still registered: waiters linked on values plus wakes
     /// not yet applied. Non-zero only while consumers are blocked mid-run;
     /// zero on a drained ([`SimSession::done`]) or freshly reset session
@@ -415,12 +468,19 @@ impl SimSession {
 
     /// True when the trace is exhausted and the pipeline fully drained.
     pub fn done(&self) -> bool {
-        self.trace_done
+        let done = self.trace_done
             && self.fetchq.is_empty()
             && self.rob.is_empty()
             && self.store_drain.is_empty()
             && self.mem_pending.is_empty()
-            && self.copies.live() == 0
+            && self.copies.live() == 0;
+        if done {
+            // A drained pipeline implies a quiescent backend: every LSQ
+            // entry was freed at commit/drain and no event can be pending.
+            debug_assert!(self.lsq.is_empty(), "drained session holds LSQ entries");
+            debug_assert_eq!(self.events_live, 0, "drained session holds events");
+        }
+        done
     }
 
     fn schedule(&mut self, at: u64, ev: Event) {
@@ -430,6 +490,7 @@ impl SimSession {
             "event beyond calendar horizon"
         );
         self.events[(at & self.horizon_mask) as usize].push(ev);
+        self.events_live += 1;
     }
 
     #[inline]
@@ -456,6 +517,7 @@ impl SimSession {
             &mut self.events[slot],
             std::mem::take(&mut self.events_scratch),
         );
+        self.events_live -= batch.len();
         for ev in batch.drain(..) {
             match ev {
                 Event::Exec(dseq) => self.complete_exec(dseq),
@@ -685,7 +747,7 @@ impl SimSession {
     fn issue_queue(&mut self, cluster: usize, kind: QueueKind, width: usize) {
         #[cfg(debug_assertions)]
         self.debug_assert_ready_ring_matches_scan(cluster, kind);
-        if self.iqs[cluster][kind.index()].ready_len() == 0 {
+        if !self.iqs[cluster][kind.index()].has_ready() {
             return;
         }
         // Pop up to `width` entries off the wakeup-maintained ready ring —
@@ -765,7 +827,7 @@ impl SimSession {
     fn issue_copies(&mut self, cluster: usize, width: usize) {
         #[cfg(debug_assertions)]
         self.debug_assert_ready_ring_matches_scan(cluster, QueueKind::Copy);
-        if self.iqs[cluster][QueueKind::Copy.index()].ready_len() == 0 {
+        if !self.iqs[cluster][QueueKind::Copy.index()].has_ready() {
             return;
         }
         // Ready-ring entries already have their source value readable at
@@ -1152,7 +1214,14 @@ impl SimSession {
     // One cycle.
     // ------------------------------------------------------------------
 
-    /// Advance the machine by one cycle.
+    /// Advance the machine by one cycle — or, when the machine is provably
+    /// idle (see [`SimSession::idle_span`]), directly to the next cycle
+    /// where anything can happen, replicating the skipped cycles' counters
+    /// arithmetically. Statistics after any number of steps are
+    /// bit-identical to single-stepping; only [`SimSession::cycle`]'s
+    /// stride differs. `VIRTCLUST_NO_SKIP=1` (or
+    /// [`SimSession::set_cycle_skipping`]) restores strict one-cycle
+    /// stepping.
     pub fn step(
         &mut self,
         trace: &mut dyn TraceSource,
@@ -1165,7 +1234,10 @@ impl SimSession {
     /// Advance the machine by one cycle, accumulating per-stage wall time
     /// into `timers`. Identical simulated behaviour to [`SimSession::step`]
     /// (the stage sequence is shared code); only the host-time bookkeeping
-    /// differs.
+    /// differs. The timed path never skips idle spans — every cycle gets
+    /// its per-stage laps, so `timers.cycles` equals the simulated cycle
+    /// count — and the statistics still match the skipping path exactly,
+    /// because skipping is bit-identical by contract.
     pub fn step_timed(
         &mut self,
         trace: &mut dyn TraceSource,
@@ -1191,9 +1263,400 @@ impl SimSession {
         }
     }
 
-    /// The one cycle of the machine. `TIMED` is a compile-time switch: the
-    /// untimed instantiation contains no timing code at all.
+    /// One step of the machine. `TIMED` is a compile-time switch: the
+    /// untimed instantiation contains no timing code at all. The untimed
+    /// path additionally skips provably idle spans in O(1) (see
+    /// [`SimSession::idle_span`]); the timed path single-steps every cycle
+    /// so each one gets its per-stage laps — bit-identical statistics
+    /// either way.
     fn step_impl<const TIMED: bool>(
+        &mut self,
+        trace: &mut dyn TraceSource,
+        policy: &mut dyn SteeringPolicy,
+        limits: &RunLimits,
+        timers: &mut Option<&mut StageTimers>,
+    ) {
+        if !TIMED && self.skip_enabled {
+            if let Some((span, kind)) = self.idle_span(policy, limits) {
+                #[cfg(not(debug_assertions))]
+                self.skip_idle_span(span, kind);
+                #[cfg(debug_assertions)]
+                self.skip_idle_span_mirrored(span, kind, trace, policy, limits);
+                return;
+            }
+        }
+        self.cycle_body::<TIMED>(trace, policy, limits, timers);
+    }
+
+    /// Decide whether this cycle is provably idle and, if so, for how
+    /// long. Returns the skippable span (≥ 1 cycle) together with the
+    /// accounting every skipped cycle would have recorded.
+    ///
+    /// The predicate mirrors the stage bodies exactly — a cycle qualifies
+    /// only when every stage is a no-op whose counters replicate
+    /// arithmetically:
+    ///
+    /// * no calendar event due now ([`SimSession::process_events`]
+    ///   early-returns, so no wakeups either);
+    /// * no commit-ready ROB head, no drainable store, and every parked
+    ///   load provably re-fails its (pure) [`Lsq::check_load`] for the
+    ///   whole span;
+    /// * nothing issueable in any queue (`ready_entries == 0`);
+    /// * dispatch provably stops *before* consulting the steering policy:
+    ///   the front-end has nothing ready (starved) or the front micro-op
+    ///   hits a ROB/LSQ structural stall — the checks that precede
+    ///   `SteeringPolicy::steer`, which may be stateful and therefore
+    ///   must observe exactly the per-uop call sequence of stepping;
+    /// * fetch is provably inert: trace drained, halted for a mispredict
+    ///   (the resolving completion is a calendar event), buffer full, or
+    ///   stalled on a trace-cache refill (which bounds the span).
+    ///
+    /// The span ends at the earliest cycle any stage could act again —
+    /// the next calendar event, the front micro-op's ready cycle, the
+    /// fetch-restall deadline, or the run's `max_cycles` limit — and all
+    /// of the per-cycle state above is frozen until then, because nothing
+    /// that mutates it can run during the span.
+    fn idle_span(
+        &self,
+        policy: &mut dyn SteeringPolicy,
+        limits: &RunLimits,
+    ) -> Option<(u64, IdleCycleKind)> {
+        // Cheapest checks first: this runs at the top of every step.
+        if !self.events[(self.now & self.horizon_mask) as usize].is_empty() {
+            return None; // completion events due this cycle
+        }
+        if self.ready_entries != 0 {
+            return None; // issue has work
+        }
+        if !self.store_drain.is_empty() {
+            return None; // store drain has work
+        }
+        // Loads parked in the memory stage only block the skip if one of
+        // them could act. `check_load` is pure, and the LSQ state it reads
+        // changes only at dispatch, store writeback, or commit — none of
+        // which can occur inside an event-free span — so an entry that
+        // answers `WaitOnStore` now re-fails identically on every cycle of
+        // the span (the memory stage's pop/requeue round trip preserves
+        // queue order). A `Forward` or `GoToCache` answer means this very
+        // cycle would forward data or take a cache port: not idle.
+        if self
+            .mem_pending
+            .iter()
+            .any(|&(dseq, addr)| self.lsq.check_load(dseq, addr) != LoadCheck::WaitOnStore)
+        {
+            return None; // a parked load would access memory this cycle
+        }
+        if matches!(self.rob.front(), Some(e) if e.state == RobState::Completed) {
+            return None; // commit has work
+        }
+
+        // Classify what dispatch does on every cycle of the span. The
+        // per-class budgets are validated non-zero, so the first front
+        // micro-op always reaches the structural checks below.
+        let mut wake: Option<u64> = None;
+        let kind = match self.fetchq.front() {
+            None => IdleCycleKind::FrontendStarved,
+            Some(front) if front.ready > self.now => {
+                wake = Some(front.ready);
+                IdleCycleKind::FrontendStarved
+            }
+            Some(front) => {
+                if self.rob.len() >= self.cfg.rob_entries {
+                    IdleCycleKind::DispatchStall(StallReason::RobFull)
+                } else if front.uop.op.is_mem() && !self.lsq.has_space() {
+                    IdleCycleKind::DispatchStall(StallReason::LsqFull)
+                } else if policy.steer_is_pure() {
+                    // The structural pre-checks pass: stepping would
+                    // consult the policy this cycle and on every cycle of
+                    // the span. A pure policy's answers — and the
+                    // structural checks that follow them — are determined
+                    // by frozen state plus the stale snapshot, so probing
+                    // each distinct snapshot once classifies every cycle;
+                    // the first cycle whose outcome differs bounds the
+                    // span.
+                    match self.dispatch_stall_prefix(policy, &front.uop) {
+                        (_, None) => return None, // dispatch would act this cycle
+                        (u64::MAX, Some(r)) => IdleCycleKind::DispatchStall(r),
+                        (j, Some(r)) => {
+                            wake = Some(self.now + j);
+                            IdleCycleKind::DispatchStall(r)
+                        }
+                    }
+                } else {
+                    // A stateful policy must observe the per-cycle call
+                    // sequence stepping would make: not skippable.
+                    return None; // dispatch would reach the policy
+                }
+            }
+        };
+
+        // Fetch activity check (see the doc comment for the inert cases).
+        if !self.trace_done && !self.halted_for_branch && self.fetchq.len() < self.fetch_buf_cap {
+            if self.now < self.fetch_stalled_until {
+                let until = self.fetch_stalled_until;
+                wake = Some(wake.map_or(until, |w| w.min(until)));
+            } else {
+                return None; // fetch would pull from the trace
+            }
+        }
+
+        if let Some(ev) = self.next_event_time(wake) {
+            wake = Some(wake.map_or(ev, |w| w.min(ev)));
+        }
+        let mut target = wake?;
+        if let Some(max) = limits.max_cycles {
+            target = target.min(max);
+        }
+        (target > self.now).then(|| (target - self.now, kind))
+    }
+
+    /// How many consecutive cycles, starting now, a stalled front
+    /// micro-op provably keeps hitting the *same* dispatch stall under a
+    /// *pure* policy ([`SteeringPolicy::steer_is_pure`]), and which stall
+    /// that is (`None`: dispatch would act this very cycle).
+    ///
+    /// During an event-free span every input of the dispatch decision is
+    /// frozen except the stale snapshot, which evolves deterministically:
+    /// span cycle `i` steers against the pre-span `stale_loc` while the
+    /// ring is still filling (`len + i < depth`), then against the old
+    /// ring entries front to back, then against `cur_loc` forever. That
+    /// is at most `len + 2` distinct views; classifying each once covers
+    /// every cycle. The prefix is `u64::MAX` when the outcome holds for
+    /// as long as the pipeline stays frozen. The probe's steer calls are
+    /// unobservable by the purity contract, so skipping and stepping stay
+    /// bit-identical.
+    fn dispatch_stall_prefix(
+        &self,
+        policy: &mut dyn SteeringPolicy,
+        uop: &DynUop,
+    ) -> (u64, Option<StallReason>) {
+        let depth = u64::from(self.cfg.fetch_to_dispatch);
+        let len = self.stale_ring.len() as u64;
+        let epochs = (len < depth)
+            .then_some((&self.stale_loc, depth - len))
+            .into_iter()
+            .chain(self.stale_ring.iter().map(|snap| (snap, 1)))
+            .chain(std::iter::once((&self.cur_loc, u64::MAX)));
+        let mut prefix = 0u64;
+        let mut kind0 = None;
+        for (i, (stale, cycles)) in epochs.enumerate() {
+            let kind = self.front_stall_kind(policy, uop, stale);
+            if i == 0 {
+                if kind.is_none() {
+                    return (0, None);
+                }
+                kind0 = kind;
+            } else if kind != kind0 {
+                return (prefix, kind0);
+            }
+            prefix = prefix.saturating_add(cycles);
+        }
+        (prefix, kind0)
+    }
+
+    /// What dispatch would do to the front micro-op against the given
+    /// stale snapshot, given that the pre-policy structural checks pass:
+    /// `None` if it would dispatch, otherwise the stall it would record.
+    /// A read-only twin of the policy-and-onward checks in
+    /// [`SimSession::dispatch`]; every input except the snapshot is frozen
+    /// during an event-free span (queue occupancies and register-file use
+    /// move only at dispatch, issue, or commit, value locations and
+    /// readiness only at renames and completions — all of which either
+    /// end the span or cannot run inside it).
+    fn front_stall_kind(
+        &self,
+        policy: &mut dyn SteeringPolicy,
+        uop: &DynUop,
+        stale: &[ClusterMask; NUM_ARCH_REGS],
+    ) -> Option<StallReason> {
+        let view = SteerView {
+            num_clusters: self.cfg.num_clusters,
+            cur_loc: &self.cur_loc,
+            stale_loc: stale,
+            summary: &self.steer_sum,
+            inflight: &self.inflight,
+        };
+        let cluster = match policy.steer(uop, &view) {
+            SteerDecision::Stall => return Some(StallReason::PolicyStall),
+            SteerDecision::Cluster(c) => c,
+        };
+        if cluster as usize >= self.cfg.num_clusters {
+            return None; // let the real dispatch raise its assert
+        }
+        let kind = uop.op.queue();
+        if !self.iqs[cluster as usize][kind.index()].has_space() {
+            return Some(StallReason::IqFull);
+        }
+        if let Some(dst) = uop.dst {
+            let cap = match dst.class {
+                RegClass::Int => self.cfg.int_regs_per_cluster,
+                RegClass::Flt => self.cfg.fp_regs_per_cluster,
+            };
+            if self.values.rf_used(cluster, dst.class) as usize >= cap {
+                return Some(StallReason::RfFull);
+            }
+        }
+        // Copy-plan feasibility: the read-only half of dispatch's planner.
+        let mut copy_regs = [virtclust_uarch::ArchReg::int(0); MAX_SRCS];
+        let mut n_copies = 0usize;
+        let mut planned_per_cluster = [0usize; 8];
+        for src in uop.srcs.iter() {
+            if copy_regs[..n_copies].contains(&src) {
+                continue;
+            }
+            if self.cur_loc[src.flat()] & cluster_bit(cluster) != 0 {
+                continue;
+            }
+            let from = self.copy_source(self.rename.tag(src));
+            let queue = &self.iqs[from as usize][QueueKind::Copy.index()];
+            if queue.len() + planned_per_cluster[from as usize] >= queue.capacity() {
+                return Some(StallReason::CopyQueueFull);
+            }
+            planned_per_cluster[from as usize] += 1;
+            copy_regs[n_copies] = src;
+            n_copies += 1;
+        }
+        None
+    }
+
+    /// Earliest calendar slot after `now` holding an event, scanning at
+    /// most up to `bound` (an event at or beyond an already-known wake-up
+    /// cycle cannot shorten the span). Returns `None` when the calendar is
+    /// empty or the next event lies at or beyond `bound`. Every live event
+    /// is within `(now, now + horizon]`, so one bounded ring scan is
+    /// exhaustive.
+    fn next_event_time(&self, bound: Option<u64>) -> Option<u64> {
+        if self.events_live == 0 {
+            return None;
+        }
+        let max_dt = bound.map_or(self.horizon_mask, |b| (b - self.now).min(self.horizon_mask));
+        for dt in 1..=max_dt {
+            let t = self.now + dt;
+            if !self.events[(t & self.horizon_mask) as usize].is_empty() {
+                return Some(t);
+            }
+        }
+        debug_assert!(bound.is_some(), "live events must lie within the horizon");
+        None
+    }
+
+    /// Replicate the stale-location ring's per-cycle evolution over an
+    /// idle span in closed form. Valid only while dispatch is inert:
+    /// `cur_loc` cannot change during the span (locations only move at
+    /// renames and copy insertions), so every skipped cycle pushes the
+    /// same snapshot, and — once the ring reaches the fetch-to-dispatch
+    /// depth — pops in FIFO order into `stale_loc`. Cycle `i` (0-based)
+    /// pops iff its pre-push length `min(len + i, depth)` equals `depth`,
+    /// i.e. `i ≥ depth − len`; the popped sequence is the old ring front
+    /// to back followed by pushed snapshots, and the last pop is what
+    /// `stale_loc` holds at span end.
+    fn replicate_stale_view(
+        stale_loc: &mut [ClusterMask; NUM_ARCH_REGS],
+        ring: &mut VecDeque<[ClusterMask; NUM_ARCH_REGS]>,
+        cur_loc: &[ClusterMask; NUM_ARCH_REGS],
+        depth: u64,
+        span: u64,
+    ) {
+        let len = ring.len() as u64;
+        debug_assert!(len <= depth, "ring deeper than fetch-to-dispatch");
+        let pops = span.saturating_sub(depth - len);
+        if pops == 0 {
+            for _ in 0..span {
+                ring.push_back(*cur_loc);
+            }
+            return;
+        }
+        *stale_loc = if pops <= len {
+            ring[(pops - 1) as usize]
+        } else {
+            *cur_loc
+        };
+        ring.drain(..pops.min(len) as usize);
+        while (ring.len() as u64) < depth {
+            ring.push_back(*cur_loc);
+        }
+    }
+
+    /// Apply an idle span in O(1): advance `now` and replicate every
+    /// per-cycle counter arithmetically (the release-build fast path; the
+    /// debug build runs [`SimSession::skip_idle_span_mirrored`] instead).
+    #[cfg(not(debug_assertions))]
+    fn skip_idle_span(&mut self, span: u64, kind: IdleCycleKind) {
+        self.stats.replicate_idle_cycles(span, kind, &self.inflight);
+        Self::replicate_stale_view(
+            &mut self.stale_loc,
+            &mut self.stale_ring,
+            &self.cur_loc,
+            u64::from(self.cfg.fetch_to_dispatch),
+            span,
+        );
+        self.now += span;
+        // The per-cycle deadlock check is monotone in the cycle number, so
+        // checking the span's last cycle (pre-increment, as stepping does)
+        // is equivalent to checking every skipped cycle.
+        if !self.rob.is_empty() && (self.now - 1) - self.last_commit_cycle > DEADLOCK_HORIZON {
+            panic!(
+                "simulator deadlock at cycle {}: rob={} lsq={} copies={} front={:?}",
+                self.now - 1,
+                self.rob.len(),
+                self.lsq.len(),
+                self.copies.live(),
+                self.rob.front().map(|e| (e.uop.seq, e.uop.op, e.state))
+            );
+        }
+    }
+
+    /// Debug-build idle skip: compute the arithmetic replication on copies
+    /// of the affected state, single-step the same span through the real
+    /// stage bodies (safe — the predicate guarantees no skipped cycle
+    /// reaches `SteeringPolicy::steer`, so even a stateful policy cannot
+    /// be perturbed), and assert the replicated state equals the stepped
+    /// state exactly. The same mirror discipline as the ready-ring
+    /// scan-vs-index and steering view-vs-rebuild checks.
+    #[cfg(debug_assertions)]
+    fn skip_idle_span_mirrored(
+        &mut self,
+        span: u64,
+        kind: IdleCycleKind,
+        trace: &mut dyn TraceSource,
+        policy: &mut dyn SteeringPolicy,
+        limits: &RunLimits,
+    ) {
+        let mut expected_stats = self.stats.clone();
+        expected_stats.replicate_idle_cycles(span, kind, &self.inflight);
+        let mut expected_stale_loc = self.stale_loc;
+        let mut expected_ring = self.stale_ring.clone();
+        Self::replicate_stale_view(
+            &mut expected_stale_loc,
+            &mut expected_ring,
+            &self.cur_loc,
+            u64::from(self.cfg.fetch_to_dispatch),
+            span,
+        );
+        let target = self.now + span;
+        while self.now < target {
+            self.cycle_body::<false>(trace, policy, limits, &mut None);
+        }
+        assert_eq!(
+            self.stats,
+            expected_stats,
+            "idle-span counter replication diverged from single-stepping \
+             ({kind:?}, cycles {}..{target})",
+            target - span
+        );
+        assert_eq!(
+            self.stale_loc, expected_stale_loc,
+            "idle-span stale-location replication diverged ({kind:?})"
+        );
+        assert_eq!(
+            self.stale_ring, expected_ring,
+            "idle-span stale-ring replication diverged ({kind:?})"
+        );
+    }
+
+    /// The one cycle of the machine (shared by stepping, the timed path
+    /// and the debug skip mirror).
+    fn cycle_body<const TIMED: bool>(
         &mut self,
         trace: &mut dyn TraceSource,
         policy: &mut dyn SteeringPolicy,
@@ -1506,6 +1969,96 @@ mod tests {
             &RunLimits::unlimited(),
         );
         assert_eq!(fresh, reused);
+    }
+
+    /// A serial pointer-chase over 4 KiB-strided lines: every load misses
+    /// L1 and L2, and the next iteration depends on the loaded value, so
+    /// the machine sits idle for the full memory latency between bursts —
+    /// the shape that makes idle-span skipping fire.
+    fn idle_heavy_uops(iters: usize) -> Vec<DynUop> {
+        let region = RegionBuilder::new(0, "chase")
+            .load(r(2), r(1))
+            .alu(r(1), &[r(1), r(2)])
+            .build();
+        let mut uops = Vec::new();
+        let mut seq = 0;
+        for _ in 0..iters {
+            seq = virtclust_uarch::trace::expand_region(
+                &region,
+                seq,
+                &mut uops,
+                |s, _| s * 4096,
+                |_, _| true,
+            );
+        }
+        uops
+    }
+
+    #[test]
+    fn cycle_skipping_is_bit_identical_and_actually_skips() {
+        let uops = idle_heavy_uops(40);
+        let cfg = MachineConfig::default();
+        let run = |skip: bool| {
+            let mut session = SimSession::new(&cfg);
+            session.set_cycle_skipping(skip);
+            let mut trace = SliceTrace::new(&uops);
+            let mut policy = RoundRobin(0);
+            policy.reset();
+            let mut steps = 0u64;
+            loop {
+                session.step(&mut trace, &mut policy, &RunLimits::unlimited());
+                steps += 1;
+                if session.done() {
+                    break;
+                }
+            }
+            (session.stats().clone(), steps)
+        };
+        let (skipped, skip_steps) = run(true);
+        let (stepped, step_steps) = run(false);
+        assert_eq!(skipped, stepped, "skipping must be bit-identical");
+        assert_eq!(
+            step_steps, stepped.cycles,
+            "strict stepping is 1 cycle/step"
+        );
+        assert!(
+            skip_steps * 4 < skipped.cycles,
+            "memory-bound chase must skip most cycles ({skip_steps} steps for {} cycles)",
+            skipped.cycles
+        );
+    }
+
+    #[test]
+    fn cycle_skipping_respects_max_cycles_exactly() {
+        let uops = idle_heavy_uops(40);
+        let cfg = MachineConfig::default();
+        // A limit chosen to land mid-way through a ~500-cycle idle span.
+        let limits = RunLimits {
+            max_uops: None,
+            max_cycles: Some(777),
+        };
+        let run = |skip: bool| {
+            let mut session = SimSession::new(&cfg);
+            session.set_cycle_skipping(skip);
+            let mut trace = SliceTrace::new(&uops);
+            session.run(&mut trace, &mut RoundRobin(0), &limits)
+        };
+        let skipped = run(true);
+        assert_eq!(skipped.cycles, 777, "span must clamp to max_cycles");
+        assert_eq!(skipped, run(false));
+    }
+
+    #[test]
+    fn cycle_skipping_override_survives_reset() {
+        let cfg = MachineConfig::default();
+        let mut session = SimSession::new(&cfg);
+        session.set_cycle_skipping(false);
+        assert!(!session.cycle_skipping());
+        session.reset(&cfg);
+        assert!(!session.cycle_skipping(), "override must survive reset");
+        session.set_cycle_skipping(true);
+        session.reset(&cfg);
+        assert!(session.cycle_skipping());
     }
 
     #[test]

@@ -249,6 +249,24 @@ pub trait SteeringPolicy {
 
     /// Reset internal state (mapping tables, counters) before a new run.
     fn reset(&mut self) {}
+
+    /// Whether [`SteeringPolicy::steer`] is a *pure function* of its
+    /// arguments: no internal state read or written, so two calls with the
+    /// same micro-op and an identical view always return the same decision
+    /// and leave the policy bit-identical.
+    ///
+    /// Pure policies opt in to the simulator's idle-span optimisation for
+    /// dispatch-stall cycles (a policy stall, or a steered target blocked
+    /// on queue/register-file/copy resources): while a stalled front
+    /// micro-op waits on a frozen pipeline, the per-cycle re-steer calls
+    /// stepping would make are provably identical, so the simulator may
+    /// elide them (or make extra probe calls) without observable effect. A policy with *any*
+    /// cross-call state — counters, mapping tables, even statistics —
+    /// must keep the default `false`; declaring purity falsely breaks the
+    /// bit-identity contract between skipping and stepping.
+    fn steer_is_pure(&self) -> bool {
+        false
+    }
 }
 
 /// Blanket impl so `&mut P` works wherever a policy is needed.
@@ -263,6 +281,10 @@ impl<P: SteeringPolicy + ?Sized> SteeringPolicy for &mut P {
 
     fn reset(&mut self) {
         (**self).reset()
+    }
+
+    fn steer_is_pure(&self) -> bool {
+        (**self).steer_is_pure()
     }
 }
 

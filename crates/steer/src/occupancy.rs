@@ -139,6 +139,13 @@ impl SteeringPolicy for OccupancyAware {
             None => SteerDecision::Stall,
         }
     }
+
+    // `mode` and `stall_over_steer` are configuration, fixed for the
+    // policy's lifetime: the decision is a function of the micro-op and
+    // the view alone.
+    fn steer_is_pure(&self) -> bool {
+        true
+    }
 }
 
 #[cfg(test)]

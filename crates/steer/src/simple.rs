@@ -25,6 +25,10 @@ impl SteeringPolicy for OneCluster {
     fn steer(&mut self, _uop: &DynUop, _view: &SteerView<'_>) -> SteerDecision {
         SteerDecision::Cluster(0)
     }
+
+    fn steer_is_pure(&self) -> bool {
+        true
+    }
 }
 
 /// Hardware side of the **software-only** schemes (`OB` = SPDI static

@@ -291,6 +291,21 @@ impl MachineConfig {
             lsq_entries,
             line_bytes
         );
+        // Latencies that feed the simulator's event calendar. Completions
+        // are scheduled at `now + latency` and the calendar requires
+        // strictly-future events (`SimSession::schedule` asserts
+        // `at > now`); a zero here would mean same-cycle delivery, which
+        // the event-driven core — and the idle-cycle skipping built on
+        // top of it — never supports.
+        if self.l1.hit_latency == 0 {
+            return Err(ConfigError::Zero("l1.hit_latency"));
+        }
+        if self.l2.hit_latency == 0 {
+            return Err(ConfigError::Zero("l2.hit_latency"));
+        }
+        if self.mem_latency == 0 {
+            return Err(ConfigError::Zero("mem_latency"));
+        }
         if !self
             .l1
             .size_bytes
@@ -469,6 +484,25 @@ mod tests {
         let mut c = MachineConfig::default();
         c.l1.size_bytes = 1000; // not divisible by 64B * 4 ways
         assert_eq!(c.validate(), Err(ConfigError::BadCacheGeometry("L1")));
+    }
+
+    #[test]
+    fn validate_rejects_zero_event_latencies() {
+        // The event calendar requires strictly-future completions; a zero
+        // cache or memory latency would schedule a same-cycle event.
+        let mut c = MachineConfig::default();
+        c.l1.hit_latency = 0;
+        assert_eq!(c.validate(), Err(ConfigError::Zero("l1.hit_latency")));
+
+        let mut c = MachineConfig::default();
+        c.l2.hit_latency = 0;
+        assert_eq!(c.validate(), Err(ConfigError::Zero("l2.hit_latency")));
+
+        let c = MachineConfig {
+            mem_latency: 0,
+            ..Default::default()
+        };
+        assert_eq!(c.validate(), Err(ConfigError::Zero("mem_latency")));
     }
 
     #[test]

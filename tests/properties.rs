@@ -10,7 +10,8 @@ use virtclust::compiler::{
 use virtclust::core::Configuration;
 use virtclust::ddg::{Criticality, Ddg};
 use virtclust::sim::{
-    simulate, LoadCheck, Lsq, RunLimits, SimSession, SteerDecision, SteerView, SteeringPolicy,
+    simulate, LoadCheck, Lsq, Machine, RunLimits, SimSession, SteerDecision, SteerView,
+    SteeringPolicy,
 };
 use virtclust::trace::{Codec, TraceReader, TraceWriter};
 use virtclust::uarch::{
@@ -545,6 +546,96 @@ proptest! {
                     "{} on {} clusters", config.name(clusters as u32), clusters
                 );
                 prop_assert_eq!(fresh.committed_uops, uops.len() as u64);
+            }
+        }
+    }
+
+    // The cycle-skipping contract: advancing `now` over a provably idle
+    // span — every per-cycle counter replicated arithmetically, and
+    // pure-policy dispatch stalls probed instead of stepped — must be
+    // invisible in the statistics. Random hinted programs run through all
+    // eight schemes on 2/4/8-cluster machines under two address models
+    // (line-aliasing store/load traffic, and a stride that misses every
+    // cache level and maximises idle spans); a skipping run must produce
+    // `SimStats` bit-identical to a forced single-stepping run, from a
+    // reused session and from a fresh machine alike. Debug builds
+    // additionally single-step a mirror of every skipped span inside the
+    // session and assert the replicated counters cycle by cycle.
+    #[test]
+    fn cycle_skipping_is_bit_identical_to_stepping(
+        region in mem_heavy_region_strategy(24),
+        hints in prop::collection::vec(hint_strategy(), 24..25),
+        iters in 1usize..4,
+        far_misses in (0u8..2).prop_map(|b| b == 1),
+    ) {
+        let mut region = region;
+        for (inst, hint) in region.insts.iter_mut().zip(hints) {
+            inst.hint = hint;
+        }
+        let schemes = [
+            Configuration::Op,
+            Configuration::OpParallel,
+            Configuration::OneCluster,
+            Configuration::Ob,
+            Configuration::Rhop,
+            Configuration::Vc { num_vcs: 2 },
+            Configuration::ModN { slice: 3 },
+            Configuration::OpNoStall,
+        ];
+        let addr = move |s: u64| {
+            if far_misses {
+                (s.wrapping_mul(4096)) % (1 << 30)
+            } else {
+                aliasing_addr(s)
+            }
+        };
+        let mut stepping = SimSession::new(&MachineConfig::default());
+        stepping.set_cycle_skipping(false);
+        let mut skipping = SimSession::new(&MachineConfig::default());
+        skipping.set_cycle_skipping(true);
+        for clusters in [2usize, 4, 8] {
+            let machine = MachineConfig::default().with_clusters(clusters);
+            for config in schemes {
+                let mut program = Program::new("skip-prop");
+                program.add_region(region.clone());
+                config
+                    .software_pass(clusters as u32)
+                    .apply(&mut program, &machine.latencies);
+                let mut uops = Vec::new();
+                let mut seq = 0;
+                for it in 0..iters {
+                    seq = virtclust::uarch::trace::expand_region(
+                        &program.regions[0],
+                        seq,
+                        &mut uops,
+                        |s, _| addr(s),
+                        |s, _| !(s + it as u64).is_multiple_of(3),
+                    );
+                }
+                let run = |session: &mut SimSession| {
+                    let mut trace = SliceTrace::new(&uops);
+                    let mut policy = config.make_policy();
+                    session.simulate(&machine, &mut trace, policy.as_mut(), &RunLimits::unlimited())
+                };
+                let strict = run(&mut stepping);
+                let skipped = run(&mut skipping);
+                prop_assert_eq!(
+                    &strict, &skipped,
+                    "skip-on vs skip-off (reused): {} on {} clusters",
+                    config.name(clusters as u32), clusters
+                );
+                let fresh_strict = {
+                    let mut m = Machine::new(&machine);
+                    m.set_cycle_skipping(false);
+                    let mut trace = SliceTrace::new(&uops);
+                    let mut policy = config.make_policy();
+                    m.run(&mut trace, policy.as_mut(), &RunLimits::unlimited())
+                };
+                prop_assert_eq!(
+                    &strict, &fresh_strict,
+                    "fresh stepping machine: {} on {} clusters",
+                    config.name(clusters as u32), clusters
+                );
             }
         }
     }
