@@ -11,11 +11,16 @@
 //!   `--point NAME` — the CI debug-mirror smoke runs one cell per cluster
 //!   count that way), run as one [`EvalDriver`] batch (per-worker session
 //!   reuse):
-//!   `{"point":"gzip-1","scheme":"OP","ipc":0.733,"copies":1408,"uops":20000,"uops_per_sec":1445000}`.
-//!   The `ipc`/`copies`/`uops` fields are deterministic; `uops_per_sec`
-//!   is the cell's wall-clock simulation throughput on its worker (only
-//!   meaningful with `VIRTCLUST_THREADS` ≤ physical cores). A final
-//!   aggregate line sums the whole batch. This feeds
+//!   `{"point":"gzip-1","scheme":"OP","ipc":0.733,"copies":1408,"uops":20000,
+//!   "stalls":{"rob-full":…,…},"frontend_starved":…,"l1_hit":0.97,
+//!   "l2_hit":0.41,"store_forwards":…,"uops_per_sec":1445000}`.
+//!   Everything except `uops_per_sec` is deterministic (the CI
+//!   bit-identity gate diffs those fields across cycle-skipping modes);
+//!   `uops_per_sec` is the cell's wall-clock simulation throughput on its
+//!   worker (only meaningful with `VIRTCLUST_THREADS` ≤ physical cores).
+//!   A final aggregate line sums the whole batch. `--metrics-out FILE`
+//!   additionally writes per-job scheduling metrics (queue wait, run span,
+//!   worker, latency percentiles) as JSONL. This feeds
 //!   `results/BASELINES.md` (see ROADMAP "Perf baselines"):
 //!
 //!   ```sh
@@ -23,14 +28,80 @@
 //!     cargo run --release -p virtclust-bench --bin probe_ipc -- --json
 //!   ```
 
+use std::fmt::Write as _;
+use std::path::Path;
 use std::time::Instant;
 
 use virtclust_bench::{threads, uop_budget};
-use virtclust_core::{run_point, Configuration, EvalDriver, EvalJob};
+use virtclust_core::{run_point, BatchMetrics, Configuration, EvalDriver, EvalJob};
+use virtclust_sim::{SimStats, StallReason};
 use virtclust_uarch::MachineConfig;
 use virtclust_workloads::spec2000_points;
 
-fn json_mode(uops: u64, machine: &MachineConfig, point_filter: Option<&str>) {
+/// The per-cell fields `SimStats` carries beyond IPC/copies: the
+/// dispatch-stall breakdown (by `StallReason` display name), front-end
+/// starvation, cache hit rates and store forwarding. All deterministic —
+/// the CI bit-identity gate diffs them across skip modes.
+fn detail_fields(stats: &SimStats) -> String {
+    let mut out = String::with_capacity(160);
+    out.push_str(",\"stalls\":{");
+    for (i, reason) in StallReason::ALL.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\"{reason}\":{}",
+            stats.dispatch_stalls[reason.index()]
+        );
+    }
+    let _ = write!(
+        out,
+        "}},\"frontend_starved\":{},\"l1_hit\":{:.4},\"l2_hit\":{:.4},\"store_forwards\":{}",
+        stats.frontend_starved_cycles,
+        stats.l1_hit_rate(),
+        stats.l2_hit_rate(),
+        stats.store_forwards,
+    );
+    out
+}
+
+/// Write per-job scheduling metrics as JSONL: one line per job plus an
+/// aggregate (wall clock, utilization, latency percentiles).
+fn write_metrics(path: &Path, labels: &[String], metrics: &BatchMetrics) {
+    let mut out = String::new();
+    for (label, m) in labels.iter().zip(&metrics.jobs) {
+        let _ = writeln!(
+            out,
+            "{{\"job\":\"{label}\",\"worker\":{},\"queued_us\":{},\"run_us\":{},\"done_us\":{}}}",
+            m.worker,
+            m.queued.as_micros(),
+            m.run.as_micros(),
+            m.done_at.as_micros(),
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{{\"aggregate\":\"batch\",\"jobs\":{},\"workers\":{},\"wall_us\":{},\"utilization\":{:.3},\"latency_p50_us\":{},\"latency_p99_us\":{}}}",
+        metrics.jobs.len(),
+        metrics.workers,
+        metrics.wall.as_micros(),
+        metrics.utilization(),
+        metrics.latency_percentile(0.5),
+        metrics.latency_percentile(0.99),
+    );
+    if let Err(e) = std::fs::write(path, out) {
+        eprintln!("probe_ipc: cannot write {}: {e}", path.display());
+        std::process::exit(1);
+    }
+}
+
+fn json_mode(
+    uops: u64,
+    machine: &MachineConfig,
+    point_filter: Option<&str>,
+    metrics_out: Option<&Path>,
+) {
     let mut points = spec2000_points();
     if let Some(name) = point_filter {
         points.retain(|p| p.name == name);
@@ -52,8 +123,14 @@ fn json_mode(uops: u64, machine: &MachineConfig, point_filter: Option<&str>) {
         })
         .collect();
     let start = Instant::now();
-    let outcomes = EvalDriver::new(machine).threads(threads()).run(&jobs);
+    let driver = EvalDriver::new(machine).threads(threads());
+    let (outcomes, metrics) = driver.run_with_metrics(&jobs, |_, _| {});
     let wall = start.elapsed();
+    if let Some(path) = metrics_out {
+        let clusters = machine.num_clusters as u32;
+        let labels: Vec<String> = jobs.iter().map(|j| j.label(clusters)).collect();
+        write_metrics(path, &labels, &metrics);
+    }
     let mut total_uops = 0u64;
     for (pi, point) in points.iter().enumerate() {
         for (ci, config) in configs.iter().enumerate() {
@@ -61,12 +138,13 @@ fn json_mode(uops: u64, machine: &MachineConfig, point_filter: Option<&str>) {
             let stats = outcome.stats.as_ref().expect("point jobs cannot fail");
             total_uops += stats.committed_uops;
             println!(
-                "{{\"point\":\"{}\",\"scheme\":\"{}\",\"ipc\":{:.4},\"copies\":{},\"uops\":{},\"uops_per_sec\":{:.0}}}",
+                "{{\"point\":\"{}\",\"scheme\":\"{}\",\"ipc\":{:.4},\"copies\":{},\"uops\":{}{},\"uops_per_sec\":{:.0}}}",
                 point.name,
                 config.name(machine.num_clusters as u32),
                 stats.ipc(),
                 stats.copies_generated,
                 stats.committed_uops,
+                detail_fields(stats),
                 outcome.uops_per_sec(),
             );
         }
@@ -139,11 +217,24 @@ fn main() {
             std::process::exit(2);
         })
     });
+    let metrics_out = argv.iter().position(|a| a == "--metrics-out").map(|i| {
+        argv.get(i + 1)
+            .map(std::path::PathBuf::from)
+            .unwrap_or_else(|| {
+                eprintln!("probe_ipc: --metrics-out needs a file path");
+                std::process::exit(2);
+            })
+    });
     if json {
-        json_mode(uops, &machine, point_filter.as_deref());
+        json_mode(
+            uops,
+            &machine,
+            point_filter.as_deref(),
+            metrics_out.as_deref(),
+        );
     } else {
-        if point_filter.is_some() {
-            eprintln!("probe_ipc: --point only applies to --json mode");
+        if point_filter.is_some() || metrics_out.is_some() {
+            eprintln!("probe_ipc: --point/--metrics-out only apply to --json mode");
             std::process::exit(2);
         }
         table_mode(uops, &machine);

@@ -4,7 +4,8 @@
 //!
 //! ```text
 //! throughput [--uops N] [--runs R] [--clusters 2|4|8] [--point NAME]
-//!            [--trace FILE] [--stages]
+//!            [--trace FILE] [--stages] [--timeline FILE] [--observe]
+//!            [--every K]
 //! ```
 //!
 //! Default mode expands a suite point (`--point`, default `gzip-1`; any
@@ -23,9 +24,22 @@
 //!
 //! `--stages` instead reports the per-stage wall-time share of a cycle
 //! (events+wakeup / commit / store-drain / memory / issue / dispatch /
-//! fetch) via [`SimSession::step_timed`] — the instrumented step loop the
-//! plain run never pays for — so perf PRs can point at the next
-//! bottleneck.
+//! fetch / skip) via [`SimSession::step_timed`] — the instrumented step
+//! loop the plain run never pays for — so perf PRs can point at the next
+//! bottleneck. The `skip` bucket is the idle-span probe plus span
+//! application, so shares sum to 100 % of wall time even on idle-heavy
+//! points like `mcf`.
+//!
+//! `--timeline FILE` runs each scheme once with an interval observer
+//! attached and writes a Chrome-trace-event JSON (`chrome://tracing` /
+//! Perfetto) with per-stage slices, skipped idle spans, and IPC / stall /
+//! occupancy / queue-depth counter tracks, one interval every `--every`
+//! cycles (default 1000). Point mode prints the skip-path diagnostics
+//! (spans, replicated cycles, span-length percentiles) per scheme;
+//! `--observe` adds a third measured loop with a live `MemSink` interval
+//! observer (interval `--every`) and reports its overhead vs the bare
+//! reused session — the source of the observer-overhead row in
+//! `results/BASELINES.md`.
 //!
 //! In `gzip-1` point mode on the 2-cluster machine the report ends with a
 //! delta against the committed per-scheme mean in `results/BASELINES.md`
@@ -40,7 +54,8 @@ use std::time::Instant;
 
 use virtclust_bench::{results_dir, threads, uop_budget, write_result};
 use virtclust_core::{Configuration, EvalDriver, EvalJob};
-use virtclust_sim::{simulate, RunLimits, SimSession, StageTimers};
+use virtclust_obs::{ChromeTrace, MemSink, Shared};
+use virtclust_sim::{simulate, RunLimits, SimSession, SimStats, StageTimers, StallReason};
 use virtclust_trace::TraceReader;
 use virtclust_uarch::{DynUop, MachineConfig, SliceTrace, TraceSource};
 use virtclust_workloads::spec2000_points;
@@ -52,6 +67,9 @@ struct Args {
     point: String,
     trace: Option<String>,
     stages: bool,
+    timeline: Option<String>,
+    every: u64,
+    observe: bool,
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -62,6 +80,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         point: "gzip-1".into(),
         trace: None,
         stages: false,
+        timeline: None,
+        every: 1_000,
+        observe: false,
     };
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
@@ -98,6 +119,15 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             }
             "--trace" => args.trace = Some(value("--trace")?),
             "--stages" => args.stages = true,
+            "--timeline" => args.timeline = Some(value("--timeline")?),
+            "--observe" => args.observe = true,
+            "--every" => {
+                args.every = value("--every")?
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or("--every needs a positive integer (cycles)".to_string())?
+            }
             other => return Err(format!("unknown argument {other}")),
         }
     }
@@ -150,6 +180,17 @@ fn point_mode(args: &Args, machine: &MachineConfig) -> Result<String, String> {
     );
     let mut session = SimSession::new(machine);
     let (mut sum_fresh, mut sum_reused) = (0.0f64, 0.0f64);
+    let mut skip_report = String::from(
+        "\nSkip-path diagnostics (last reused run per scheme):\n\n\
+         | scheme | cycles | spans skipped | cycles replicated | share | median span | max span |\n\
+         |---|---|---|---|---|---|---|\n",
+    );
+    let mut observe_report = format!(
+        "\nObserver overhead (reused session, MemSink interval observer, K={}):\n\n\
+         | scheme | reused (uops/s) | observed (uops/s) | overhead |\n|---|---|---|---|\n",
+        args.every,
+    );
+    let mut sum_observed = 0.0f64;
     for config in Configuration::table3() {
         let uops = expand_scheme(&config, machine, args.uops, &args.point);
 
@@ -191,11 +232,72 @@ fn point_mode(args: &Args, machine: &MachineConfig) -> Result<String, String> {
         }
         let reused_wall = t0.elapsed().as_secs_f64();
 
+        // Observed: the same reused loop with a live `MemSink` interval
+        // observer (one fresh sink per run, interval = --every cycles).
+        // Stats must stay bit-identical — the observer reads, never
+        // steers — so the only difference the table can show is the
+        // telemetry's wall-clock cost.
+        let observed_ups = if args.observe {
+            let mut trace = SliceTrace::new(&uops);
+            let mut policy = config.make_policy();
+            let t0 = Instant::now();
+            for _ in 0..args.runs {
+                trace.rewind().map_err(|e| e.to_string())?;
+                let handle = Shared::new(MemSink::<SimStats>::new());
+                session.attach_observer(args.every, Box::new(handle.clone()));
+                let stats = session.simulate(
+                    machine,
+                    &mut trace,
+                    policy.as_mut(),
+                    &RunLimits::unlimited(),
+                );
+                if stats != fresh_stats {
+                    return Err(format!(
+                        "{}: observed session diverged from fresh machine",
+                        config.name(clusters)
+                    ));
+                }
+            }
+            let wall = t0.elapsed().as_secs_f64();
+            session.detach_observer();
+            Some((fresh_stats.committed_uops * args.runs) as f64 / wall.max(1e-9))
+        } else {
+            None
+        };
+
+        // PR 6's replicated-cycle claim, reproducible from the tool: the
+        // session's skip diagnostics cover the last reused run (reset per
+        // run), and cannot live in `SimStats` without breaking the
+        // skipping-vs-stepping bit-identity contract.
+        let diag = session.skip_diag();
+        let _ = writeln!(
+            skip_report,
+            "| {} | {} | {} | {} | {:.1}% | {} | {} |",
+            config.name(clusters),
+            fresh_stats.cycles,
+            diag.spans,
+            diag.cycles,
+            100.0 * diag.replicated_share(fresh_stats.cycles),
+            diag.hist.percentile(0.5),
+            diag.hist.max(),
+        );
+
         let total = (fresh_stats.committed_uops * args.runs) as f64;
         let fresh_ups = total / fresh_wall.max(1e-9);
         let reused_ups = total / reused_wall.max(1e-9);
         sum_fresh += fresh_ups;
         sum_reused += reused_ups;
+        if let Some(oups) = observed_ups {
+            sum_observed += oups;
+            let _ = writeln!(
+                observe_report,
+                "| {} | {:.0} | {:.0} | {:+.1}% |",
+                config.name(clusters),
+                reused_ups,
+                oups,
+                (oups / reused_ups - 1.0) * 100.0,
+            );
+        }
         let _ = writeln!(
             report,
             "| {} | {:.0} | {:.0} | {:+.1}% |",
@@ -213,6 +315,17 @@ fn point_mode(args: &Args, machine: &MachineConfig) -> Result<String, String> {
         sum_reused / n,
         (sum_reused / sum_fresh - 1.0) * 100.0,
     );
+    report.push_str(&skip_report);
+    if args.observe {
+        let _ = writeln!(
+            observe_report,
+            "| **mean** | **{:.0}** | **{:.0}** | **{:+.1}%** |",
+            sum_reused / n,
+            sum_observed / n,
+            (sum_observed / sum_reused - 1.0) * 100.0,
+        );
+        report.push_str(&observe_report);
+    }
     // Delta against the committed reference (2-cluster table only — that
     // is what BASELINES.md pins). Informational: wall-clock comparisons
     // across hosts are noise, but on the CI runner a large regression
@@ -304,6 +417,171 @@ fn stages_mode(args: &Args, machine: &MachineConfig) -> Result<String, String> {
     Ok(report)
 }
 
+/// `--timeline FILE`: run each Table 3 scheme once through the
+/// instrumented, observed step loop and render a Chrome-trace-event
+/// timeline (loadable in `chrome://tracing` / Perfetto): per-stage
+/// wall-time slices and skipped idle spans per interval, plus counter
+/// tracks for IPC, the dispatch-stall breakdown, per-cluster occupancy and
+/// queue-depth gauges. One simulated cycle maps to one microsecond, so
+/// the timeline reads directly in cycles. Each scheme's observed stats are
+/// asserted bit-identical to an unobserved, untimed reference run.
+fn timeline_mode(args: &Args, machine: &MachineConfig, out_path: &str) -> Result<String, String> {
+    let clusters = machine.num_clusters as u32;
+    let every = args.every;
+    let mut trace_out = ChromeTrace::new();
+    let mut report = String::from(
+        "| scheme | cycles | intervals | spans skipped | replicated |\n|---|---|---|---|---|\n",
+    );
+    for (si, config) in Configuration::table3().into_iter().enumerate() {
+        let pid = si as u64 + 1;
+        let scheme = config.name(clusters);
+        trace_out.process_name(pid, &format!("{scheme} · {}", args.point));
+        let skip_tid = StageTimers::NUM_STAGES as u64;
+        trace_out.thread_name(pid, skip_tid, "skipped spans");
+        trace_out.thread_sort_index(pid, skip_tid, 0);
+        for (i, name) in StageTimers::NAMES.iter().enumerate() {
+            trace_out.thread_name(pid, i as u64, name);
+            trace_out.thread_sort_index(pid, i as u64, i as u64 + 1);
+        }
+
+        let uops = expand_scheme(&config, machine, args.uops, &args.point);
+        // Unobserved, untimed reference: the bit-identity check below is
+        // the tool-level restatement of the observer's hard contract.
+        let reference = {
+            let mut trace = SliceTrace::new(&uops);
+            let mut policy = config.make_policy();
+            simulate(
+                machine,
+                &mut trace,
+                policy.as_mut(),
+                &RunLimits::unlimited(),
+            )
+        };
+
+        let handle = Shared::new(MemSink::<SimStats>::new());
+        let mut session = SimSession::new(machine);
+        session.attach_observer(every, Box::new(handle.clone()));
+        let mut trace = SliceTrace::new(&uops);
+        let mut policy = config.make_policy();
+        policy.reset();
+        let mut timers = StageTimers::default();
+        // Cumulative stage-timer snapshots at interval boundaries, so each
+        // interval's slices reflect where *that* interval's host time went.
+        let mut marks: Vec<(u64, StageTimers)> = Vec::new();
+        let mut next_mark = every;
+        loop {
+            session.step_timed(
+                &mut trace,
+                policy.as_mut(),
+                &RunLimits::unlimited(),
+                &mut timers,
+            );
+            while session.cycle() >= next_mark {
+                marks.push((next_mark, timers.clone()));
+                next_mark += every;
+            }
+            if session.done() {
+                break;
+            }
+        }
+        session.flush_observer();
+        let observed = session.stats().clone();
+        if observed != reference {
+            return Err(format!(
+                "{scheme}: observed run diverged from unobserved reference"
+            ));
+        }
+        if marks.last().map(|(c, _)| *c) != Some(observed.cycles) {
+            marks.push((observed.cycles, timers.clone()));
+        }
+        let diag = session.skip_diag().clone();
+
+        // Per-interval stage slices: the interval's simulated length split
+        // by that interval's per-stage host-time shares.
+        let mut prev = (0u64, StageTimers::default());
+        for (cycle, cum) in marks {
+            let interval = cycle - prev.0;
+            let deltas: Vec<std::time::Duration> = cum
+                .buckets
+                .iter()
+                .zip(&prev.1.buckets)
+                .map(|(a, b)| *a - *b)
+                .collect();
+            let total: f64 = deltas.iter().map(std::time::Duration::as_secs_f64).sum();
+            if total > 0.0 {
+                for (i, d) in deltas.iter().enumerate() {
+                    let dur = (interval as f64 * d.as_secs_f64() / total) as u64;
+                    if dur > 0 {
+                        trace_out.complete(StageTimers::NAMES[i], pid, i as u64, prev.0, dur, &[]);
+                    }
+                }
+            }
+            prev = (cycle, cum);
+        }
+
+        handle.with(|sink| {
+            for span in &sink.skip_spans {
+                trace_out.complete(
+                    span.label,
+                    pid,
+                    skip_tid,
+                    span.start_cycle,
+                    span.len,
+                    &[("cycles", span.len)],
+                );
+            }
+            for s in &sink.intervals {
+                let d = &s.delta;
+                trace_out.counter("ipc", pid, s.start_cycle, &[("ipc", d.ipc())]);
+                let stall_series: Vec<(String, f64)> = StallReason::ALL
+                    .iter()
+                    .map(|r| (r.to_string(), d.dispatch_stalls[r.index()] as f64))
+                    .collect();
+                let stall_refs: Vec<(&str, f64)> =
+                    stall_series.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+                trace_out.counter("stalls", pid, s.start_cycle, &stall_refs);
+                let occ: Vec<(String, f64)> = d
+                    .clusters
+                    .iter()
+                    .enumerate()
+                    .map(|(c, cs)| {
+                        (
+                            format!("c{c}"),
+                            cs.occupancy_integral as f64 / d.cycles.max(1) as f64,
+                        )
+                    })
+                    .collect();
+                let occ_refs: Vec<(&str, f64)> =
+                    occ.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+                trace_out.counter("occupancy", pid, s.start_cycle, &occ_refs);
+            }
+            for (cycle, gauges) in &sink.gauges {
+                trace_out.counter("queues", pid, *cycle, gauges);
+            }
+        });
+
+        let _ = writeln!(
+            report,
+            "| {scheme} | {} | {} | {} | {:.1}% |",
+            observed.cycles,
+            handle.with(|s| s.intervals.len()),
+            diag.spans,
+            100.0 * diag.replicated_share(observed.cycles),
+        );
+    }
+    trace_out
+        .save(std::path::Path::new(out_path))
+        .map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    let _ = writeln!(
+        report,
+        "\n{} trace events written to {out_path} (interval {every} cycles; open in \
+         chrome://tracing or https://ui.perfetto.dev; 1 cycle = 1 µs).\n\
+         Observed stats verified bit-identical to unobserved reference runs.",
+        trace_out.len(),
+    );
+    Ok(report)
+}
+
 fn trace_mode(args: &Args, machine: &MachineConfig, file: &str) -> Result<String, String> {
     // Sanity: the file parses and declares a stream.
     let reader = TraceReader::open(file).map_err(|e| e.to_string())?;
@@ -348,11 +626,14 @@ fn run(argv: &[String]) -> Result<(), String> {
          Committed reference: results/BASELINES.md.\n\n",
         machine.num_clusters, args.point, args.uops, args.runs,
     );
-    let body = match (&args.trace, args.stages) {
-        (Some(file), false) => trace_mode(&args, &machine, file)?,
-        (None, true) => stages_mode(&args, &machine)?,
-        (Some(_), true) => return Err("--stages and --trace are mutually exclusive".into()),
-        (None, false) => point_mode(&args, &machine)?,
+    let body = match (&args.trace, args.stages, &args.timeline) {
+        (Some(_), _, Some(_)) | (_, true, Some(_)) | (Some(_), true, _) => {
+            return Err("--stages, --trace and --timeline are mutually exclusive".into())
+        }
+        (Some(file), false, None) => trace_mode(&args, &machine, file)?,
+        (None, true, None) => stages_mode(&args, &machine)?,
+        (None, false, Some(out)) => timeline_mode(&args, &machine, out)?,
+        (None, false, None) => point_mode(&args, &machine)?,
     };
     let out = format!("{header}{body}");
     print!("{out}");

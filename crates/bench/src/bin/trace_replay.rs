@@ -4,16 +4,22 @@
 //! command-line round trip.
 //!
 //! ```text
-//! trace_replay record  <point>  <out-file> [--binary] [--uops N] [--clusters 2|4|8]
-//! trace_replay replay  <file>   [--scheme op|1c|ob|rhop|vcN|modN] [--uops N] [--clusters 2|4|8]
-//! trace_replay compare <file>   [--clusters 2|4|8]
-//! trace_replay batch   <file>...  [--uops N] [--clusters 2|4|8]
-//! trace_replay import  <kernel> <out-file> [--binary] [--uops N] [--seed S]
+//! trace_replay record    <point>  <out-file> [--binary] [--uops N] [--clusters 2|4|8]
+//! trace_replay replay    <file>   [--scheme op|1c|ob|rhop|vcN|modN] [--uops N] [--clusters 2|4|8]
+//! trace_replay intervals <file>   [--scheme ...] [--every K] [--uops N] [--clusters 2|4|8]
+//! trace_replay compare   <file>   [--clusters 2|4|8]
+//! trace_replay batch     <file>...  [--uops N] [--clusters 2|4|8]
+//! trace_replay import    <kernel> <out-file> [--binary] [--uops N] [--seed S]
 //! ```
 //!
 //! * `record` captures a SPEC-like suite point (by Fig. 5 name, e.g.
 //!   `gzip-1`) into a trace file;
 //! * `replay` runs one steering scheme over a stored trace;
+//! * `intervals` replays one scheme with a `virtclust-obs` interval
+//!   observer attached (`--every K` cycles, default 1000) and prints one
+//!   row per interval — phase-resolved IPC, copies, stalls and front-end
+//!   starvation over the run — then checks that the interval deltas sum
+//!   *exactly* to the final stats (exit code 1 if not);
 //! * `compare` replays all five Table 3 schemes over the same stored
 //!   stream and checks they commit identical micro-op counts (exit code 1
 //!   if not) — the CI round-trip smoke;
@@ -34,20 +40,23 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use virtclust_bench::{threads, uop_budget};
 use virtclust_core::{
-    record_point, replay_compare, replay_trace, Configuration, EvalDriver, EvalJob,
+    record_point, replay_compare, replay_trace, replay_trace_observed, Configuration, EvalDriver,
+    EvalJob,
 };
-use virtclust_sim::RunLimits;
+use virtclust_obs::{MemSink, Shared};
+use virtclust_sim::{RunLimits, SimStats};
 use virtclust_trace::{import_kernel_file, Codec, TraceWriter};
 use virtclust_uarch::MachineConfig;
 use virtclust_workloads::{spec2000_points, KernelParams, TraceExpander};
 
 const USAGE: &str = "\
 usage:
-  trace_replay record  <point>  <out-file> [--binary] [--uops N] [--clusters 2|4|8]
-  trace_replay replay  <file>   [--scheme op|1c|ob|rhop|vcN|modN] [--uops N] [--clusters 2|4|8]
-  trace_replay compare <file>   [--clusters 2|4|8]
-  trace_replay batch   <file>...  [--uops N] [--clusters 2|4|8]
-  trace_replay import  <kernel> <out-file> [--binary] [--uops N] [--seed S]
+  trace_replay record    <point>  <out-file> [--binary] [--uops N] [--clusters 2|4|8]
+  trace_replay replay    <file>   [--scheme op|1c|ob|rhop|vcN|modN] [--uops N] [--clusters 2|4|8]
+  trace_replay intervals <file>   [--scheme ...] [--every K] [--uops N] [--clusters 2|4|8]
+  trace_replay compare   <file>   [--clusters 2|4|8]
+  trace_replay batch     <file>...  [--uops N] [--clusters 2|4|8]
+  trace_replay import    <kernel> <out-file> [--binary] [--uops N] [--seed S]
 
 schemes: op, op-parallel, 1c (one-cluster), ob, rhop, vc2/vc4/..., mod64/...
 point names are the Fig. 5 suite points (gzip-1 ... apsi); --uops defaults
@@ -60,6 +69,7 @@ struct Args {
     seed: u64,
     clusters: usize,
     scheme: String,
+    every: u64,
 }
 
 impl Args {
@@ -78,6 +88,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         seed: 1,
         clusters: 2,
         scheme: "vc2".into(),
+        every: 1000,
     };
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
@@ -109,6 +120,13 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     .ok_or(format!("--clusters must be 2, 4 or 8, got {v}"))?;
             }
             "--scheme" => args.scheme = value("--scheme")?,
+            "--every" => {
+                args.every = value("--every")?
+                    .parse()
+                    .ok()
+                    .filter(|&k| k > 0)
+                    .ok_or("--every needs a positive cycle count".to_string())?
+            }
             other if other.starts_with("--") => return Err(format!("unknown flag {other}")),
             other => args.positional.push(other.to_string()),
         }
@@ -189,6 +207,79 @@ fn run(argv: &[String]) -> Result<(), String> {
             println!(
                 "{} over {file}: {}",
                 config.name(machine.num_clusters as u32),
+                stats.summary()
+            );
+            Ok(())
+        }
+        "intervals" => {
+            let [file] = args.positional.as_slice() else {
+                return Err("intervals needs <file>".into());
+            };
+            let config = parse_scheme(&args.scheme)?;
+            let machine = machine_for(args.clusters);
+            let limits = args.uops.map_or(RunLimits::unlimited(), RunLimits::uops);
+            let handle = Shared::new(MemSink::<SimStats>::new());
+            let stats = replay_trace_observed(
+                file,
+                &config,
+                &machine,
+                &limits,
+                args.every,
+                Box::new(handle.clone()),
+            )
+            .map_err(|e| e.to_string())?;
+            println!(
+                "{} over {file}, one row per {}-cycle interval:",
+                config.name(machine.num_clusters as u32),
+                args.every
+            );
+            println!(
+                "{:<5} {:>10} {:>10} {:>7} {:>7} {:>8} {:>8} {:>8} {:>6}",
+                "#", "start", "end", "uops", "ipc", "copies", "stalls", "starved", "spans"
+            );
+            let sum = handle.with(|sink| {
+                let mut sum = SimStats::default();
+                for s in &sink.intervals {
+                    // Skip spans whose replicated cycles land in this
+                    // interval (spans are chunked at boundaries, so a
+                    // span touching N intervals counts in each).
+                    let spans = sink
+                        .skip_spans
+                        .iter()
+                        .filter(|sp| {
+                            sp.start_cycle < s.end_cycle && sp.start_cycle + sp.len > s.start_cycle
+                        })
+                        .count();
+                    println!(
+                        "{:<5} {:>10} {:>10} {:>7} {:>7.3} {:>8} {:>8} {:>8} {:>6}",
+                        s.index,
+                        s.start_cycle,
+                        s.end_cycle,
+                        s.delta.committed_uops,
+                        s.delta.ipc(),
+                        s.delta.copies_generated,
+                        s.delta.allocation_stalls(),
+                        s.delta.frontend_starved_cycles,
+                        spans,
+                    );
+                    sum.accumulate(&s.delta);
+                }
+                sum
+            });
+            if sum != stats {
+                return Err(format!(
+                    "interval deltas do not sum to the final stats:\n  sum   {}\n  final {}",
+                    sum.summary(),
+                    stats.summary()
+                ));
+            }
+            let (n_intervals, n_spans) =
+                handle.with(|sink| (sink.intervals.len(), sink.skip_spans.len()));
+            println!(
+                "sum of {n_intervals} interval deltas reconstructs the final stats exactly \
+                 ({} uops, {} cycles, {n_spans} idle spans skipped); {}",
+                stats.committed_uops,
+                stats.cycles,
                 stats.summary()
             );
             Ok(())

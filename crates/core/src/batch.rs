@@ -31,6 +31,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
+use virtclust_obs::{ChromeTrace, Log2Hist};
 use virtclust_sim::{RunLimits, SimSession, SimStats};
 use virtclust_trace::{TraceError, TraceReader};
 use virtclust_uarch::{MachineConfig, Program};
@@ -140,6 +141,99 @@ impl CellOutcome {
     }
 }
 
+/// Scheduling telemetry of one job within a batch: where it ran and how
+/// long it waited. All durations are measured from the batch's start
+/// instant on the driver's clock.
+#[derive(Debug, Clone)]
+pub struct JobMetrics {
+    /// Index of the worker thread that ran the job.
+    pub worker: usize,
+    /// Time from batch start until a worker picked the job up (queue wait).
+    pub queued: Duration,
+    /// Time the job spent running on its worker (same figure as
+    /// [`CellOutcome::wall`]).
+    pub run: Duration,
+    /// Time from batch start until the job finished — the job's latency,
+    /// the quantity the async-service success metric ("sustained uops/s
+    /// and p99 job latency") is defined over.
+    pub done_at: Duration,
+}
+
+/// Batch-level telemetry from [`EvalDriver::run_with_metrics`]: per-job
+/// spans, per-worker utilization, and the job-latency distribution.
+#[derive(Debug)]
+pub struct BatchMetrics {
+    /// Wall-clock time of the whole batch.
+    pub wall: Duration,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Per-job telemetry, in job order (parallel to the outcome vector).
+    pub jobs: Vec<JobMetrics>,
+    /// Job-latency histogram (`done_at`, in microseconds).
+    pub latency_hist: Log2Hist,
+}
+
+impl BatchMetrics {
+    /// Busy time per worker (sum of run spans scheduled onto it).
+    pub fn worker_busy(&self) -> Vec<Duration> {
+        let mut busy = vec![Duration::ZERO; self.workers];
+        for m in &self.jobs {
+            busy[m.worker] += m.run;
+        }
+        busy
+    }
+
+    /// Fraction of the batch's `workers × wall` budget spent running jobs,
+    /// in [0, 1]. Low utilization with a deep queue means stragglers or
+    /// load imbalance.
+    pub fn utilization(&self) -> f64 {
+        let budget = self.wall.as_secs_f64() * self.workers as f64;
+        if budget <= 0.0 {
+            return 0.0;
+        }
+        let busy: f64 = self.jobs.iter().map(|m| m.run.as_secs_f64()).sum();
+        (busy / budget).min(1.0)
+    }
+
+    /// Job latency at quantile `q` (microseconds, log2-bucket resolution).
+    pub fn latency_percentile(&self, q: f64) -> u64 {
+        self.latency_hist.percentile(q)
+    }
+
+    /// Render the batch as a Chrome trace: one thread track per worker,
+    /// one complete slice per job (`labels[i]` names job `i`; shorter
+    /// label vectors fall back to the job index). Timestamps are real
+    /// microseconds from batch start.
+    pub fn chrome_trace(&self, labels: &[String]) -> ChromeTrace {
+        let pid = 1;
+        let mut trace = ChromeTrace::new();
+        trace.process_name(pid, "EvalDriver");
+        for w in 0..self.workers {
+            trace.thread_name(pid, w as u64, &format!("worker {w}"));
+            trace.thread_sort_index(pid, w as u64, w as u64);
+        }
+        for (i, m) in self.jobs.iter().enumerate() {
+            let fallback;
+            let name = match labels.get(i) {
+                Some(l) => l.as_str(),
+                None => {
+                    fallback = format!("job {i}");
+                    &fallback
+                }
+            };
+            trace.complete(
+                name,
+                pid,
+                m.worker as u64,
+                m.queued.as_micros() as u64,
+                m.run.as_micros() as u64,
+                &[("queue_wait_us", m.queued.as_micros() as u64)],
+            );
+        }
+        trace
+    }
+}
+
 /// The batch engine: drains an [`EvalJob`] queue over worker threads with
 /// per-worker session and trace-reader reuse.
 #[derive(Debug, Clone)]
@@ -179,6 +273,20 @@ impl EvalDriver {
         jobs: &[EvalJob],
         on_cell: impl Fn(usize, &CellOutcome) + Sync,
     ) -> Vec<CellOutcome> {
+        self.run_with_metrics(jobs, on_cell).0
+    }
+
+    /// [`EvalDriver::run_streaming`] plus batch telemetry: per-job
+    /// queue-wait/run spans, which worker ran each job, per-worker
+    /// utilization, and a job-latency histogram. The simulation outcomes
+    /// are identical to the other entry points (all of them run through
+    /// here); the metrics cost per job is two clock reads.
+    pub fn run_with_metrics(
+        &self,
+        jobs: &[EvalJob],
+        on_cell: impl Fn(usize, &CellOutcome) + Sync,
+    ) -> (Vec<CellOutcome>, BatchMetrics) {
+        let t0 = Instant::now();
         let n_jobs = jobs.len();
         let threads = if self.threads == 0 {
             std::thread::available_parallelism().map_or(4, |n| n.get())
@@ -188,20 +296,24 @@ impl EvalDriver {
         .min(n_jobs.max(1));
 
         let mut flat: Vec<Option<CellOutcome>> = (0..n_jobs).map(|_| None).collect();
+        let mut metrics_flat: Vec<Option<JobMetrics>> = (0..n_jobs).map(|_| None).collect();
         if n_jobs > 0 {
             let next = AtomicUsize::new(0);
             let slots: Vec<std::sync::Mutex<&mut Option<CellOutcome>>> =
                 flat.iter_mut().map(std::sync::Mutex::new).collect();
-            let on_cell = &on_cell;
+            let metric_slots: Vec<std::sync::Mutex<&mut Option<JobMetrics>>> =
+                metrics_flat.iter_mut().map(std::sync::Mutex::new).collect();
+            let (next, slots, metric_slots, on_cell) = (&next, &slots, &metric_slots, &on_cell);
             std::thread::scope(|scope| {
-                for _ in 0..threads {
-                    scope.spawn(|| {
+                for w in 0..threads {
+                    scope.spawn(move || {
                         let mut worker = Worker::new(&self.machine);
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             if i >= n_jobs {
                                 break;
                             }
+                            let queued = t0.elapsed();
                             let start = Instant::now();
                             let stats = worker.run_job(&jobs[i]);
                             let outcome = CellOutcome {
@@ -209,15 +321,41 @@ impl EvalDriver {
                                 wall: start.elapsed(),
                             };
                             on_cell(i, &outcome);
+                            let metrics = JobMetrics {
+                                worker: w,
+                                queued,
+                                run: outcome.wall,
+                                done_at: t0.elapsed(),
+                            };
                             **slots[i].lock().expect("slot lock") = Some(outcome);
+                            **metric_slots[i].lock().expect("metric lock") = Some(metrics);
                         }
                     });
                 }
             });
         }
-        flat.into_iter()
+        let wall = t0.elapsed();
+        let outcomes: Vec<CellOutcome> = flat
+            .into_iter()
             .map(|c| c.expect("every job produced an outcome"))
-            .collect()
+            .collect();
+        let job_metrics: Vec<JobMetrics> = metrics_flat
+            .into_iter()
+            .map(|m| m.expect("every job produced metrics"))
+            .collect();
+        let mut latency_hist = Log2Hist::new();
+        for m in &job_metrics {
+            latency_hist.record(m.done_at.as_micros() as u64);
+        }
+        (
+            outcomes,
+            BatchMetrics {
+                wall,
+                workers: threads,
+                jobs: job_metrics,
+                latency_hist,
+            },
+        )
     }
 }
 
@@ -483,6 +621,64 @@ mod tests {
         assert!(seen.lock().unwrap().iter().all(|&c| c == 1));
         // Per-cell throughput is a positive finite number.
         assert!(outcomes.iter().all(|o| o.uops_per_sec() > 0.0));
+    }
+
+    #[test]
+    fn run_with_metrics_matches_run_and_accounts_every_job() {
+        let machine = MachineConfig::paper_2cluster();
+        let jobs: Vec<EvalJob> = Configuration::table3()
+            .into_iter()
+            .map(|config| EvalJob::Point {
+                point: point("gzip-1"),
+                config,
+                uops: 500,
+            })
+            .collect();
+        let driver = EvalDriver::new(&machine).threads(2);
+        let plain = driver.run(&jobs);
+        let (outcomes, metrics) = driver.run_with_metrics(&jobs, |_, _| {});
+        for (a, b) in plain.iter().zip(&outcomes) {
+            assert_eq!(a.stats.as_ref().unwrap(), b.stats.as_ref().unwrap());
+        }
+
+        assert_eq!(metrics.workers, 2);
+        assert_eq!(metrics.jobs.len(), jobs.len());
+        assert_eq!(metrics.latency_hist.count(), jobs.len() as u64);
+        for m in &metrics.jobs {
+            assert!(m.worker < metrics.workers);
+            assert!(m.done_at >= m.queued, "finish after pickup");
+            assert!(m.done_at <= metrics.wall + Duration::from_millis(1));
+        }
+        let busy = metrics.worker_busy();
+        assert_eq!(busy.len(), 2);
+        let total_run: Duration = metrics.jobs.iter().map(|m| m.run).sum();
+        assert_eq!(busy.iter().sum::<Duration>(), total_run);
+        let u = metrics.utilization();
+        assert!((0.0..=1.0).contains(&u), "utilization {u} out of range");
+        assert!(metrics.latency_percentile(0.99) >= metrics.latency_percentile(0.5));
+    }
+
+    #[test]
+    fn batch_chrome_trace_has_a_slice_per_job() {
+        let machine = MachineConfig::paper_2cluster();
+        let jobs: Vec<EvalJob> = Configuration::table3()
+            .into_iter()
+            .map(|config| EvalJob::Point {
+                point: point("gzip-1"),
+                config,
+                uops: 300,
+            })
+            .collect();
+        let (_, metrics) = EvalDriver::new(&machine)
+            .threads(2)
+            .run_with_metrics(&jobs, |_, _| {});
+        let labels: Vec<String> = jobs.iter().map(|j| j.label(2)).collect();
+        let trace = metrics.chrome_trace(&labels);
+        // One process_name + per-worker (name + sort) + one slice per job.
+        assert_eq!(trace.len(), 1 + 2 * metrics.workers + jobs.len());
+        let json = trace.to_json();
+        assert!(json.contains("EvalDriver"));
+        assert!(json.contains(&labels[0]));
     }
 
     #[test]

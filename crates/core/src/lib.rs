@@ -34,9 +34,11 @@ pub mod metrics;
 pub mod replay;
 pub mod runner;
 
-pub use batch::{CellOutcome, EvalDriver, EvalJob};
+pub use batch::{BatchMetrics, CellOutcome, EvalDriver, EvalJob, JobMetrics};
 pub use experiment::{run_point, run_point_on, Configuration};
 pub use figures::{fig5, fig6, fig7, Fig5Data, Fig6Data, Fig7Data};
 pub use metrics::{slowdown_pct, suite_weighted_average, PointOutcome};
-pub use replay::{record_point, replay_compare, replay_reader, replay_trace};
+pub use replay::{
+    record_point, replay_compare, replay_reader, replay_trace, replay_trace_observed,
+};
 pub use runner::{run_matrix, EvalMatrix};

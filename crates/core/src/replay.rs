@@ -38,7 +38,8 @@
 use std::io::{BufRead, Seek};
 use std::path::Path;
 
-use virtclust_sim::{simulate, RunLimits, SimStats};
+use virtclust_obs::ObsSink;
+use virtclust_sim::{simulate, RunLimits, SimSession, SimStats};
 use virtclust_trace::{Codec, Result, TraceReader, TraceWriter};
 use virtclust_uarch::{MachineConfig, Program};
 use virtclust_workloads::TracePoint;
@@ -100,6 +101,33 @@ pub fn replay_reader<R: BufRead + Seek>(
     let stats = simulate(machine, &mut reader, policy.as_mut(), limits);
     // Errors inside the simulation loop surface as a silently-ended trace;
     // re-raise them so a corrupt file can never masquerade as a short run.
+    if let Some(err) = reader.take_error() {
+        return Err(err);
+    }
+    Ok(stats)
+}
+
+/// [`replay_trace`] with an interval observer attached: replays the
+/// stored stream under `config` while `sink` receives one
+/// [`SimStats`] delta every `every` cycles (plus the trailing partial
+/// interval and an `on_finish` with the final stats). The returned
+/// stats are bit-identical to an unobserved [`replay_trace`] of the
+/// same file — the observer reads, never steers.
+pub fn replay_trace_observed(
+    path: impl AsRef<Path>,
+    config: &Configuration,
+    machine: &MachineConfig,
+    limits: &RunLimits,
+    every: u64,
+    sink: Box<dyn ObsSink<SimStats> + Send>,
+) -> Result<SimStats> {
+    let mut reader = TraceReader::open(path)?;
+    let program = annotate_for_replay(reader.program().clone(), config, machine);
+    reader.set_program(program)?;
+    let mut policy = config.make_policy();
+    let mut session = SimSession::new(machine);
+    session.attach_observer(every, sink);
+    let stats = session.run(&mut reader, policy.as_mut(), limits);
     if let Some(err) = reader.take_error() {
         return Err(err);
     }

@@ -60,7 +60,7 @@ pub use lsq::{LoadCheck, Lsq};
 pub use machine::{simulate, Machine, RunLimits};
 pub use predictor::{Gshare, LocalHistory, TraceCache};
 pub use queues::{CopyOp, CopySlab, IssueQueue, LinkArbiter};
-pub use session::{SimSession, StageTimers};
+pub use session::{SimSession, SkipDiag, StageTimers};
 pub use stats::{ClusterStats, IdleCycleKind, SimStats, StallReason};
 pub use steering::{SteerDecision, SteerSummary, SteerView, SteeringPolicy};
 pub use value::{

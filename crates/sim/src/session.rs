@@ -56,6 +56,7 @@
 
 use std::collections::VecDeque;
 
+use virtclust_obs::{IntervalSample, Log2Hist, ObsSink, SkipSpan};
 use virtclust_uarch::{
     DynUop, MachineConfig, OpClass, QueueKind, RegClass, TraceSource, MAX_SRCS, NUM_ARCH_REGS,
 };
@@ -128,8 +129,15 @@ pub struct StageTimers {
 }
 
 impl StageTimers {
-    /// Number of timed stages per cycle.
-    pub const NUM_STAGES: usize = 7;
+    /// Number of timed buckets per cycle: the seven pipeline stages plus
+    /// the skip bucket.
+    pub const NUM_STAGES: usize = 8;
+
+    /// Bucket index of the skip bucket: host time spent probing for and
+    /// applying idle-span skips. On idle-heavy workloads this is where
+    /// most of the wall clock goes, and without it stage shares summed to
+    /// well under 100 % of wall time.
+    pub const SKIP: usize = 7;
 
     /// Stage names, in the order [`SimSession::step`] runs them.
     pub const NAMES: [&'static str; Self::NUM_STAGES] = [
@@ -140,6 +148,7 @@ impl StageTimers {
         "issue",
         "dispatch/steer",
         "fetch",
+        "skip",
     ];
 
     /// Total wall time across all buckets.
@@ -156,6 +165,68 @@ impl StageTimers {
         } else {
             self.buckets[i].as_secs_f64() / total
         }
+    }
+}
+
+/// Host-side diagnostics of the idle-cycle skipper — telemetry that cannot
+/// live in [`SimStats`] because skipping must leave statistics
+/// bit-identical to stepping. Cleared by [`SimSession::reset`], read via
+/// [`SimSession::skip_diag`]; `throughput --point` prints it so the
+/// replicated-cycle share is reproducible from the tool itself.
+#[derive(Debug, Clone, Default)]
+pub struct SkipDiag {
+    /// Idle spans skipped.
+    pub spans: u64,
+    /// Total cycles replicated arithmetically instead of stepped.
+    pub cycles: u64,
+    /// Distribution of skipped-span lengths (log2 buckets).
+    pub hist: Log2Hist,
+}
+
+impl SkipDiag {
+    /// Fraction of `total_cycles` that was replicated rather than stepped.
+    pub fn replicated_share(&self, total_cycles: u64) -> f64 {
+        if total_cycles == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / total_cycles as f64
+        }
+    }
+}
+
+/// The attached interval observer and its sampling state. `prev` is the
+/// stats snapshot at the last emitted boundary, so each interval's delta
+/// is one `delta_since` call; boundaries land at exact multiples of
+/// `every` regardless of how cycles are covered (stepped or skipped).
+struct ObserverState {
+    sink: Box<dyn ObsSink<SimStats> + Send>,
+    every: u64,
+    next_boundary: u64,
+    prev: SimStats,
+    index: u64,
+}
+
+impl ObserverState {
+    /// Re-arm for a fresh run on an `n`-cluster machine.
+    fn rearm(&mut self, n: usize) {
+        self.prev = SimStats::new(n);
+        self.next_boundary = self.every;
+        self.index = 0;
+    }
+
+    /// Emit the interval ending at `stats` (the live counters) and
+    /// snapshot it as the new base. Shared by boundary crossings, the
+    /// skip chunker, and the end-of-run flush.
+    fn emit_interval(&mut self, stats: &SimStats) {
+        let sample = IntervalSample {
+            index: self.index,
+            start_cycle: self.prev.cycles,
+            end_cycle: stats.cycles,
+            delta: stats.delta_since(&self.prev),
+        };
+        self.sink.on_interval(&sample);
+        self.index += 1;
+        self.prev = stats.clone();
     }
 }
 
@@ -257,6 +328,15 @@ pub struct SimSession {
     // one, the `VIRTCLUST_NO_SKIP` process default.
     skip_enabled: bool,
     skip_override: Option<bool>,
+    // Skip-path diagnostics (host-side; never part of the bit-identity
+    // surface). Maintained unconditionally — one histogram record per
+    // *span*, not per cycle, so the cost is noise.
+    skip_diag: SkipDiag,
+    // Interval observer, if attached. `None` keeps the per-cycle cost of
+    // the telemetry hook to a single branch. Survives `reset` (re-armed)
+    // like `skip_override`, so a driver can attach once and observe every
+    // run the session executes.
+    observer: Option<ObserverState>,
 }
 
 /// Process-wide default for idle-cycle skipping: enabled unless the
@@ -319,6 +399,8 @@ impl SimSession {
             last_commit_cycle: 0,
             skip_enabled: true,
             skip_override: None,
+            skip_diag: SkipDiag::default(),
+            observer: None,
         };
         session.reset(cfg);
         session
@@ -407,6 +489,10 @@ impl SimSession {
         self.stats = SimStats::new(n);
         self.last_commit_cycle = 0;
         self.skip_enabled = self.skip_override.unwrap_or_else(cycle_skipping_default);
+        self.skip_diag = SkipDiag::default();
+        if let Some(obs) = &mut self.observer {
+            obs.rearm(n);
+        }
         self.cfg = cfg.clone();
     }
 
@@ -456,6 +542,69 @@ impl SimSession {
     pub fn set_cycle_skipping(&mut self, enabled: bool) {
         self.skip_override = Some(enabled);
         self.skip_enabled = enabled;
+    }
+
+    /// Attach an interval observer: every `every` cycles the session emits
+    /// the delta of the full [`SimStats`] since the previous boundary to
+    /// `sink` (plus point-in-time queue-depth gauges), and every skipped
+    /// idle span fires [`ObsSink::on_skip_span`]. Boundaries land at exact
+    /// multiples of `every`; skipped spans crossing a boundary are split
+    /// in closed form, so the emitted deltas are bit-identical whether
+    /// cycle skipping is on or off, and their field-wise sum reconstructs
+    /// the run's final stats exactly (enforced by `tests/obs_intervals.rs`).
+    ///
+    /// The observer survives [`SimSession::reset`] (it is re-armed, like
+    /// the cycle-skipping override), so one attach covers every run the
+    /// session executes. With no observer attached the per-cycle cost is a
+    /// single branch and statistics are bit-identical to an unobserved
+    /// session.
+    ///
+    /// # Panics
+    /// Panics if `every` is zero.
+    pub fn attach_observer(&mut self, every: u64, sink: Box<dyn ObsSink<SimStats> + Send>) {
+        assert!(every > 0, "observer interval must be at least one cycle");
+        let n = self.cfg.num_clusters;
+        let mut obs = ObserverState {
+            sink,
+            every,
+            next_boundary: every,
+            prev: SimStats::new(n),
+            index: 0,
+        };
+        // Attaching mid-run starts interval 0 at the current snapshot.
+        if self.now > 0 {
+            obs.prev = self.stats.clone();
+            obs.next_boundary = (self.now / every + 1) * every;
+        }
+        self.observer = Some(obs);
+    }
+
+    /// Detach the interval observer, if any. Pending partial-interval data
+    /// is dropped; flush first ([`SimSession::run`] does, manual step
+    /// loops call [`SimSession::flush_observer`]) to keep every delta.
+    pub fn detach_observer(&mut self) {
+        self.observer = None;
+    }
+
+    /// Emit the trailing partial interval (if any) and fire
+    /// [`ObsSink::on_finish`]. [`SimSession::run`] calls this
+    /// automatically; manual [`SimSession::step`] loops call it once the
+    /// loop ends. Idempotent at a given cycle: a second call finds no new
+    /// cycles to report and only re-fires `on_finish`.
+    pub fn flush_observer(&mut self) {
+        self.observer_flush();
+    }
+
+    /// Whether an interval observer is attached.
+    pub fn has_observer(&self) -> bool {
+        self.observer.is_some()
+    }
+
+    /// Skip-path diagnostics accumulated since the last reset (spans
+    /// skipped, cycles replicated, span-length histogram). Host-side
+    /// telemetry only — never part of the bit-identical [`SimStats`].
+    pub fn skip_diag(&self) -> &SkipDiag {
+        &self.skip_diag
     }
 
     /// Wakeup state still registered: waiters linked on values plus wakes
@@ -1231,13 +1380,14 @@ impl SimSession {
         self.step_impl::<false>(trace, policy, limits, &mut None);
     }
 
-    /// Advance the machine by one cycle, accumulating per-stage wall time
-    /// into `timers`. Identical simulated behaviour to [`SimSession::step`]
+    /// Advance the machine, accumulating per-stage wall time into
+    /// `timers`. Identical simulated behaviour to [`SimSession::step`]
     /// (the stage sequence is shared code); only the host-time bookkeeping
-    /// differs. The timed path never skips idle spans — every cycle gets
-    /// its per-stage laps, so `timers.cycles` equals the simulated cycle
-    /// count — and the statistics still match the skipping path exactly,
-    /// because skipping is bit-identical by contract.
+    /// differs. Idle-span skips (and the per-step skip probe) land in the
+    /// dedicated [`StageTimers::SKIP`] bucket, so stage shares account for
+    /// 100 % of wall time even on idle-heavy workloads where most cycles
+    /// are skipped, and `timers.cycles` still equals the simulated cycle
+    /// count (a skipped span contributes its whole length).
     pub fn step_timed(
         &mut self,
         trace: &mut dyn TraceSource,
@@ -1245,7 +1395,6 @@ impl SimSession {
         limits: &RunLimits,
         timers: &mut StageTimers,
     ) {
-        timers.cycles += 1;
         self.step_impl::<true>(trace, policy, limits, &mut Some(timers));
     }
 
@@ -1264,11 +1413,11 @@ impl SimSession {
     }
 
     /// One step of the machine. `TIMED` is a compile-time switch: the
-    /// untimed instantiation contains no timing code at all. The untimed
-    /// path additionally skips provably idle spans in O(1) (see
-    /// [`SimSession::idle_span`]); the timed path single-steps every cycle
-    /// so each one gets its per-stage laps — bit-identical statistics
-    /// either way.
+    /// untimed instantiation contains no timing code at all. Both paths
+    /// skip provably idle spans in O(1) (see [`SimSession::idle_span`]);
+    /// the timed path laps the probe and the skip application into the
+    /// [`StageTimers::SKIP`] bucket and credits a skipped span's full
+    /// length to `timers.cycles` — bit-identical statistics either way.
     fn step_impl<const TIMED: bool>(
         &mut self,
         trace: &mut dyn TraceSource,
@@ -1276,13 +1425,34 @@ impl SimSession {
         limits: &RunLimits,
         timers: &mut Option<&mut StageTimers>,
     ) {
-        if !TIMED && self.skip_enabled {
+        if self.skip_enabled {
+            let mut t0 = if TIMED {
+                Some(std::time::Instant::now())
+            } else {
+                None
+            };
             if let Some((span, kind)) = self.idle_span(policy, limits) {
                 #[cfg(not(debug_assertions))]
                 self.skip_idle_span(span, kind);
                 #[cfg(debug_assertions)]
                 self.skip_idle_span_mirrored(span, kind, trace, policy, limits);
+                if TIMED {
+                    Self::lap(timers, &mut t0, StageTimers::SKIP);
+                    if let Some(t) = timers.as_deref_mut() {
+                        t.cycles += span;
+                    }
+                }
                 return;
+            }
+            // The probe said "not idle": its cost still belongs to the
+            // skip bucket, not to whichever stage runs first.
+            if TIMED {
+                Self::lap(timers, &mut t0, StageTimers::SKIP);
+            }
+        }
+        if TIMED {
+            if let Some(t) = timers.as_deref_mut() {
+                t.cycles += 1;
             }
         }
         self.cycle_body::<TIMED>(trace, policy, limits, timers);
@@ -1577,12 +1747,52 @@ impl SimSession {
         }
     }
 
+    /// Record one skipped span in the host-side diagnostics and announce
+    /// it to the observer, if any. Shared by the release fast path and the
+    /// debug mirror so both builds emit identical telemetry.
+    fn note_skip_span(&mut self, span: u64, kind: IdleCycleKind) {
+        self.skip_diag.spans += 1;
+        self.skip_diag.cycles += span;
+        self.skip_diag.hist.record(span);
+        if let Some(obs) = &mut self.observer {
+            obs.sink.on_skip_span(&SkipSpan {
+                start_cycle: self.now,
+                len: span,
+                label: kind.label(),
+            });
+        }
+    }
+
     /// Apply an idle span in O(1): advance `now` and replicate every
     /// per-cycle counter arithmetically (the release-build fast path; the
     /// debug build runs [`SimSession::skip_idle_span_mirrored`] instead).
     #[cfg(not(debug_assertions))]
     fn skip_idle_span(&mut self, span: u64, kind: IdleCycleKind) {
-        self.stats.replicate_idle_cycles(span, kind, &self.inflight);
+        self.note_skip_span(span, kind);
+        if self.observer.is_some() {
+            // Attribute the span across interval boundaries in closed
+            // form: counter replication is linear in the span length, so
+            // replicating boundary-aligned chunks and emitting at each
+            // boundary produces exactly the deltas single-stepping would.
+            let mut obs = self.observer.take().expect("observer vanished");
+            let mut remaining = span;
+            while remaining > 0 {
+                let chunk = remaining.min(obs.next_boundary - self.now);
+                self.stats
+                    .replicate_idle_cycles(chunk, kind, &self.inflight);
+                self.now += chunk;
+                remaining -= chunk;
+                if self.now == obs.next_boundary {
+                    obs.emit_interval(&self.stats);
+                    obs.sink.on_gauges(self.now, &self.gauges());
+                    obs.next_boundary += obs.every;
+                }
+            }
+            self.observer = Some(obs);
+        } else {
+            self.stats.replicate_idle_cycles(span, kind, &self.inflight);
+            self.now += span;
+        }
         Self::replicate_stale_view(
             &mut self.stale_loc,
             &mut self.stale_ring,
@@ -1590,7 +1800,6 @@ impl SimSession {
             u64::from(self.cfg.fetch_to_dispatch),
             span,
         );
-        self.now += span;
         // The per-cycle deadlock check is monotone in the cycle number, so
         // checking the span's last cycle (pre-increment, as stepping does)
         // is equivalent to checking every skipped cycle.
@@ -1622,6 +1831,10 @@ impl SimSession {
         policy: &mut dyn SteeringPolicy,
         limits: &RunLimits,
     ) {
+        // Same telemetry order as the release path: span event first, then
+        // any interval boundaries inside the span (emitted naturally by
+        // the stepped `cycle_body` calls below).
+        self.note_skip_span(span, kind);
         let mut expected_stats = self.stats.clone();
         expected_stats.replicate_idle_cycles(span, kind, &self.inflight);
         let mut expected_stale_loc = self.stale_loc;
@@ -1717,6 +1930,54 @@ impl SimSession {
 
         self.now += 1;
         self.stats.cycles = self.now;
+
+        // Telemetry hook — one branch when no observer is attached (the
+        // hard contract: observability must not perturb the unobserved
+        // hot path).
+        if self.observer.is_some() {
+            self.observer_boundaries();
+        }
+    }
+
+    /// Instantaneous queue-depth gauges emitted alongside each interval.
+    fn gauges(&self) -> [(&'static str, f64); 4] {
+        [
+            ("ready-entries", self.ready_entries as f64),
+            ("rob", self.rob.len() as f64),
+            ("lsq", self.lsq.len() as f64),
+            ("fetchq", self.fetchq.len() as f64),
+        ]
+    }
+
+    /// Emit every interval boundary at or behind the current cycle. Called
+    /// once per stepped cycle (so the loop runs at most once per call, but
+    /// stays a loop for robustness) and kept out of line to keep
+    /// `cycle_body` tight.
+    fn observer_boundaries(&mut self) {
+        let Some(mut obs) = self.observer.take() else {
+            return;
+        };
+        while self.now >= obs.next_boundary {
+            obs.emit_interval(&self.stats);
+            obs.sink.on_gauges(self.now, &self.gauges());
+            obs.next_boundary += obs.every;
+        }
+        self.observer = Some(obs);
+    }
+
+    /// Flush the trailing partial interval (if the run did not end exactly
+    /// on a boundary) and fire [`ObsSink::on_finish`] with the final
+    /// stats. Called by [`SimSession::run`] before the stats are taken.
+    fn observer_flush(&mut self) {
+        let Some(mut obs) = self.observer.take() else {
+            return;
+        };
+        if self.stats.cycles > obs.prev.cycles {
+            obs.emit_interval(&self.stats);
+            obs.sink.on_gauges(self.now, &self.gauges());
+        }
+        obs.sink.on_finish(&self.stats, self.now);
+        self.observer = Some(obs);
     }
 
     /// Run from the current state to completion (or until a limit
@@ -1741,6 +2002,9 @@ impl SimSession {
             if self.done() {
                 break;
             }
+        }
+        if self.observer.is_some() {
+            self.flush_observer();
         }
         std::mem::take(&mut self.stats)
     }
@@ -2089,5 +2353,186 @@ mod tests {
         let b = run(&mut s2);
         assert_eq!(a, b);
         assert_eq!(a.committed_uops, uops.len() as u64);
+    }
+
+    use virtclust_obs::{MemSink, Shared};
+
+    /// Run `uops` through a session with an interval observer attached and
+    /// return the sink handle plus the final stats.
+    fn observed_run(
+        uops: &[DynUop],
+        cfg: &MachineConfig,
+        every: u64,
+        skip: bool,
+    ) -> (Shared<MemSink<SimStats>>, SimStats) {
+        let handle = Shared::new(MemSink::<SimStats>::new());
+        let mut session = SimSession::new(cfg);
+        session.set_cycle_skipping(skip);
+        session.attach_observer(every, Box::new(handle.clone()));
+        let mut trace = SliceTrace::new(uops);
+        let stats = session.run(&mut trace, &mut RoundRobin(0), &RunLimits::unlimited());
+        (handle, stats)
+    }
+
+    fn sum_intervals(sink: &MemSink<SimStats>) -> SimStats {
+        let mut sum = SimStats::default();
+        for s in &sink.intervals {
+            sum.accumulate(&s.delta);
+        }
+        sum
+    }
+
+    #[test]
+    fn observer_interval_deltas_sum_to_final_stats_skip_on_and_off() {
+        let uops = idle_heavy_uops(30);
+        let cfg = MachineConfig::default();
+        let every = 256;
+        let (on, final_on) = observed_run(&uops, &cfg, every, true);
+        let (off, final_off) = observed_run(&uops, &cfg, every, false);
+        assert_eq!(final_on, final_off, "skipping must stay bit-identical");
+
+        on.with(|sink| {
+            assert_eq!(sum_intervals(sink), final_on, "skip-on deltas must sum");
+            // Intervals tile [0, cycles) at exact multiples of `every`.
+            let mut at = 0;
+            for s in &sink.intervals {
+                assert_eq!(s.start_cycle, at);
+                assert!(s.end_cycle - s.start_cycle <= every);
+                assert_eq!(s.delta.cycles, s.end_cycle - s.start_cycle);
+                at = s.end_cycle;
+            }
+            assert_eq!(at, final_on.cycles);
+            assert!(
+                !sink.skip_spans.is_empty(),
+                "memory-bound chase must skip spans"
+            );
+            assert_eq!(sink.skip_hist.count(), sink.skip_spans.len() as u64);
+            assert_eq!(sink.finished, Some((final_on.clone(), final_on.cycles)));
+            assert_eq!(sink.gauges.len(), sink.intervals.len());
+        });
+        off.with(|sink| {
+            assert_eq!(sum_intervals(sink), final_off, "skip-off deltas must sum");
+            assert!(sink.skip_spans.is_empty(), "no spans without skipping");
+        });
+        // The emitted samples themselves are bit-identical across modes:
+        // skipped spans are attributed across boundaries in closed form.
+        let on_samples = on.with(|s| s.intervals.clone());
+        let off_samples = off.with(|s| s.intervals.clone());
+        assert_eq!(on_samples, off_samples);
+    }
+
+    #[test]
+    fn observer_does_not_perturb_stats() {
+        let region = mixed_region();
+        let uops = expand(&region, 80);
+        let cfg = MachineConfig::default();
+        let unobserved = {
+            let mut trace = SliceTrace::new(&uops);
+            simulate(
+                &cfg,
+                &mut trace,
+                &mut RoundRobin(0),
+                &RunLimits::unlimited(),
+            )
+        };
+        let (_, observed) = observed_run(&uops, &cfg, 100, true);
+        assert_eq!(unobserved, observed);
+    }
+
+    #[test]
+    fn observer_survives_reset_and_rearms() {
+        let uops = idle_heavy_uops(15);
+        let cfg = MachineConfig::default();
+        let handle = Shared::new(MemSink::<SimStats>::new());
+        let mut session = SimSession::new(&cfg);
+        session.attach_observer(200, Box::new(handle.clone()));
+        assert!(session.has_observer());
+
+        let mut trace = SliceTrace::new(&uops);
+        let first = session.simulate(
+            &cfg,
+            &mut trace,
+            &mut RoundRobin(0),
+            &RunLimits::unlimited(),
+        );
+        let first_sum = handle.with(|sink| sum_intervals(sink));
+        assert_eq!(first_sum, first);
+
+        handle.with(|s| *s = MemSink::new());
+        let mut trace = SliceTrace::new(&uops);
+        let second = session.simulate(
+            &cfg,
+            &mut trace,
+            &mut RoundRobin(0),
+            &RunLimits::unlimited(),
+        );
+        assert_eq!(second, first, "reused observed session stays bit-identical");
+        handle.with(|sink| {
+            assert_eq!(sum_intervals(sink), second, "re-armed intervals sum");
+            assert_eq!(sink.intervals[0].start_cycle, 0, "index restarts at 0");
+            assert_eq!(sink.intervals[0].index, 0);
+        });
+
+        session.detach_observer();
+        assert!(!session.has_observer());
+    }
+
+    #[test]
+    fn skip_diag_counts_replicated_cycles() {
+        let uops = idle_heavy_uops(30);
+        let cfg = MachineConfig::default();
+        let run = |skip: bool| {
+            let mut session = SimSession::new(&cfg);
+            session.set_cycle_skipping(skip);
+            let mut trace = SliceTrace::new(&uops);
+            let stats = session.run(&mut trace, &mut RoundRobin(0), &RunLimits::unlimited());
+            (session, stats)
+        };
+        let (session, stats) = run(true);
+        let diag = session.skip_diag();
+        assert!(diag.spans > 0, "chase must skip");
+        assert_eq!(diag.hist.count(), diag.spans);
+        assert_eq!(diag.hist.sum(), diag.cycles);
+        assert!(diag.replicated_share(stats.cycles) > 0.5);
+        let (session, _) = run(false);
+        assert_eq!(session.skip_diag().spans, 0);
+        assert_eq!(session.skip_diag().cycles, 0);
+    }
+
+    #[test]
+    fn step_timed_skips_into_the_skip_bucket() {
+        let uops = idle_heavy_uops(30);
+        let cfg = MachineConfig::default();
+        let mut session = SimSession::new(&cfg);
+        session.set_cycle_skipping(true);
+        let mut trace = SliceTrace::new(&uops);
+        let mut policy = RoundRobin(0);
+        policy.reset();
+        let mut timers = StageTimers::default();
+        let mut steps = 0u64;
+        loop {
+            session.step_timed(
+                &mut trace,
+                &mut policy,
+                &RunLimits::unlimited(),
+                &mut timers,
+            );
+            steps += 1;
+            if session.done() {
+                break;
+            }
+        }
+        let cycles = session.stats().cycles;
+        assert_eq!(
+            timers.cycles, cycles,
+            "skipped spans credit their full length"
+        );
+        assert!(steps < cycles, "timed path must actually skip");
+        assert!(
+            timers.buckets[StageTimers::SKIP] > std::time::Duration::ZERO,
+            "skip bucket must accumulate"
+        );
+        let share_sum: f64 = (0..StageTimers::NUM_STAGES).map(|i| timers.share(i)).sum();
+        assert!((share_sum - 1.0).abs() < 1e-9, "shares sum to 1 with skip");
     }
 }

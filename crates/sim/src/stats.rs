@@ -80,6 +80,21 @@ pub enum IdleCycleKind {
     DispatchStall(StallReason),
 }
 
+impl IdleCycleKind {
+    /// Static label for telemetry (skip-span events in timelines).
+    pub fn label(self) -> &'static str {
+        match self {
+            IdleCycleKind::FrontendStarved => "frontend-starved",
+            IdleCycleKind::DispatchStall(StallReason::RobFull) => "rob-full",
+            IdleCycleKind::DispatchStall(StallReason::LsqFull) => "lsq-full",
+            IdleCycleKind::DispatchStall(StallReason::IqFull) => "iq-full",
+            IdleCycleKind::DispatchStall(StallReason::CopyQueueFull) => "copyq-full",
+            IdleCycleKind::DispatchStall(StallReason::RfFull) => "rf-full",
+            IdleCycleKind::DispatchStall(StallReason::PolicyStall) => "policy-stall",
+        }
+    }
+}
+
 /// Per-cluster counters.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ClusterStats {
@@ -194,6 +209,125 @@ impl SimStats {
         }
     }
 
+    /// Field-wise difference `self - prev`, where `prev` is an earlier
+    /// snapshot of the same run (so every counter of `self` is ≥ its
+    /// counterpart in `prev`). This is what the interval observer emits
+    /// every K cycles. The exhaustive destructuring fails to compile when
+    /// `SimStats` grows a field, so a new counter can never silently
+    /// vanish from interval telemetry — the same discipline as
+    /// [`SimStats::replicate_idle_cycles`].
+    pub fn delta_since(&self, prev: &SimStats) -> SimStats {
+        let SimStats {
+            cycles,
+            committed_uops,
+            copies_generated,
+            copies_delivered,
+            dispatch_stalls,
+            frontend_starved_cycles,
+            branches,
+            mispredicts,
+            l1_hits,
+            l1_misses,
+            l2_hits,
+            l2_misses,
+            store_forwards,
+            trace_cache_misses,
+            clusters,
+        } = self;
+        debug_assert_eq!(clusters.len(), prev.clusters.len());
+        SimStats {
+            cycles: cycles - prev.cycles,
+            committed_uops: committed_uops - prev.committed_uops,
+            copies_generated: copies_generated - prev.copies_generated,
+            copies_delivered: copies_delivered - prev.copies_delivered,
+            dispatch_stalls: std::array::from_fn(|i| dispatch_stalls[i] - prev.dispatch_stalls[i]),
+            frontend_starved_cycles: frontend_starved_cycles - prev.frontend_starved_cycles,
+            branches: branches - prev.branches,
+            mispredicts: mispredicts - prev.mispredicts,
+            l1_hits: l1_hits - prev.l1_hits,
+            l1_misses: l1_misses - prev.l1_misses,
+            l2_hits: l2_hits - prev.l2_hits,
+            l2_misses: l2_misses - prev.l2_misses,
+            store_forwards: store_forwards - prev.store_forwards,
+            trace_cache_misses: trace_cache_misses - prev.trace_cache_misses,
+            clusters: clusters
+                .iter()
+                .zip(&prev.clusters)
+                .map(|(c, p)| {
+                    let ClusterStats {
+                        dispatched,
+                        copies_inserted,
+                        issued,
+                        occupancy_integral,
+                    } = c;
+                    ClusterStats {
+                        dispatched: dispatched - p.dispatched,
+                        copies_inserted: copies_inserted - p.copies_inserted,
+                        issued: issued - p.issued,
+                        occupancy_integral: occupancy_integral - p.occupancy_integral,
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Field-wise sum: fold `other` (an interval delta) into `self`.
+    /// Inverse of [`SimStats::delta_since`]: summing every interval delta
+    /// of a run reconstructs its final stats exactly, which the interval
+    /// proptests check field by field. The exhaustive destructuring keeps
+    /// this in lockstep with the struct definition.
+    pub fn accumulate(&mut self, other: &SimStats) {
+        let SimStats {
+            cycles,
+            committed_uops,
+            copies_generated,
+            copies_delivered,
+            dispatch_stalls,
+            frontend_starved_cycles,
+            branches,
+            mispredicts,
+            l1_hits,
+            l1_misses,
+            l2_hits,
+            l2_misses,
+            store_forwards,
+            trace_cache_misses,
+            clusters,
+        } = self;
+        *cycles += other.cycles;
+        *committed_uops += other.committed_uops;
+        *copies_generated += other.copies_generated;
+        *copies_delivered += other.copies_delivered;
+        for (a, b) in dispatch_stalls.iter_mut().zip(&other.dispatch_stalls) {
+            *a += b;
+        }
+        *frontend_starved_cycles += other.frontend_starved_cycles;
+        *branches += other.branches;
+        *mispredicts += other.mispredicts;
+        *l1_hits += other.l1_hits;
+        *l1_misses += other.l1_misses;
+        *l2_hits += other.l2_hits;
+        *l2_misses += other.l2_misses;
+        *store_forwards += other.store_forwards;
+        *trace_cache_misses += other.trace_cache_misses;
+        if clusters.is_empty() {
+            *clusters = vec![ClusterStats::default(); other.clusters.len()];
+        }
+        debug_assert_eq!(clusters.len(), other.clusters.len());
+        for (c, o) in clusters.iter_mut().zip(&other.clusters) {
+            let ClusterStats {
+                dispatched,
+                copies_inserted,
+                issued,
+                occupancy_integral,
+            } = c;
+            *dispatched += o.dispatched;
+            *copies_inserted += o.copies_inserted;
+            *issued += o.issued;
+            *occupancy_integral += o.occupancy_integral;
+        }
+    }
+
     /// Committed micro-ops per cycle (copies excluded, as the paper's IPC).
     pub fn ipc(&self) -> f64 {
         if self.cycles == 0 {
@@ -244,6 +378,16 @@ impl SimStats {
             0.0
         } else {
             self.l1_hits as f64 / total as f64
+        }
+    }
+
+    /// L2 load hit rate in [0, 1] (of loads that missed L1).
+    pub fn l2_hit_rate(&self) -> f64 {
+        let total = self.l2_hits + self.l2_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.l2_hits as f64 / total as f64
         }
     }
 
@@ -385,6 +529,72 @@ mod tests {
         assert_eq!(s.frontend_starved_cycles, 0);
         assert_eq!(s.dispatch_stalls[StallReason::LsqFull.index()], 10);
         assert_eq!(s.total_dispatch_stalls(), 10);
+    }
+
+    fn busy_stats(seed: u64) -> SimStats {
+        // Deterministic pseudo-random fill of every field.
+        let mut x = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x % 1000
+        };
+        let mut s = SimStats::new(3);
+        s.cycles = next();
+        s.committed_uops = next();
+        s.copies_generated = next();
+        s.copies_delivered = next();
+        for d in &mut s.dispatch_stalls {
+            *d = next();
+        }
+        s.frontend_starved_cycles = next();
+        s.branches = next();
+        s.mispredicts = next();
+        s.l1_hits = next();
+        s.l1_misses = next();
+        s.l2_hits = next();
+        s.l2_misses = next();
+        s.store_forwards = next();
+        s.trace_cache_misses = next();
+        for c in &mut s.clusters {
+            c.dispatched = next();
+            c.copies_inserted = next();
+            c.issued = next();
+            c.occupancy_integral = next();
+        }
+        s
+    }
+
+    #[test]
+    fn delta_since_and_accumulate_are_inverses() {
+        let early = busy_stats(1);
+        let mut late = busy_stats(2);
+        // Make `late` a strict superset snapshot: late = early + busy(2).
+        late.accumulate(&early);
+        let delta = late.delta_since(&early);
+
+        let mut rebuilt = early.clone();
+        rebuilt.accumulate(&delta);
+        assert_eq!(rebuilt, late);
+
+        // Delta against self is all-zero.
+        let zero = late.delta_since(&late);
+        assert_eq!(zero, SimStats::new(3));
+
+        // Accumulating into a cluster-less default adopts the shape.
+        let mut sum = SimStats::default();
+        sum.accumulate(&delta);
+        assert_eq!(sum, delta);
+    }
+
+    #[test]
+    fn l2_hit_rate_handles_zero_and_counts() {
+        let mut s = SimStats::new(1);
+        assert_eq!(s.l2_hit_rate(), 0.0);
+        s.l2_hits = 3;
+        s.l2_misses = 1;
+        assert!((s.l2_hit_rate() - 0.75).abs() < 1e-12);
     }
 
     #[test]

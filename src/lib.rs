@@ -22,6 +22,9 @@
 //!   and RHOP baselines;
 //! * [`sim`] — the cycle-level clustered out-of-order simulator (Fig. 1),
 //!   built around reusable `SimSession`s (reset-in-place across runs);
+//! * [`obs`] — the zero-dependency observability kit (interval observers,
+//!   counters, log2 histograms, Chrome-trace export) the simulator and the
+//!   batch engine report through;
 //! * [`steer`] — the steering policies (Table 3) and the complexity model
 //!   (Table 1);
 //! * [`workloads`] — the synthetic SPEC CPU2000 suite with PinPoints-style
@@ -50,6 +53,7 @@
 pub use virtclust_compiler as compiler;
 pub use virtclust_core as core;
 pub use virtclust_ddg as ddg;
+pub use virtclust_obs as obs;
 pub use virtclust_sim as sim;
 pub use virtclust_steer as steer;
 pub use virtclust_trace as trace;

@@ -1,0 +1,234 @@
+//! Property tests for the observability tentpole (`virtclust-obs`): an
+//! interval observer attached to a [`SimSession`] must be a pure reader.
+//!
+//! Two contracts, over random hinted programs × all eight schemes ×
+//! 2/4/8-cluster machines × cycle skipping on/off × reused and fresh
+//! sessions:
+//!
+//! 1. **Exact reconstruction** — summing the per-interval [`SimStats`]
+//!    deltas the observer receives reproduces the run's final stats
+//!    *exactly* (struct equality is field-by-field, and
+//!    `delta_since`/`accumulate` destructure exhaustively, so a new stats
+//!    field cannot silently escape the telemetry). The intervals tile
+//!    `[0, cycles)` with no gap or overlap.
+//! 2. **Zero perturbation** — the observed run's stats are bit-identical
+//!    to an unobserved run of the same cell, and the emitted interval
+//!    stream is bit-identical whether cycles were skipped arithmetically
+//!    or single-stepped (skipped spans are attributed across interval
+//!    boundaries in closed form).
+
+use proptest::prelude::*;
+use virtclust::core::Configuration;
+use virtclust::obs::{IntervalSample, MemSink, Shared};
+use virtclust::sim::{RunLimits, SimSession, SimStats};
+use virtclust::uarch::{
+    ArchReg, DynUop, MachineConfig, OpClass, Program, Region, SliceTrace, StaticInst, SteerHint,
+};
+
+/// Strategy: a random static instruction over a small register window
+/// (mirrors `tests/properties.rs`).
+fn inst_strategy() -> impl Strategy<Value = StaticInst> {
+    let reg = (0u8..8).prop_map(ArchReg::int);
+    let freg = (0u8..8).prop_map(ArchReg::flt);
+    prop_oneof![
+        (reg.clone(), reg.clone(), reg.clone()).prop_map(|(d, a, b)| StaticInst::new(
+            OpClass::IntAlu,
+            &[a, b],
+            Some(d)
+        )),
+        (freg.clone(), freg.clone(), freg.clone()).prop_map(|(d, a, b)| StaticInst::new(
+            OpClass::FpAdd,
+            &[a, b],
+            Some(d)
+        )),
+        (reg.clone(), reg.clone()).prop_map(|(d, a)| StaticInst::new(OpClass::Load, &[a], Some(d))),
+        (reg.clone(), reg.clone()).prop_map(|(a, v)| StaticInst::new(
+            OpClass::Store,
+            &[a, v],
+            None
+        )),
+        reg.clone()
+            .prop_map(|c| StaticInst::new(OpClass::Branch, &[c], None)),
+    ]
+}
+
+fn hint_strategy() -> impl Strategy<Value = SteerHint> {
+    prop_oneof![
+        Just(SteerHint::None),
+        (0u8..4).prop_map(|cluster| SteerHint::Static { cluster }),
+        (0u8..8).prop_map(|bits| SteerHint::Vc {
+            vc: bits >> 1,
+            leader: bits & 1 == 1,
+        }),
+    ]
+}
+
+fn region_strategy(max_len: usize) -> impl Strategy<Value = Region> {
+    prop::collection::vec(inst_strategy(), 1..max_len).prop_map(|insts| {
+        let mut r = Region::new(0, "obs-prop");
+        for i in insts {
+            r.push(i);
+        }
+        r
+    })
+}
+
+/// Far-striding address model: misses every cache level, maximising the
+/// idle spans the skip path (and hence the boundary-chunked interval
+/// attribution) has to account for.
+fn expand(region: &Region, iters: usize) -> Vec<DynUop> {
+    let mut uops = Vec::new();
+    let mut seq = 0;
+    for it in 0..iters {
+        seq = virtclust::uarch::trace::expand_region(
+            region,
+            seq,
+            &mut uops,
+            |s, _| (s.wrapping_mul(4096)) % (1 << 30),
+            |s, _| !(s + it as u64).is_multiple_of(3),
+        );
+    }
+    uops
+}
+
+/// Run one cell on `session` with a fresh `MemSink` interval observer
+/// attached; return the run's stats, the emitted interval stream and the
+/// `on_finish` payload. The observer is detached afterwards so the session
+/// can be reused bare.
+fn observed(
+    session: &mut SimSession,
+    machine: &MachineConfig,
+    uops: &[DynUop],
+    config: &Configuration,
+    every: u64,
+    skip: bool,
+) -> (SimStats, Vec<IntervalSample<SimStats>>, (SimStats, u64)) {
+    let handle = Shared::new(MemSink::<SimStats>::new());
+    session.set_cycle_skipping(skip);
+    session.attach_observer(every, Box::new(handle.clone()));
+    let mut trace = SliceTrace::new(uops);
+    let mut policy = config.make_policy();
+    let stats = session.simulate(
+        machine,
+        &mut trace,
+        policy.as_mut(),
+        &RunLimits::unlimited(),
+    );
+    session.detach_observer();
+    let (intervals, finished) = handle.with(|sink| {
+        (
+            sink.intervals.clone(),
+            sink.finished.clone().expect("on_finish fires at run end"),
+        )
+    });
+    (stats, intervals, finished)
+}
+
+/// Run the same cell bare (no observer) on a fresh session.
+fn unobserved(
+    machine: &MachineConfig,
+    uops: &[DynUop],
+    config: &Configuration,
+    skip: bool,
+) -> SimStats {
+    let mut session = SimSession::new(machine);
+    session.set_cycle_skipping(skip);
+    let mut trace = SliceTrace::new(uops);
+    let mut policy = config.make_policy();
+    session.simulate(
+        machine,
+        &mut trace,
+        policy.as_mut(),
+        &RunLimits::unlimited(),
+    )
+}
+
+proptest! {
+    // Each case simulates 8 schemes × 3 machines × (2 skip modes × 3
+    // runs), so a handful of cases already covers hundreds of cells; the
+    // debug build's skip-mirror and wakeup cross-checks run inside every
+    // one of them.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn interval_deltas_sum_to_final_stats(
+        region in region_strategy(24),
+        hints in prop::collection::vec(hint_strategy(), 24..25),
+        iters in 1usize..4,
+        every in prop_oneof![Just(1u64), Just(7), Just(64), Just(1000)],
+    ) {
+        let mut region = region;
+        for (inst, hint) in region.insts.iter_mut().zip(hints) {
+            inst.hint = hint;
+        }
+        let schemes = [
+            Configuration::Op,
+            Configuration::OpParallel,
+            Configuration::OneCluster,
+            Configuration::Ob,
+            Configuration::Rhop,
+            Configuration::Vc { num_vcs: 2 },
+            Configuration::ModN { slice: 3 },
+            Configuration::OpNoStall,
+        ];
+        let mut reused = SimSession::new(&MachineConfig::default());
+        for clusters in [2usize, 4, 8] {
+            let machine = MachineConfig::default().with_clusters(clusters);
+            for config in schemes {
+                let mut program = Program::new("obs-prop");
+                program.add_region(region.clone());
+                config
+                    .software_pass(clusters as u32)
+                    .apply(&mut program, &machine.latencies);
+                let uops = expand(&program.regions[0], iters);
+                let label = |skip: bool| {
+                    format!(
+                        "{} on {} clusters, every={}, skip={}",
+                        config.name(clusters as u32), clusters, every, skip
+                    )
+                };
+                let mut streams: Vec<Vec<IntervalSample<SimStats>>> = Vec::new();
+                for skip in [false, true] {
+                    let (stats, intervals, finished) =
+                        observed(&mut reused, &machine, &uops, &config, every, skip);
+
+                    // Contract 1: the intervals tile [0, cycles) exactly
+                    // and their deltas sum to the final stats field by
+                    // field.
+                    let mut sum = SimStats::default();
+                    let mut prev_end = 0u64;
+                    for s in &intervals {
+                        prop_assert_eq!(s.start_cycle, prev_end, "{}", label(skip));
+                        prop_assert!(s.end_cycle > s.start_cycle, "{}", label(skip));
+                        prop_assert_eq!(
+                            s.delta.cycles, s.end_cycle - s.start_cycle,
+                            "{}", label(skip)
+                        );
+                        prev_end = s.end_cycle;
+                        sum.accumulate(&s.delta);
+                    }
+                    prop_assert_eq!(prev_end, stats.cycles, "{}", label(skip));
+                    prop_assert_eq!(&sum, &stats, "{}", label(skip));
+                    prop_assert_eq!(&finished.0, &stats, "{}", label(skip));
+                    prop_assert_eq!(finished.1, stats.cycles, "{}", label(skip));
+
+                    // Contract 2a: a fresh observed session and a bare
+                    // unobserved session produce the same stats — and the
+                    // fresh session emits the same interval stream.
+                    let (fresh_stats, fresh_intervals, _) = observed(
+                        &mut SimSession::new(&machine), &machine, &uops, &config, every, skip,
+                    );
+                    prop_assert_eq!(&fresh_stats, &stats, "fresh: {}", label(skip));
+                    prop_assert_eq!(&fresh_intervals, &intervals, "fresh: {}", label(skip));
+                    let bare = unobserved(&machine, &uops, &config, skip);
+                    prop_assert_eq!(&bare, &stats, "unobserved: {}", label(skip));
+
+                    streams.push(intervals);
+                }
+                // Contract 2b: the emitted stream is bit-identical whether
+                // idle spans were skipped or single-stepped.
+                prop_assert_eq!(&streams[0], &streams[1], "skip-on vs skip-off: {}", label(true));
+            }
+        }
+    }
+}
