@@ -5,7 +5,7 @@
 //! ```text
 //! throughput [--uops N] [--runs R] [--clusters 2|4|8] [--point NAME]
 //!            [--trace FILE] [--stages] [--timeline FILE] [--observe]
-//!            [--every K]
+//!            [--every K] [--json-out FILE]
 //! ```
 //!
 //! Default mode expands a suite point (`--point`, default `gzip-1`; any
@@ -41,6 +41,14 @@
 //! reused session — the source of the observer-overhead row in
 //! `results/BASELINES.md`.
 //!
+//! `--json-out FILE` (point mode only) additionally writes the run as a
+//! machine-readable perf-trajectory document: per-scheme fresh/reused
+//! uops/s, the reused run's stepped-vs-replicated cycle split, and
+//! ns per busy (stepped) cycle. Committed snapshots live under
+//! `results/bench/` (`prN-before.json` / `prN-after.json`); the CI
+//! bench-smoke job compares a fresh run against the newest committed file
+//! and warns on >10 % uops/s regression.
+//!
 //! In `gzip-1` point mode on the 2-cluster machine the report ends with a
 //! delta against the committed per-scheme mean in `results/BASELINES.md`
 //! (other points have no committed pin).
@@ -70,6 +78,7 @@ struct Args {
     timeline: Option<String>,
     every: u64,
     observe: bool,
+    json_out: Option<String>,
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -83,6 +92,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         timeline: None,
         every: 1_000,
         observe: false,
+        json_out: None,
     };
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
@@ -118,6 +128,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 args.point = v;
             }
             "--trace" => args.trace = Some(value("--trace")?),
+            "--json-out" => args.json_out = Some(value("--json-out")?),
             "--stages" => args.stages = true,
             "--timeline" => args.timeline = Some(value("--timeline")?),
             "--observe" => args.observe = true,
@@ -160,6 +171,61 @@ fn expand_scheme(
         .collect()
 }
 
+/// One scheme's measurements for the machine-readable perf trajectory
+/// (`--json-out`): throughput both ways, the stepped-vs-replicated cycle
+/// split of the reused run, and the wall cost of a cycle the skipper could
+/// not replicate (the busy-cycle metric the hot-path work tracks).
+struct SchemeBench {
+    scheme: String,
+    fresh_uops_per_sec: f64,
+    reused_uops_per_sec: f64,
+    cycles: u64,
+    replicated_cycles: u64,
+    /// Skipped spans whose classification consulted the (pure) steering
+    /// policy — zero for impure policies by construction.
+    policy_stall_spans: u64,
+    ns_per_busy_cycle: f64,
+}
+
+/// Render the `--json-out` document: run parameters plus one entry per
+/// scheme and the per-scheme means. Hand-rolled JSON (the schema is flat
+/// and the repo carries no serializer dependency).
+fn render_bench_json(args: &Args, clusters: usize, rows: &[SchemeBench]) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(
+        out,
+        "  \"bench\": \"throughput\",\n  \"point\": \"{}\",\n  \"clusters\": {},\n  \
+         \"uops\": {},\n  \"runs\": {},\n  \"schemes\": [",
+        args.point, clusters, args.uops, args.runs,
+    );
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"scheme\": \"{}\", \"fresh_uops_per_sec\": {:.0}, \
+             \"reused_uops_per_sec\": {:.0}, \"cycles\": {}, \"replicated_cycles\": {}, \
+             \"stepped_cycles\": {}, \"policy_stall_spans\": {}, \
+             \"ns_per_busy_cycle\": {:.1}}}{}",
+            r.scheme,
+            r.fresh_uops_per_sec,
+            r.reused_uops_per_sec,
+            r.cycles,
+            r.replicated_cycles,
+            r.cycles - r.replicated_cycles,
+            r.policy_stall_spans,
+            r.ns_per_busy_cycle,
+            if i + 1 < rows.len() { "," } else { "" },
+        );
+    }
+    let n = rows.len().max(1) as f64;
+    let _ = writeln!(
+        out,
+        "  ],\n  \"mean_fresh_uops_per_sec\": {:.0},\n  \"mean_reused_uops_per_sec\": {:.0}\n}}",
+        rows.iter().map(|r| r.fresh_uops_per_sec).sum::<f64>() / n,
+        rows.iter().map(|r| r.reused_uops_per_sec).sum::<f64>() / n,
+    );
+    out
+}
+
 /// Parse the committed per-scheme mean (fresh, reused uops/s) from the
 /// first `| **mean** | … |` row of `results/BASELINES.md`, if present.
 /// Numbers may use spaces as thousands separators.
@@ -182,8 +248,8 @@ fn point_mode(args: &Args, machine: &MachineConfig) -> Result<String, String> {
     let (mut sum_fresh, mut sum_reused) = (0.0f64, 0.0f64);
     let mut skip_report = String::from(
         "\nSkip-path diagnostics (last reused run per scheme):\n\n\
-         | scheme | cycles | spans skipped | cycles replicated | share | median span | max span |\n\
-         |---|---|---|---|---|---|---|\n",
+         | scheme | cycles | spans skipped | cycles replicated | share | policy spans | median span | max span |\n\
+         |---|---|---|---|---|---|---|---|\n",
     );
     let mut observe_report = format!(
         "\nObserver overhead (reused session, MemSink interval observer, K={}):\n\n\
@@ -191,6 +257,7 @@ fn point_mode(args: &Args, machine: &MachineConfig) -> Result<String, String> {
         args.every,
     );
     let mut sum_observed = 0.0f64;
+    let mut bench_rows: Vec<SchemeBench> = Vec::new();
     for config in Configuration::table3() {
         let uops = expand_scheme(&config, machine, args.uops, &args.point);
 
@@ -272,12 +339,13 @@ fn point_mode(args: &Args, machine: &MachineConfig) -> Result<String, String> {
         let diag = session.skip_diag();
         let _ = writeln!(
             skip_report,
-            "| {} | {} | {} | {} | {:.1}% | {} | {} |",
+            "| {} | {} | {} | {} | {:.1}% | {} | {} | {} |",
             config.name(clusters),
             fresh_stats.cycles,
             diag.spans,
             diag.cycles,
             100.0 * diag.replicated_share(fresh_stats.cycles),
+            diag.policy_dependent_spans(),
             diag.hist.percentile(0.5),
             diag.hist.max(),
         );
@@ -287,6 +355,19 @@ fn point_mode(args: &Args, machine: &MachineConfig) -> Result<String, String> {
         let reused_ups = total / reused_wall.max(1e-9);
         sum_fresh += fresh_ups;
         sum_reused += reused_ups;
+        // `ns_per_busy_cycle`: reused wall per run over the cycles the
+        // skipper had to step (diag covers the last reused run; every
+        // reused run is identical, so one run's split is the split).
+        let stepped = fresh_stats.cycles - diag.cycles;
+        bench_rows.push(SchemeBench {
+            scheme: config.name(clusters).to_string(),
+            fresh_uops_per_sec: fresh_ups,
+            reused_uops_per_sec: reused_ups,
+            cycles: fresh_stats.cycles,
+            replicated_cycles: diag.cycles,
+            policy_stall_spans: diag.policy_dependent_spans(),
+            ns_per_busy_cycle: reused_wall / args.runs as f64 / stepped.max(1) as f64 * 1e9,
+        });
         if let Some(oups) = observed_ups {
             sum_observed += oups;
             let _ = writeln!(
@@ -325,6 +406,14 @@ fn point_mode(args: &Args, machine: &MachineConfig) -> Result<String, String> {
             (sum_observed / sum_reused - 1.0) * 100.0,
         );
         report.push_str(&observe_report);
+    }
+    if let Some(path) = &args.json_out {
+        let doc = render_bench_json(args, machine.num_clusters, &bench_rows);
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        std::fs::write(path, doc).map_err(|e| format!("cannot write {path}: {e}"))?;
+        let _ = writeln!(report, "\nbench JSON written to {path}");
     }
     // Delta against the committed reference (2-cluster table only — that
     // is what BASELINES.md pins). Informational: wall-clock comparisons

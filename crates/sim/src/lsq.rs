@@ -90,6 +90,12 @@ pub struct Lsq {
     /// Address index: `index[bucket_of(addr)]` holds every alive store with
     /// a known address on that line set, ascending by `seq` (age order).
     index: Vec<Vec<StoreRef>>,
+    /// Entries compacted off the queue front since the last reset. An
+    /// entry's **slot handle** (returned by [`Lsq::alloc`]) is its absolute
+    /// allocation position; `handle - popped` is its current queue index,
+    /// which makes every handle-based accessor O(1) where the seq-based
+    /// ones binary-search.
+    popped: u64,
 }
 
 impl Lsq {
@@ -100,6 +106,7 @@ impl Lsq {
             live: 0,
             capacity: 1,
             index: vec![Vec::new(); INDEX_BUCKETS],
+            popped: 0,
         };
         lsq.reset(capacity);
         lsq
@@ -116,6 +123,7 @@ impl Lsq {
         for bucket in self.index.iter_mut() {
             bucket.clear();
         }
+        self.popped = 0;
     }
 
     /// Entries currently allocated.
@@ -148,15 +156,19 @@ impl Lsq {
     }
 
     /// Allocate an entry for the memory op `seq` (must be called in
-    /// ascending `seq` order — program order, as dispatch does).
+    /// ascending `seq` order — program order, as dispatch does). Returns the
+    /// entry's **slot handle** for the O(1) `_at` accessors; the seq-based
+    /// accessors remain valid for the same entry.
     ///
     /// # Panics
     /// Panics if full or out of order.
-    pub fn alloc(&mut self, seq: u64, is_store: bool) {
+    pub fn alloc(&mut self, seq: u64, is_store: bool) -> u32 {
         assert!(self.has_space(), "LSQ overflow");
         if let Some(back) = self.entries.back() {
             assert!(back.seq < seq, "LSQ allocations must be in program order");
         }
+        let handle = self.popped + self.entries.len() as u64;
+        debug_assert!(u32::try_from(handle).is_ok(), "LSQ slot handle overflow");
         self.entries.push_back(LsqEntry {
             seq,
             is_store,
@@ -165,16 +177,37 @@ impl Lsq {
             alive: true,
         });
         self.live += 1;
+        handle as u32
     }
 
     fn position(&self, seq: u64) -> Option<usize> {
         self.entries.binary_search_by_key(&seq, |e| e.seq).ok()
     }
 
+    /// Current queue index of slot `handle` — O(1), no search. The handle
+    /// must refer to an entry that has not been compacted away yet.
+    #[inline]
+    fn idx_of(&self, handle: u32) -> usize {
+        debug_assert!(u64::from(handle) >= self.popped, "stale LSQ slot handle");
+        (u64::from(handle) - self.popped) as usize
+    }
+
     /// Record the computed effective address of `seq`. Stores enter the
     /// address index here; loads never do (only stores can be matched).
     pub fn set_addr(&mut self, seq: u64, addr: u64) {
         let i = self.position(seq).expect("set_addr on unknown LSQ entry");
+        self.set_addr_idx(i, addr);
+    }
+
+    /// O(1) variant of [`Lsq::set_addr`] addressing the entry by its slot
+    /// handle instead of searching for its sequence number.
+    pub fn set_addr_at(&mut self, handle: u32, addr: u64) {
+        let i = self.idx_of(handle);
+        self.set_addr_idx(i, addr);
+    }
+
+    fn set_addr_idx(&mut self, i: usize, addr: u64) {
+        let seq = self.entries[i].seq;
         debug_assert!(
             self.entries[i].addr.is_none(),
             "address of LSQ entry {seq} set twice"
@@ -200,6 +233,18 @@ impl Lsq {
         let i = self
             .position(seq)
             .expect("set_data_ready on unknown LSQ entry");
+        self.set_data_ready_idx(i);
+    }
+
+    /// O(1) variant of [`Lsq::set_data_ready`] addressing the entry by its
+    /// slot handle.
+    pub fn set_data_ready_at(&mut self, handle: u32) {
+        let i = self.idx_of(handle);
+        self.set_data_ready_idx(i);
+    }
+
+    fn set_data_ready_idx(&mut self, i: usize) {
+        let seq = self.entries[i].seq;
         debug_assert!(self.entries[i].is_store);
         self.entries[i].data_ready = true;
         if let Some(addr) = self.entries[i].addr {
@@ -281,12 +326,24 @@ impl Lsq {
     /// Free the entry of `seq` (load commit or store drain completion).
     pub fn free(&mut self, seq: u64) {
         let i = self.position(seq).expect("free of unknown LSQ entry");
+        self.free_idx(i);
+    }
+
+    /// O(1) variant of [`Lsq::free`] addressing the entry by its slot
+    /// handle.
+    pub fn free_at(&mut self, handle: u32) {
+        let i = self.idx_of(handle);
+        self.free_idx(i);
+    }
+
+    fn free_idx(&mut self, i: usize) {
         debug_assert!(self.entries[i].alive, "double free of LSQ entry");
         self.unindex(i);
         self.entries[i].alive = false;
         self.live -= 1;
         while matches!(self.entries.front(), Some(e) if !e.alive) {
             self.entries.pop_front();
+            self.popped += 1;
         }
     }
 

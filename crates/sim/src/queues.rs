@@ -146,14 +146,29 @@ impl IssueQueue {
         self.ready.insert(at, (key, id));
     }
 
+    /// Pop the single oldest ready entry, if any. Semantically one step of
+    /// [`IssueQueue::select_ready`] with an always-true `accept`, but the
+    /// hot INT/FP issue path compiles down to a plain front pop — no accept
+    /// closure, no indexed ring scan — and the short `&mut` borrow lets the
+    /// caller interleave pops with other session mutations (no scratch
+    /// buffer between the ring and the execution start).
+    #[inline]
+    pub fn pop_one_ready(&mut self) -> Option<u64> {
+        let (_, id) = self.ready.pop_front()?;
+        #[cfg(debug_assertions)]
+        self.mirror.retain(|&m| m != id);
+        Some(id)
+    }
+
     /// Oldest-first select over the *ready* entries only: offer each ready
     /// id to `accept` in age order; accepted ids are removed and passed to
     /// `on_issue`, rejected ids stay in place (they keep their age slot for
     /// later cycles), and selection stops after `max_issue` acceptances.
     /// Returns the number issued.
     ///
-    /// INT/FP queues accept unconditionally (ready ⇒ issueable); COPY
-    /// queues use `accept` for the per-cycle link-bandwidth arbitration.
+    /// INT/FP queues accept unconditionally (ready ⇒ issueable — they use
+    /// [`IssueQueue::pop_one_ready`]); COPY queues use `accept` for the
+    /// per-cycle link-bandwidth arbitration.
     pub fn select_ready(
         &mut self,
         max_issue: usize,
@@ -280,6 +295,11 @@ impl CopySlab {
 pub struct LinkArbiter {
     used: [[u8; 8]; 8],
     per_cycle: u8,
+    /// Set when any budget was consumed since the last
+    /// [`LinkArbiter::begin_cycle`] — lets the per-cycle reset skip the
+    /// 64-byte matrix clear on the (majority of) cycles that issued no
+    /// copies.
+    dirty: bool,
 }
 
 impl LinkArbiter {
@@ -288,14 +308,19 @@ impl LinkArbiter {
         let mut arbiter = LinkArbiter {
             used: [[0; 8]; 8],
             per_cycle: 0,
+            dirty: false,
         };
         arbiter.reset(per_cycle);
         arbiter
     }
 
-    /// Reset budgets; call once per cycle.
+    /// Reset budgets; call once per cycle. A no-op unless a copy was
+    /// actually sent since the previous call.
     pub fn begin_cycle(&mut self) {
-        self.used = [[0; 8]; 8];
+        if self.dirty {
+            self.used = [[0; 8]; 8];
+            self.dirty = false;
+        }
     }
 
     /// Re-initialise to a possibly different per-cycle budget (session
@@ -303,6 +328,7 @@ impl LinkArbiter {
     pub fn reset(&mut self, per_cycle: usize) {
         self.used = [[0; 8]; 8];
         self.per_cycle = per_cycle.min(255) as u8;
+        self.dirty = false;
     }
 
     /// Try to reserve a slot on the `from → to` direction this cycle.
@@ -311,6 +337,7 @@ impl LinkArbiter {
         let slot = &mut self.used[from as usize][to as usize];
         if *slot < self.per_cycle {
             *slot += 1;
+            self.dirty = true;
             true
         } else {
             false

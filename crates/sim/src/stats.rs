@@ -74,9 +74,12 @@ pub enum IdleCycleKind {
     /// Dispatch dispatched nothing and did not stall: the front-end had no
     /// micro-op ready (`frontend_starved_cycles`).
     FrontendStarved,
-    /// Dispatch stopped on a pre-steering structural stall
-    /// (`dispatch_stalls[reason]`). Only reasons checked before
-    /// `SteeringPolicy::steer` can classify an idle cycle.
+    /// Dispatch stopped on a structural or policy stall
+    /// (`dispatch_stalls[reason]`). The pre-steering reasons (ROB/LSQ
+    /// full) can classify an idle cycle under any policy; the
+    /// post-steering reasons (IQ/RF/copy-queue full, policy stall)
+    /// require a pure policy (`SteeringPolicy::steer_is_pure`), whose
+    /// probe-time steer calls are unobservable by contract.
     DispatchStall(StallReason),
 }
 

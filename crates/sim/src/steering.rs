@@ -60,6 +60,11 @@ pub struct SteerSummary {
     busy: [ClusterMask; 3],
     /// Bit `c` of `full[kind]` set ⇔ cluster `c`'s `kind` queue is full.
     full: [ClusterMask; 3],
+    /// Mutation generation: bumped by every insert/remove. Equal
+    /// generations guarantee the occupancy/busy/full state is unchanged —
+    /// the invalidation hook the session's epoch-batched dispatch plan
+    /// keys on. Host-side only; never part of the statistics surface.
+    gen: u64,
 }
 
 impl SteerSummary {
@@ -73,6 +78,7 @@ impl SteerSummary {
     /// keeping allocations (session reuse).
     pub fn reset(&mut self, num_clusters: usize, cap: [usize; 3], busy_threshold: f64) {
         self.num_clusters = num_clusters;
+        self.gen = 0;
         self.occ.clear();
         self.occ.resize(num_clusters, [0; 3]);
         self.cap = cap;
@@ -97,9 +103,16 @@ impl SteerSummary {
         }
     }
 
+    /// Current mutation generation (see the field doc).
+    #[inline]
+    pub fn gen(&self) -> u64 {
+        self.gen
+    }
+
     /// One entry entered `cluster`'s `kind` queue.
     #[inline]
     pub fn insert(&mut self, cluster: usize, kind: QueueKind) {
+        self.gen += 1;
         let k = kind.index();
         let occ = &mut self.occ[cluster][k];
         *occ += 1;
@@ -115,6 +128,10 @@ impl SteerSummary {
     /// `n` entries left `cluster`'s `kind` queue (issue).
     #[inline]
     pub fn remove(&mut self, cluster: usize, kind: QueueKind, n: usize) {
+        if n == 0 {
+            return;
+        }
+        self.gen += 1;
         let k = kind.index();
         let occ = &mut self.occ[cluster][k];
         debug_assert!(*occ >= n, "occupancy underflow");
@@ -250,20 +267,29 @@ pub trait SteeringPolicy {
     /// Reset internal state (mapping tables, counters) before a new run.
     fn reset(&mut self) {}
 
-    /// Whether [`SteeringPolicy::steer`] is a *pure function* of its
-    /// arguments: no internal state read or written, so two calls with the
-    /// same micro-op and an identical view always return the same decision
-    /// and leave the policy bit-identical.
+    /// Whether [`SteeringPolicy::steer`] behaves as a *pure view function*:
     ///
-    /// Pure policies opt in to the simulator's idle-span optimisation for
-    /// dispatch-stall cycles (a policy stall, or a steered target blocked
-    /// on queue/register-file/copy resources): while a stalled front
-    /// micro-op waits on a frozen pipeline, the per-cycle re-steer calls
-    /// stepping would make are provably identical, so the simulator may
-    /// elide them (or make extra probe calls) without observable effect. A policy with *any*
-    /// cross-call state — counters, mapping tables, even statistics —
-    /// must keep the default `false`; declaring purity falsely breaks the
-    /// bit-identity contract between skipping and stepping.
+    /// * the **decision** is a deterministic function of `(uop, view)`
+    ///   alone — no internal state may influence it; and
+    /// * any internal state update is **idempotent per micro-op**: calling
+    ///   `steer` once or many times for the same micro-op (in any mix of
+    ///   real-dispatch and probe contexts) leaves the policy in the same
+    ///   state and returns the same decision.
+    ///
+    /// Under this contract the simulator may elide repeat calls for a
+    /// stalled front micro-op *and* make extra probe calls, with no
+    /// observable effect — which is what opts the policy in to the
+    /// idle-span optimisation for dispatch-stall cycles (a policy stall,
+    /// or a steered target blocked on queue/register-file/copy resources)
+    /// and to the epoch-batched dispatch plan: while a stalled micro-op
+    /// waits on a frozen pipeline, the per-cycle re-steer calls stepping
+    /// would make are provably identical, so the simulator replays the
+    /// memoized outcome instead. A purely statistical cursor (e.g. "count
+    /// each hint-less micro-op once", keyed by `uop.seq`) is compatible; a
+    /// policy whose *decisions* depend on call history — round-robin
+    /// counters, adaptive mapping tables — must keep the default `false`.
+    /// Declaring purity falsely breaks the bit-identity contract between
+    /// skipping and stepping.
     fn steer_is_pure(&self) -> bool {
         false
     }

@@ -114,6 +114,13 @@ pub struct ValueTracker {
     /// Consumers woken by ready-bit transitions since the last
     /// [`ValueTracker::drain_woken`], in wake order.
     woken: Vec<Waiter>,
+    /// Mutation generation: bumped by every operation that can change what
+    /// a dispatch-time classification reads from the tracker (slot
+    /// allocation, reference release, readiness transitions, copy
+    /// registration). The session's epoch-batched dispatch plan keys on it
+    /// to prove a memoized outcome is still valid. Host-side only — never
+    /// part of the statistics surface.
+    mut_gen: u64,
 }
 
 fn class_index(class: RegClass) -> usize {
@@ -135,6 +142,7 @@ impl ValueTracker {
             waiter_nodes: Vec::new(),
             free_waiters: Vec::new(),
             woken: Vec::new(),
+            mut_gen: 0,
         }
     }
 
@@ -153,9 +161,18 @@ impl ValueTracker {
         self.waiter_nodes.clear();
         self.free_waiters.clear();
         self.woken.clear();
+        self.mut_gen = 0;
+    }
+
+    /// Current mutation generation (see the field doc). Equal generations
+    /// guarantee every tracker-derived input of a dispatch classification
+    /// is unchanged.
+    pub fn mut_gen(&self) -> u64 {
+        self.mut_gen
     }
 
     fn alloc_slot(&mut self, st: ValueState) -> ValueTag {
+        self.mut_gen += 1;
         let occupancy = st.ready | st.pending;
         let class = st.class;
         let tag = match self.free.pop() {
@@ -242,13 +259,16 @@ impl ValueTracker {
     }
 
     /// Take a reference on `tag`.
+    #[inline]
     pub fn add_ref(&mut self, tag: ValueTag) {
         self.state_mut(tag).refs += 1;
     }
 
     /// Drop a reference; frees the slot (returning register-file space) when
     /// the count reaches zero.
+    #[inline]
     pub fn release(&mut self, tag: ValueTag) {
+        self.mut_gen += 1;
         let st = self.state_mut(tag);
         debug_assert!(st.refs > 0, "release of unreferenced value {tag}");
         st.refs -= 1;
@@ -266,23 +286,86 @@ impl ValueTracker {
         }
     }
 
+    /// Fused dispatch-side source acquisition: take a consumer reference on
+    /// `tag` and, when the value is not yet readable in `cluster`, register
+    /// `who` for the wakeup — one slot access on the (common) ready path
+    /// where [`ValueTracker::add_ref`] + [`ValueTracker::ready_in`] +
+    /// [`ValueTracker::add_waiter`] took two or three. Returns whether the
+    /// value was ready (i.e. no waiter was registered).
+    #[inline]
+    pub fn acquire_src(&mut self, tag: ValueTag, cluster: u8, who: Waiter) -> bool {
+        debug_assert!((cluster as usize) < self.num_clusters);
+        let st = &mut self.slots[tag as usize];
+        debug_assert!(st.live, "use of freed value tag {tag}");
+        st.refs += 1;
+        if st.ready & cluster_bit(cluster) != 0 {
+            return true;
+        }
+        let node = WaiterNode {
+            cluster,
+            who,
+            next: st.waiters,
+        };
+        let idx = match self.free_waiters.pop() {
+            Some(i) => {
+                self.waiter_nodes[i as usize] = node;
+                i
+            }
+            None => {
+                self.waiter_nodes.push(node);
+                (self.waiter_nodes.len() - 1) as u32
+            }
+        };
+        self.slots[tag as usize].waiters = idx;
+        false
+    }
+
     /// The producer finished executing: the value is now readable in its
     /// home cluster. Wakes the waiters registered for the home cluster and
     /// drops the producer's reference.
     pub fn mark_produced(&mut self, tag: ValueTag) {
-        let st = self.state_mut(tag);
-        let home = st.home;
-        let home_bit = cluster_bit(home);
-        st.pending &= !home_bit;
-        st.ready |= home_bit;
-        self.wake(tag, home);
-        self.release(tag);
+        let home = self.state(tag).home;
+        self.ready_transition(tag, home);
+    }
+
+    /// Shared body of [`ValueTracker::mark_produced`] and
+    /// [`ValueTracker::deliver_copy`]: flip the (pending → ready) bit of
+    /// `cluster`, wake that cluster's waiters, and drop the producing
+    /// side's reference — one fused slot pass instead of three separate
+    /// re-lookups (bit update / wake / release).
+    fn ready_transition(&mut self, tag: ValueTag, cluster: u8) {
+        self.mut_gen += 1;
+        let bit = cluster_bit(cluster);
+        let st = &mut self.slots[tag as usize];
+        debug_assert!(st.live, "use of freed value tag {tag}");
+        st.pending &= !bit;
+        st.ready |= bit;
+        debug_assert!(st.refs > 0, "release of unreferenced value {tag}");
+        st.refs -= 1;
+        let freed = st.refs == 0;
+        if st.waiters != NIL {
+            self.wake(tag, cluster);
+        }
+        if freed {
+            let st = &self.slots[tag as usize];
+            debug_assert_eq!(
+                st.waiters, NIL,
+                "value {tag} freed with waiters still registered \
+                 (a waiter must hold a reference until its wake)"
+            );
+            let mask = st.ready | st.pending;
+            let class = st.class;
+            self.slots[tag as usize].live = false;
+            self.charge_rf(mask, class, -1);
+            self.free.push(tag);
+        }
     }
 
     /// Register an in-flight copy of `tag` towards `dest`: sets the pending
     /// location bit (so later consumers do not request duplicate copies),
     /// charges a destination register, and takes the copy's reference.
     pub fn begin_copy(&mut self, tag: ValueTag, dest: u8) {
+        self.mut_gen += 1;
         debug_assert!((dest as usize) < self.num_clusters);
         let bit = cluster_bit(dest);
         let st = self.state_mut(tag);
@@ -300,13 +383,11 @@ impl ValueTracker {
     /// Wakes the waiters registered for `dest` and drops the copy's
     /// reference.
     pub fn deliver_copy(&mut self, tag: ValueTag, dest: u8) {
-        let bit = cluster_bit(dest);
-        let st = self.state_mut(tag);
-        debug_assert!(st.pending & bit != 0, "copy delivered without begin_copy");
-        st.pending &= !bit;
-        st.ready |= bit;
-        self.wake(tag, dest);
-        self.release(tag);
+        debug_assert!(
+            self.state(tag).pending & cluster_bit(dest) != 0,
+            "copy delivered without begin_copy"
+        );
+        self.ready_transition(tag, dest);
     }
 
     /// Register `who` to be woken when `tag` becomes ready in `cluster`.
@@ -343,6 +424,7 @@ impl ValueTracker {
     /// Move every waiter of `tag` registered for `cluster` to the woken
     /// queue (the result-bus broadcast). Waiters for other clusters stay
     /// linked.
+    #[inline]
     fn wake(&mut self, tag: ValueTag, cluster: u8) {
         let mut cur = self.slots[tag as usize].waiters;
         if cur == NIL {

@@ -13,11 +13,17 @@ use virtclust_sim::{SteerDecision, SteerView, SteeringPolicy};
 use virtclust_uarch::DynUop;
 
 /// Round-robin steering with a configurable slice length.
+///
+/// The slice index is derived from the micro-op's program-order sequence
+/// number (`uop.seq / n`), not from a call counter: "N consecutive
+/// micro-ops" is a program-order property, so the decision is a pure
+/// function of the micro-op and the policy declares
+/// [`SteeringPolicy::steer_is_pure`]. (A call counter would also rotate on
+/// the re-steers of a stalled front micro-op — a simulation artifact, not
+/// part of the published heuristic.)
 #[derive(Debug, Clone)]
 pub struct ModN {
     n: u64,
-    count: u64,
-    cluster: u8,
 }
 
 impl ModN {
@@ -25,11 +31,7 @@ impl ModN {
     /// spot for 4-cluster machines).
     pub fn new(n: u64) -> Self {
         assert!(n >= 1, "slice length must be positive");
-        ModN {
-            n,
-            count: 0,
-            cluster: 0,
-        }
+        ModN { n }
     }
 
     /// Slice length.
@@ -43,18 +45,13 @@ impl SteeringPolicy for ModN {
         format!("mod-{}", self.n)
     }
 
-    fn steer(&mut self, _uop: &DynUop, view: &SteerView<'_>) -> SteerDecision {
-        if self.count == self.n {
-            self.count = 0;
-            self.cluster = (self.cluster + 1) % view.num_clusters() as u8;
-        }
-        self.count += 1;
-        SteerDecision::Cluster(self.cluster)
+    fn steer(&mut self, uop: &DynUop, view: &SteerView<'_>) -> SteerDecision {
+        let slice = uop.seq / self.n;
+        SteerDecision::Cluster((slice % view.num_clusters() as u64) as u8)
     }
 
-    fn reset(&mut self) {
-        self.count = 0;
-        self.cluster = 0;
+    fn steer_is_pure(&self) -> bool {
+        true
     }
 }
 
@@ -128,13 +125,22 @@ mod tests {
     }
 
     #[test]
-    fn reset_restarts_the_rotation() {
-        let mut p = ModN::new(2);
-        p.count = 1;
-        p.cluster = 1;
-        p.reset();
-        assert_eq!(p.count, 0);
-        assert_eq!(p.cluster, 0);
+    fn decision_is_a_pure_function_of_the_sequence_number() {
+        // Two fresh runs over the same trace must distribute identically —
+        // and the policy advertises purity so stall spans can skip.
+        let p = ModN::new(2);
+        assert!(p.steer_is_pure());
         assert_eq!(p.slice_len(), 2);
+        let uops = serial_trace(8);
+        let run = || {
+            let mut trace = SliceTrace::new(&uops);
+            simulate(
+                &MachineConfig::default(),
+                &mut trace,
+                &mut ModN::new(2),
+                &RunLimits::unlimited(),
+            )
+        };
+        assert_eq!(run(), run());
     }
 }

@@ -39,9 +39,23 @@ impl SteeringPolicy for OneCluster {
 /// Micro-ops without a static hint (possible if a region was never compiled)
 /// fall back to cluster 0 and are counted in
 /// [`StaticFollow::unannotated`].
+///
+/// The decision is a pure function of `(uop, view)`, and the hint-less
+/// counter is a per-micro-op-idempotent cursor (each distinct `uop.seq` is
+/// counted once no matter how many times the simulator consults the policy
+/// for it), so the policy declares
+/// [`SteeringPolicy::steer_is_pure`] — which is what lets the simulator
+/// skip OB/RHOP dispatch-stall spans and consume the epoch-batched
+/// dispatch plan instead of re-steering every stalled cycle.
 #[derive(Debug, Clone, Default)]
 pub struct StaticFollow {
     unannotated: u64,
+    /// Sequence number of the last hint-less micro-op counted — the cursor
+    /// that makes the count idempotent per micro-op. Re-steers of a
+    /// stalled front micro-op and idle-span probe calls repeat the same
+    /// `uop.seq`, and the dispatch pipeline only ever revisits the
+    /// *current* front micro-op, so one slot suffices.
+    last_unannotated: Option<u64>,
 }
 
 impl StaticFollow {
@@ -50,7 +64,7 @@ impl StaticFollow {
         Self::default()
     }
 
-    /// Micro-ops seen without a static-cluster annotation.
+    /// Distinct micro-ops seen without a static-cluster annotation.
     pub fn unannotated(&self) -> u64 {
         self.unannotated
     }
@@ -65,7 +79,10 @@ impl SteeringPolicy for StaticFollow {
         match uop.hint.static_cluster() {
             Some(c) => SteerDecision::Cluster(c % view.num_clusters() as u8),
             None => {
-                self.unannotated += 1;
+                if self.last_unannotated != Some(uop.seq) {
+                    self.unannotated += 1;
+                    self.last_unannotated = Some(uop.seq);
+                }
                 SteerDecision::Cluster(0)
             }
         }
@@ -73,6 +90,11 @@ impl SteeringPolicy for StaticFollow {
 
     fn reset(&mut self) {
         self.unannotated = 0;
+        self.last_unannotated = None;
+    }
+
+    fn steer_is_pure(&self) -> bool {
+        true
     }
 }
 

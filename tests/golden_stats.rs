@@ -17,8 +17,8 @@
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
-use virtclust::core::{run_point, Configuration};
-use virtclust::sim::{SimStats, StallReason};
+use virtclust::core::{run_point, run_point_on, Configuration};
+use virtclust::sim::{SimSession, SimStats, StallReason};
 use virtclust::uarch::MachineConfig;
 use virtclust::workloads::spec2000_points;
 
@@ -211,4 +211,61 @@ fn golden_diff_detects_any_stats_perturbation() {
     let mut text = String::new();
     serialize_stats(&perturbed, &mut text);
     assert!(first_divergence(&reference, &text).is_some());
+}
+
+/// Extract one cell's serialized stats block from the full snapshot text.
+fn expected_cell(full: &str, header: &str) -> String {
+    let start = full
+        .find(header)
+        .unwrap_or_else(|| panic!("cell {header} missing from the golden snapshot"))
+        + header.len();
+    let rest = &full[start..];
+    let end = rest.find("\n[cell").unwrap_or(rest.len());
+    rest[..end].trim().to_string()
+}
+
+/// PR 8 pins, doubled: the epoch-batched dispatch plan and the pure-view
+/// `StaticFollow` changed *which* cycles OB and RHOP may replicate
+/// arithmetically (policy-stall epochs are now skippable for them), so
+/// the busy-heavy 8-cluster gzip-1 cells of exactly those schemes are
+/// re-run here in **both cover modes** — skipping forced off (every
+/// cycle stepped through the real stage bodies) and forced on — and both
+/// must serialize bit-for-bit to the committed snapshot cell. A
+/// divergence in the skip=true leg with a clean skip=false leg convicts
+/// the replication machinery specifically.
+#[test]
+fn gzip1_8cluster_ob_rhop_pin_in_both_cover_modes() {
+    let points = spec2000_points();
+    let point = points
+        .iter()
+        .find(|p| p.name == "gzip-1")
+        .expect("gzip-1 is a suite point");
+    let machine = preset(8);
+    let full = std::fs::read_to_string(snapshot_path()).unwrap_or_else(|e| {
+        panic!(
+            "cannot read the golden snapshot {}: {e}\n\
+             (create it with GOLDEN_REGEN=1 cargo test --test golden_stats)",
+            snapshot_path().display()
+        )
+    });
+    for config in Configuration::table3() {
+        let name = config.name(8);
+        if name != "OB" && name != "RHOP" {
+            continue;
+        }
+        let header = format!("[cell point=gzip-1 scheme={name} clusters=8 uops={BUDGET}]");
+        let expected = expected_cell(&full, &header);
+        for skip in [false, true] {
+            let mut session = SimSession::new(&machine);
+            session.set_cycle_skipping(skip);
+            let stats = run_point_on(&mut session, point, &config, &machine, BUDGET);
+            let mut actual = String::new();
+            serialize_stats(&stats, &mut actual);
+            assert_eq!(
+                expected,
+                actual.trim(),
+                "{name} at 8 clusters diverged from the pin (skip={skip})"
+            );
+        }
+    }
 }

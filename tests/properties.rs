@@ -640,3 +640,125 @@ proptest! {
         }
     }
 }
+
+/// Hides the inner policy's purity declaration: decisions delegate, but
+/// `steer_is_pure` keeps the trait default `false`, forcing the session
+/// onto the per-cycle re-steer path — no epoch-batched dispatch plan, no
+/// policy-dependent idle spans. For a genuinely pure policy the elided
+/// and extra calls are unobservable by the purity contract, so routing
+/// the same policy through the shim must not change a single statistic.
+struct ImpureShim(Box<dyn SteeringPolicy>);
+impl SteeringPolicy for ImpureShim {
+    fn name(&self) -> String {
+        self.0.name()
+    }
+    fn steer(&mut self, uop: &DynUop, view: &SteerView<'_>) -> SteerDecision {
+        self.0.steer(uop, view)
+    }
+    fn reset(&mut self) {
+        self.0.reset()
+    }
+}
+
+proptest! {
+    // Each case simulates 8 schemes × 3 machines × skip on/off, twice
+    // per cell (memoized vs shimmed) — keep the case count low and let
+    // the debug-build plan mirror do the per-cycle heavy lifting.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn epoch_batched_dispatch_is_bit_identical_to_per_cycle(
+        region in region_strategy(28),
+        hints in prop::collection::vec(hint_strategy(), 28..29),
+        iters in 1usize..4,
+    ) {
+        // The dispatch-plan memo replays a pure policy's stall
+        // classification across the cycles of an epoch instead of
+        // re-deriving it. Differential oracle: the same scheme behind
+        // `ImpureShim` takes the plain per-cycle path (memo and
+        // policy-span skipping are keyed on `steer_is_pure`), so full
+        // `SimStats` equality pins the batching to pure elision — across
+        // every Table 3 scheme plus the ablations, 2/4/8 clusters,
+        // cycle skipping forced on and off, and fresh vs reused sessions
+        // (the reused pair also proves plan state cannot leak between
+        // runs through `reset`).
+        let mut region = region;
+        for (inst, hint) in region.insts.iter_mut().zip(hints) {
+            inst.hint = hint;
+        }
+        let schemes = [
+            Configuration::Op,
+            Configuration::OpParallel,
+            Configuration::OneCluster,
+            Configuration::Ob,
+            Configuration::Rhop,
+            Configuration::Vc { num_vcs: 2 },
+            Configuration::ModN { slice: 3 },
+            Configuration::OpNoStall,
+        ];
+        let mut memo_session = SimSession::new(&MachineConfig::default());
+        let mut plain_session = SimSession::new(&MachineConfig::default());
+        for clusters in [2usize, 4, 8] {
+            let machine = MachineConfig::default().with_clusters(clusters);
+            for config in schemes {
+                let mut program = Program::new("prop");
+                program.add_region(region.clone());
+                config
+                    .software_pass(clusters as u32)
+                    .apply(&mut program, &machine.latencies);
+                let uops = expand(&program.regions[0], iters);
+                for skip in [true, false] {
+                    memo_session.set_cycle_skipping(skip);
+                    plain_session.set_cycle_skipping(skip);
+                    let fresh_memo = {
+                        let mut session = SimSession::new(&machine);
+                        session.set_cycle_skipping(skip);
+                        let mut trace = SliceTrace::new(&uops);
+                        let mut policy = config.make_policy();
+                        session.simulate(
+                            &machine, &mut trace, policy.as_mut(), &RunLimits::unlimited(),
+                        )
+                    };
+                    let fresh_plain = {
+                        let mut session = SimSession::new(&machine);
+                        session.set_cycle_skipping(skip);
+                        let mut trace = SliceTrace::new(&uops);
+                        let mut policy = ImpureShim(config.make_policy());
+                        session.simulate(
+                            &machine, &mut trace, &mut policy, &RunLimits::unlimited(),
+                        )
+                    };
+                    let reused_memo = {
+                        let mut trace = SliceTrace::new(&uops);
+                        let mut policy = config.make_policy();
+                        memo_session.simulate(
+                            &machine, &mut trace, policy.as_mut(), &RunLimits::unlimited(),
+                        )
+                    };
+                    let reused_plain = {
+                        let mut trace = SliceTrace::new(&uops);
+                        let mut policy = ImpureShim(config.make_policy());
+                        plain_session.simulate(
+                            &machine, &mut trace, &mut policy, &RunLimits::unlimited(),
+                        )
+                    };
+                    prop_assert_eq!(
+                        &fresh_memo, &fresh_plain,
+                        "fresh memo vs per-cycle: {} on {} clusters, skip={}",
+                        config.name(clusters as u32), clusters, skip
+                    );
+                    prop_assert_eq!(
+                        &reused_memo, &reused_plain,
+                        "reused memo vs per-cycle: {} on {} clusters, skip={}",
+                        config.name(clusters as u32), clusters, skip
+                    );
+                    prop_assert_eq!(
+                        &fresh_memo, &reused_memo,
+                        "fresh vs reused: {} on {} clusters, skip={}",
+                        config.name(clusters as u32), clusters, skip
+                    );
+                }
+            }
+        }
+    }
+}
