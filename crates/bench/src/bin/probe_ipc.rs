@@ -20,7 +20,12 @@
 //!   worker (only meaningful with `VIRTCLUST_THREADS` ≤ physical cores).
 //!   A final aggregate line sums the whole batch. `--metrics-out FILE`
 //!   additionally writes per-job scheduling metrics (queue wait, run span,
-//!   worker, latency percentiles) as JSONL. This feeds
+//!   worker, latency percentiles) as JSONL. With `--retries N`,
+//!   `--deadline-ms MS` and/or `--chaos SCHEDULE` (or
+//!   `VIRTCLUST_FAILPOINTS`) the batch runs resiliently: failed cells
+//!   become `{"point":…,"scheme":…,"error":…}` rows, the degraded-
+//!   completion summary goes to stderr, and the process still exits 0 —
+//!   the CI chaos job's process-stays-alive demonstration. This feeds
 //!   `results/BASELINES.md` (see ROADMAP "Perf baselines"):
 //!
 //!   ```sh
@@ -32,7 +37,7 @@ use std::fmt::Write as _;
 use std::path::Path;
 use std::time::Instant;
 
-use virtclust_bench::{threads, uop_budget};
+use virtclust_bench::{resilience_from_args, threads, uop_budget, Resilience};
 use virtclust_core::{run_point, BatchMetrics, Configuration, EvalDriver, EvalJob};
 use virtclust_sim::{SimStats, StallReason};
 use virtclust_uarch::MachineConfig;
@@ -101,6 +106,7 @@ fn json_mode(
     machine: &MachineConfig,
     point_filter: Option<&str>,
     metrics_out: Option<&Path>,
+    resilience: &Resilience,
 ) {
     let mut points = spec2000_points();
     if let Some(name) = point_filter {
@@ -124,7 +130,16 @@ fn json_mode(
         .collect();
     let start = Instant::now();
     let driver = EvalDriver::new(machine).threads(threads());
-    let (outcomes, metrics) = driver.run_with_metrics(&jobs, |_, _| {});
+    // With resilience/chaos in play, the degraded-completion path: one
+    // erroring/panicking cell is one error row, the process stays alive
+    // and exits 0 with a BatchReport summary on stderr.
+    let (outcomes, metrics) = if resilience.active() {
+        let (outcomes, report) = driver.run_resilient(&jobs, &resilience.opts, |_, _| {});
+        eprintln!("probe_ipc: {}", report.summary());
+        (outcomes, report.metrics)
+    } else {
+        driver.run_with_metrics(&jobs, |_, _| {})
+    };
     let wall = start.elapsed();
     if let Some(path) = metrics_out {
         let clusters = machine.num_clusters as u32;
@@ -135,18 +150,32 @@ fn json_mode(
     for (pi, point) in points.iter().enumerate() {
         for (ci, config) in configs.iter().enumerate() {
             let outcome = &outcomes[pi * configs.len() + ci];
-            let stats = outcome.stats.as_ref().expect("point jobs cannot fail");
-            total_uops += stats.committed_uops;
-            println!(
-                "{{\"point\":\"{}\",\"scheme\":\"{}\",\"ipc\":{:.4},\"copies\":{},\"uops\":{}{},\"uops_per_sec\":{:.0}}}",
-                point.name,
-                config.name(machine.num_clusters as u32),
-                stats.ipc(),
-                stats.copies_generated,
-                stats.committed_uops,
-                detail_fields(stats),
-                outcome.uops_per_sec(),
-            );
+            let scheme = config.name(machine.num_clusters as u32);
+            match &outcome.stats {
+                Ok(stats) => {
+                    total_uops += stats.committed_uops;
+                    println!(
+                        "{{\"point\":\"{}\",\"scheme\":\"{scheme}\",\"ipc\":{:.4},\"copies\":{},\"uops\":{}{},\"uops_per_sec\":{:.0}}}",
+                        point.name,
+                        stats.ipc(),
+                        stats.copies_generated,
+                        stats.committed_uops,
+                        detail_fields(stats),
+                        outcome.uops_per_sec(),
+                    );
+                }
+                Err(e) if resilience.active() => {
+                    println!(
+                        "{{\"point\":\"{}\",\"scheme\":\"{scheme}\",\"error\":\"{}\"}}",
+                        point.name,
+                        e.to_string().replace('"', "'"),
+                    );
+                }
+                Err(e) => {
+                    // Without resilience flags, point jobs cannot fail.
+                    panic!("point job failed without chaos armed: {e}");
+                }
+            }
         }
     }
     println!(
@@ -211,6 +240,7 @@ fn main() {
     let json = argv.iter().any(|a| a == "--json");
     let uops = uop_budget(20_000);
     let machine = machine_from_args(&argv);
+    let resilience = resilience_from_args(&argv, "probe_ipc");
     let point_filter = argv.iter().position(|a| a == "--point").map(|i| {
         argv.get(i + 1).cloned().unwrap_or_else(|| {
             eprintln!("probe_ipc: --point needs a suite point name");
@@ -231,10 +261,13 @@ fn main() {
             &machine,
             point_filter.as_deref(),
             metrics_out.as_deref(),
+            &resilience,
         );
     } else {
-        if point_filter.is_some() || metrics_out.is_some() {
-            eprintln!("probe_ipc: --point/--metrics-out only apply to --json mode");
+        if point_filter.is_some() || metrics_out.is_some() || resilience.flags {
+            eprintln!(
+                "probe_ipc: --point/--metrics-out/--retries/--deadline-ms/--chaos only apply to --json mode"
+            );
             std::process::exit(2);
         }
         table_mode(uops, &machine);

@@ -6,6 +6,7 @@
 //! throughput [--uops N] [--runs R] [--clusters 2|4|8] [--point NAME]
 //!            [--trace FILE] [--stages] [--timeline FILE] [--observe]
 //!            [--every K] [--json-out FILE]
+//!            [--retries N] [--deadline-ms MS] [--chaos SCHEDULE]
 //! ```
 //!
 //! Default mode expands a suite point (`--point`, default `gzip-1`; any
@@ -20,7 +21,11 @@
 //! Both modes must produce bit-identical statistics (checked every run);
 //! the report is the throughput of each and the speedup. `--trace FILE`
 //! instead measures batched replay of a stored trace through
-//! [`EvalDriver`] (`R` × Table 3 cells, readers parsed once and rewound).
+//! [`EvalDriver`] (`R` × Table 3 cells, readers parsed once and rewound);
+//! with `--retries`/`--deadline-ms`/`--chaos` (or `VIRTCLUST_FAILPOINTS`,
+//! trace mode only) the batch goes through the resilient engine and the
+//! report carries the degraded-completion summary instead of failing on
+//! the first faulted cell.
 //!
 //! `--stages` instead reports the per-stage wall-time share of a cycle
 //! (events+wakeup / commit / store-drain / memory / issue / dispatch /
@@ -60,7 +65,9 @@ use std::fmt::Write as _;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use virtclust_bench::{results_dir, threads, uop_budget, write_result};
+use virtclust_bench::{
+    results_dir, threads, try_resilience_from_args, uop_budget, write_result, Resilience,
+};
 use virtclust_core::{Configuration, EvalDriver, EvalJob};
 use virtclust_obs::{ChromeTrace, MemSink, Shared};
 use virtclust_sim::{simulate, RunLimits, SimSession, SimStats, StageTimers, StallReason};
@@ -79,6 +86,9 @@ struct Args {
     every: u64,
     observe: bool,
     json_out: Option<String>,
+    /// Any of `--retries/--deadline-ms/--chaos` was given (trace mode
+    /// only; values are parsed by `try_resilience_from_args`).
+    resilient: bool,
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -93,6 +103,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         every: 1_000,
         observe: false,
         json_out: None,
+        resilient: false,
     };
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
@@ -138,6 +149,10 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     .ok()
                     .filter(|&n| n > 0)
                     .ok_or("--every needs a positive integer (cycles)".to_string())?
+            }
+            "--retries" | "--deadline-ms" | "--chaos" => {
+                value(arg)?;
+                args.resilient = true;
             }
             other => return Err(format!("unknown argument {other}")),
         }
@@ -671,7 +686,12 @@ fn timeline_mode(args: &Args, machine: &MachineConfig, out_path: &str) -> Result
     Ok(report)
 }
 
-fn trace_mode(args: &Args, machine: &MachineConfig, file: &str) -> Result<String, String> {
+fn trace_mode(
+    args: &Args,
+    machine: &MachineConfig,
+    file: &str,
+    resilience: &Resilience,
+) -> Result<String, String> {
     // Sanity: the file parses and declares a stream.
     let reader = TraceReader::open(file).map_err(|e| e.to_string())?;
     let declared = reader.declared_len();
@@ -687,27 +707,47 @@ fn trace_mode(args: &Args, machine: &MachineConfig, file: &str) -> Result<String
                 })
         })
         .collect();
+    let driver = EvalDriver::new(machine).threads(threads());
     let t0 = Instant::now();
-    let outcomes = EvalDriver::new(machine).threads(threads()).run(&jobs);
+    let (outcomes, report) = if resilience.active() {
+        let (outcomes, report) = driver.run_resilient(&jobs, &resilience.opts, |_, _| {});
+        (outcomes, Some(report))
+    } else {
+        (driver.run(&jobs), None)
+    };
     let wall = t0.elapsed().as_secs_f64();
     let mut total_uops = 0u64;
     for outcome in &outcomes {
-        total_uops += outcome
-            .stats
-            .as_ref()
-            .map_err(|e| e.to_string())?
-            .committed_uops;
+        match &outcome.stats {
+            Ok(stats) => total_uops += stats.committed_uops,
+            // Under the resilient engine failed cells are tallied in the
+            // report; without it the first failure is fatal.
+            Err(_) if report.is_some() => {}
+            Err(e) => return Err(e.to_string()),
+        }
     }
-    Ok(format!(
+    let mut out = format!(
         "batched replay of {file} (declared {declared:?} uops): {} cells, {total_uops} uops \
          in {wall:.2}s = {:.0} uops/s aggregate (readers parsed once per worker, rewound per cell)\n",
         outcomes.len(),
         total_uops as f64 / wall.max(1e-9),
-    ))
+    );
+    if let Some(report) = &report {
+        let _ = writeln!(out, "resilient engine: {}", report.summary());
+    }
+    Ok(out)
 }
 
 fn run(argv: &[String]) -> Result<(), String> {
     let args = parse_args(argv)?;
+    if args.resilient && args.trace.is_none() {
+        return Err("--retries/--deadline-ms/--chaos only apply to --trace mode".into());
+    }
+    let resilience = if args.trace.is_some() {
+        try_resilience_from_args(argv)?
+    } else {
+        Resilience::default()
+    };
     let machine = virtclust_bench::cluster_preset(args.clusters).expect("validated in parse_args");
     let header = format!(
         "# Simulation throughput ({} clusters, {} point, {} uops/cell, {} runs/scheme)\n\n\
@@ -719,7 +759,7 @@ fn run(argv: &[String]) -> Result<(), String> {
         (Some(_), _, Some(_)) | (_, true, Some(_)) | (Some(_), true, _) => {
             return Err("--stages, --trace and --timeline are mutually exclusive".into())
         }
-        (Some(file), false, None) => trace_mode(&args, &machine, file)?,
+        (Some(file), false, None) => trace_mode(&args, &machine, file, &resilience)?,
         (None, true, None) => stages_mode(&args, &machine)?,
         (None, false, Some(out)) => timeline_mode(&args, &machine, out)?,
         (None, false, None) => point_mode(&args, &machine)?,

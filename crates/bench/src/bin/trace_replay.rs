@@ -27,7 +27,12 @@
 //!   (`core::batch::EvalDriver`): per-worker reusable sessions, each trace
 //!   parsed once and rewound per scheme, completions streamed as they
 //!   land. Applies the same identical-commit check per file — the CI
-//!   batch-engine smoke;
+//!   batch-engine smoke. With `--retries N`, `--deadline-ms MS` and/or
+//!   `--chaos SCHEDULE` (or `VIRTCLUST_FAILPOINTS`) the batch runs
+//!   through the resilient engine: failed cells print `ERROR` lines, the
+//!   degraded-completion [`BatchReport`] summary is printed at the end,
+//!   and the command still exits 0 — the CI chaos job's
+//!   process-stays-alive demonstration;
 //! * `import` reads a one-uop-per-line kernel description, expands it with
 //!   the synthetic dynamic model and records the result, so externally
 //!   authored programs enter the pipeline.
@@ -38,10 +43,10 @@
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use virtclust_bench::{threads, uop_budget};
+use virtclust_bench::{threads, try_resilience_from_args, uop_budget};
 use virtclust_core::{
-    record_point, replay_compare, replay_trace, replay_trace_observed, Configuration, EvalDriver,
-    EvalJob,
+    record_point, replay_compare, replay_trace, replay_trace_observed, BatchReport, CellOutcome,
+    Configuration, EvalDriver, EvalJob,
 };
 use virtclust_obs::{MemSink, Shared};
 use virtclust_sim::{RunLimits, SimStats};
@@ -56,11 +61,14 @@ usage:
   trace_replay intervals <file>   [--scheme ...] [--every K] [--uops N] [--clusters 2|4|8]
   trace_replay compare   <file>   [--clusters 2|4|8]
   trace_replay batch     <file>...  [--uops N] [--clusters 2|4|8]
+                                    [--retries N] [--deadline-ms MS] [--chaos SCHEDULE]
   trace_replay import    <kernel> <out-file> [--binary] [--uops N] [--seed S]
 
 schemes: op, op-parallel, 1c (one-cluster), ob, rhop, vc2/vc4/..., mod64/...
 point names are the Fig. 5 suite points (gzip-1 ... apsi); --uops defaults
-to VIRTCLUST_UOPS or 20000 (batch: whole stream).";
+to VIRTCLUST_UOPS or 20000 (batch: whole stream). A chaos SCHEDULE is
+site=kind@N|%K|~P:S pairs, e.g. 'trace.open=io@2,job.run=panic@5' (also
+read from VIRTCLUST_FAILPOINTS).";
 
 struct Args {
     positional: Vec<String>,
@@ -70,6 +78,9 @@ struct Args {
     clusters: usize,
     scheme: String,
     every: u64,
+    /// Any of `--retries/--deadline-ms/--chaos` was given (batch only;
+    /// values are parsed by `try_resilience_from_args` over the raw argv).
+    resilient: bool,
 }
 
 impl Args {
@@ -89,6 +100,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         clusters: 2,
         scheme: "vc2".into(),
         every: 1000,
+        resilient: false,
     };
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
@@ -126,6 +138,10 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     .ok()
                     .filter(|&k| k > 0)
                     .ok_or("--every needs a positive cycle count".to_string())?
+            }
+            "--retries" | "--deadline-ms" | "--chaos" => {
+                value(arg)?;
+                args.resilient = true;
             }
             other if other.starts_with("--") => return Err(format!("unknown flag {other}")),
             other => args.positional.push(other.to_string()),
@@ -173,6 +189,9 @@ fn run(argv: &[String]) -> Result<(), String> {
         return Err("missing command".into());
     };
     let args = parse_args(rest)?;
+    if args.resilient && cmd != "batch" {
+        return Err("--retries/--deadline-ms/--chaos only apply to batch".into());
+    }
     match cmd.as_str() {
         "record" => {
             let [point_name, out] = args.positional.as_slice() else {
@@ -338,28 +357,33 @@ fn run(argv: &[String]) -> Result<(), String> {
                         })
                 })
                 .collect();
+            let resilience = try_resilience_from_args(rest)?;
             let finished = AtomicUsize::new(0);
             let total = jobs.len();
             let t0 = std::time::Instant::now();
-            let outcomes =
-                EvalDriver::new(&machine)
-                    .threads(threads())
-                    .run_streaming(&jobs, |i, outcome| {
-                        let n = finished.fetch_add(1, Ordering::Relaxed) + 1;
-                        match &outcome.stats {
-                            Ok(stats) => println!(
-                                "[{n}/{total}] {}: ipc={:.3} copies={} ({:.2} ms, {:.0}k uops/s)",
-                                jobs[i].label(clusters),
-                                stats.ipc(),
-                                stats.copies_generated,
-                                outcome.wall.as_secs_f64() * 1e3,
-                                outcome.uops_per_sec() / 1e3,
-                            ),
-                            Err(e) => {
-                                println!("[{n}/{total}] {}: ERROR {e}", jobs[i].label(clusters))
-                            }
-                        }
-                    });
+            let progress = |i: usize, outcome: &CellOutcome| {
+                let n = finished.fetch_add(1, Ordering::Relaxed) + 1;
+                match &outcome.stats {
+                    Ok(stats) => println!(
+                        "[{n}/{total}] {}: ipc={:.3} copies={} ({:.2} ms, {:.0}k uops/s)",
+                        jobs[i].label(clusters),
+                        stats.ipc(),
+                        stats.copies_generated,
+                        outcome.wall.as_secs_f64() * 1e3,
+                        outcome.uops_per_sec() / 1e3,
+                    ),
+                    Err(e) => {
+                        println!("[{n}/{total}] {}: ERROR {e}", jobs[i].label(clusters))
+                    }
+                }
+            };
+            let driver = EvalDriver::new(&machine).threads(threads());
+            let (outcomes, report): (_, Option<BatchReport>) = if resilience.active() {
+                let (outcomes, report) = driver.run_resilient(&jobs, &resilience.opts, progress);
+                (outcomes, Some(report))
+            } else {
+                (driver.run_streaming(&jobs, progress), None)
+            };
             let wall = t0.elapsed();
 
             // Per-file identical-commit check (the `compare` contract).
@@ -376,9 +400,19 @@ fn run(argv: &[String]) -> Result<(), String> {
                             commits.push(stats.committed_uops);
                             total_uops += stats.committed_uops;
                         }
-                        Err(e) => failures.push(format!("{}: {e}", job.label(clusters))),
+                        Err(e) => {
+                            // Under the resilient engine failed cells are
+                            // expected (already printed as ERROR lines and
+                            // tallied in the report); without it they are
+                            // fatal.
+                            if report.is_none() {
+                                failures.push(format!("{}: {e}", job.label(clusters)));
+                            }
+                        }
                     }
                 }
+                // Bit-identity must hold across whichever schemes
+                // succeeded, chaos or not.
                 if commits.windows(2).any(|w| w[0] != w[1]) {
                     failures.push(format!(
                         "{file}: schemes committed different micro-op counts: {commits:?}"
@@ -392,6 +426,9 @@ fn run(argv: &[String]) -> Result<(), String> {
                 wall.as_secs_f64(),
                 total_uops as f64 / wall.as_secs_f64().max(1e-9) / 1e3,
             );
+            if let Some(report) = &report {
+                println!("batch: {}", report.summary());
+            }
             if failures.is_empty() {
                 Ok(())
             } else {

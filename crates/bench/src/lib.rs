@@ -17,7 +17,9 @@
 #![warn(missing_docs)]
 
 use std::path::PathBuf;
+use std::time::Duration;
 
+use virtclust_core::{fault, ResilientOptions};
 use virtclust_uarch::MachineConfig;
 
 /// Map a `--clusters` argument to the paper machine preset: 2 (Table 2
@@ -51,6 +53,76 @@ pub fn threads() -> usize {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(0)
+}
+
+/// Resilience flags shared by the batch binaries (`probe_ipc --json`,
+/// `throughput --trace`, `trace_replay batch`).
+#[derive(Debug, Default)]
+pub struct Resilience {
+    /// Retry/deadline options assembled from the flags.
+    pub opts: ResilientOptions,
+    /// Any of `--retries/--deadline-ms/--chaos` was given explicitly.
+    pub flags: bool,
+    /// `VIRTCLUST_FAILPOINTS` armed the registry (no flag needed).
+    pub env_armed: bool,
+}
+
+impl Resilience {
+    /// Whether the binary should run its batch through `run_resilient`
+    /// and report degraded completion instead of treating the first
+    /// error as fatal.
+    pub fn active(&self) -> bool {
+        self.flags || self.env_armed
+    }
+}
+
+/// Parse `--retries N`, `--deadline-ms MS` and `--chaos SCHEDULE` from
+/// `argv`, and arm the failpoint registry from `--chaos` and/or
+/// `VIRTCLUST_FAILPOINTS` (process-wide — the whole process is the chaos
+/// experiment). Malformed values are an `Err` naming the flag.
+pub fn try_resilience_from_args(argv: &[String]) -> Result<Resilience, String> {
+    let value_of = |flag: &str| -> Result<Option<&String>, String> {
+        match argv.iter().position(|a| a == flag) {
+            None => Ok(None),
+            Some(i) => argv
+                .get(i + 1)
+                .map(Some)
+                .ok_or_else(|| format!("{flag} needs a value")),
+        }
+    };
+    let mut r = Resilience::default();
+    if let Some(v) = value_of("--retries")? {
+        r.opts.retry.max_retries = v
+            .parse()
+            .map_err(|_| format!("--retries must be a count, got {v}"))?;
+        r.flags = true;
+    }
+    if let Some(v) = value_of("--deadline-ms")? {
+        let ms: u64 = v
+            .parse()
+            .map_err(|_| format!("--deadline-ms must be milliseconds, got {v}"))?;
+        r.opts.deadline = Some(Duration::from_millis(ms));
+        r.flags = true;
+    }
+    if let Some(v) = value_of("--chaos")? {
+        let schedule = fault::FaultSchedule::parse(v).map_err(|e| format!("--chaos: {e}"))?;
+        fault::arm_global(&schedule);
+        r.flags = true;
+    } else {
+        r.env_armed = fault::arm_from_env()
+            .map_err(|e| format!("VIRTCLUST_FAILPOINTS: {e}"))?
+            .is_some();
+    }
+    Ok(r)
+}
+
+/// [`try_resilience_from_args`], exiting with a usage error on malformed
+/// values (`bin` names the binary in the diagnostic).
+pub fn resilience_from_args(argv: &[String], bin: &str) -> Resilience {
+    try_resilience_from_args(argv).unwrap_or_else(|e| {
+        eprintln!("{bin}: {e}");
+        std::process::exit(2);
+    })
 }
 
 /// Locate the workspace `results/` directory (next to the workspace root's

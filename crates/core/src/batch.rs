@@ -1,5 +1,6 @@
 //! The batched evaluation engine: a job queue of heterogeneous simulation
-//! cells drained by workers that **reuse** everything reusable.
+//! cells drained by workers that **reuse** everything reusable — and keep
+//! draining when individual cells fail.
 //!
 //! [`run_matrix`](crate::runner::run_matrix) fans the (point ×
 //! configuration) matrix out over threads, but historically every cell
@@ -20,24 +21,60 @@
 //!   (out of order), while the returned vector is always in job order —
 //!   so results are deterministic regardless of worker count.
 //!
+//! # Fault tolerance
+//!
+//! A batch is only as useful as its worst job lets it be, so the engine
+//! hardens every per-cell seam (testable deterministically via
+//! [`crate::fault`]):
+//!
+//! * **Typed failures** — every cell resolves to a [`CellOutcome`] whose
+//!   error is a [`JobError`]: a trace error (split transient vs permanent
+//!   by [`TraceError::is_transient`]), a caught panic, a missed deadline,
+//!   or a cancellation. One bad job is one bad outcome, never an abort.
+//! * **Panic isolation** — `catch_unwind` wraps each attempt; a panicked
+//!   worker *quarantines* (fresh session, dropped trace cache, since its
+//!   state died mid-mutation) and keeps draining the queue. Outcomes are
+//!   collected over a channel, not shared mutexes, so a panic anywhere
+//!   can poison nothing. A panicking `on_cell` callback is caught too and
+//!   the first one is resurfaced exactly once after all workers join.
+//! * **Bounded retries** — [`run_resilient`](EvalDriver::run_resilient)
+//!   takes a [`RetryPolicy`]; transient errors (and optionally panics)
+//!   re-attempt after a full worker-state rebuild, so a retried success
+//!   is bit-identical to a fault-free run (the session bit-identity
+//!   contract: a rebuilt worker *is* a fresh machine).
+//! * **Deadlines and cancellation** — per-job wall-clock deadlines and a
+//!   batch-level [`BatchHandle`] ride the cooperative interrupt checks
+//!   inside [`SimSession`]'s run loop (one relaxed load per
+//!   `CHECK_INTERVAL_CYCLES`, composing with cycle skipping): running
+//!   jobs stop at the next check, queued jobs resolve to
+//!   [`JobError::Cancelled`] without running, and the worker's session
+//!   resets cleanly for whatever comes next.
+//!
 //! `run_matrix` is now one [`EvalDriver::run`] call, so every figure,
 //! metric and replay-comparison path in the repo goes through the batch
-//! engine.
+//! engine; the fault machinery costs the fault-free path nothing
+//! measurable (a disarmed failpoint is one relaxed atomic load, and the
+//! interrupt poll is one `Option` branch).
 
+use std::any::Any;
 use std::collections::HashMap;
+use std::fmt;
 use std::fs::File;
 use std::io::BufReader;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex};
 use std::time::{Duration, Instant};
 
-use virtclust_obs::{ChromeTrace, Log2Hist};
-use virtclust_sim::{RunLimits, SimSession, SimStats};
+use virtclust_obs::{ChromeTrace, Counter, Log2Hist};
+use virtclust_sim::{CancelToken, RunLimits, SimSession, SimStats, StopCause};
 use virtclust_trace::{TraceError, TraceReader};
 use virtclust_uarch::{MachineConfig, Program};
 use virtclust_workloads::{KernelParams, TraceExpander, TracePoint};
 
 use crate::experiment::{run_point_on, Configuration};
+use crate::fault;
 use crate::replay::annotate_for_replay;
 
 /// One unit of work for the [`EvalDriver`]: a workload crossed with a
@@ -114,16 +151,216 @@ impl EvalJob {
     }
 }
 
-/// Outcome of one job: the statistics (or the trace error that stopped it)
-/// plus the cell's wall-clock time on its worker.
+/// Why a job failed. The taxonomy drives the [`RetryPolicy`]: trace
+/// errors split transient-vs-permanent via [`TraceError::is_transient`],
+/// panics are retryable only if explicitly opted into, and
+/// deadline/cancellation outcomes are never retried (the budget or the
+/// caller already decided).
+#[derive(Debug)]
+pub enum JobError {
+    /// The trace layer failed (open, parse, rewind, program swap, or an
+    /// error surfaced mid-stream).
+    Trace(TraceError),
+    /// The job panicked on its worker; the panic was caught, the worker
+    /// quarantined, and the batch kept going.
+    Panicked {
+        /// The panic payload's message.
+        message: String,
+    },
+    /// The job's wall-clock deadline passed; the run stopped at the next
+    /// cooperative check.
+    DeadlineExceeded {
+        /// How long the job had been running (across attempts) when it
+        /// was stopped.
+        after: Duration,
+    },
+    /// The batch was cancelled: either before this job started (it never
+    /// ran) or mid-run (it stopped at the next cooperative check).
+    Cancelled,
+}
+
+impl JobError {
+    /// Whether retrying could plausibly succeed (used by the default
+    /// [`RetryPolicy`]): transient trace errors only. Panics are opt-in
+    /// via [`RetryPolicy::retry_panics`]; deadline and cancellation are
+    /// final by definition.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            JobError::Trace(e) => e.is_transient(),
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobError::Trace(e) => write!(f, "{e}"),
+            JobError::Panicked { message } => write!(f, "job panicked: {message}"),
+            JobError::DeadlineExceeded { after } => {
+                write!(f, "job deadline exceeded after {after:?}")
+            }
+            JobError::Cancelled => write!(f, "job cancelled"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JobError::Trace(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TraceError> for JobError {
+    fn from(e: TraceError) -> Self {
+        JobError::Trace(e)
+    }
+}
+
+/// Bounded retry policy for [`EvalDriver::run_resilient`]. An error is
+/// retried while the attempt count is within budget **and** the error
+/// class qualifies: transient trace errors always qualify, panics only
+/// with [`retry_panics`](RetryPolicy::retry_panics), permanent trace
+/// errors, deadlines and cancellations never. Every retry rebuilds the
+/// worker's state (fresh session, dropped trace cache) so a retried
+/// success is bit-identical to a fault-free run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum *re*-attempts per job (0 = first failure is final).
+    pub max_retries: u32,
+    /// Also retry jobs that panicked (after quarantine). Off by default:
+    /// a panic is a bug, and retrying one hides it unless the caller
+    /// explicitly wants availability over signal.
+    pub retry_panics: bool,
+}
+
+impl RetryPolicy {
+    /// No retries: the first failure is the job's outcome.
+    pub fn none() -> Self {
+        RetryPolicy::default()
+    }
+
+    /// Retry transient errors up to `max_retries` times.
+    pub fn transient(max_retries: u32) -> Self {
+        RetryPolicy {
+            max_retries,
+            retry_panics: false,
+        }
+    }
+
+    /// Whether to retry after `err`, given `attempts` attempts already
+    /// made.
+    pub fn should_retry(&self, err: &JobError, attempts: u32) -> bool {
+        if attempts > self.max_retries {
+            return false;
+        }
+        match err {
+            JobError::Trace(e) => e.is_transient(),
+            JobError::Panicked { .. } => self.retry_panics,
+            JobError::DeadlineExceeded { .. } | JobError::Cancelled => false,
+        }
+    }
+}
+
+/// A batch-level cancellation handle: clone-free to create, cheap to
+/// share, and usable from any thread (including an `on_cell` callback).
+/// Pass it to [`ResilientOptions::cancelled_by`]; calling
+/// [`cancel`](BatchHandle::cancel) resolves queued jobs to
+/// [`JobError::Cancelled`] without running them and stops running jobs at
+/// their next cooperative check.
+#[derive(Debug, Clone, Default)]
+pub struct BatchHandle {
+    token: CancelToken,
+}
+
+impl BatchHandle {
+    /// A fresh, un-cancelled handle.
+    pub fn new() -> Self {
+        BatchHandle::default()
+    }
+
+    /// Request cancellation of every batch using this handle.
+    pub fn cancel(&self) {
+        self.token.cancel();
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.token.is_cancelled()
+    }
+
+    /// The underlying [`CancelToken`] (shares this handle's flag).
+    pub fn token(&self) -> CancelToken {
+        self.token.clone()
+    }
+}
+
+/// Options for [`EvalDriver::run_resilient`]: retry budget, per-job
+/// wall-clock deadline, and an optional cancellation source.
+#[derive(Debug, Clone, Default)]
+pub struct ResilientOptions {
+    /// Retry policy (default: no retries).
+    pub retry: RetryPolicy,
+    /// Per-job wall-clock budget, covering all of the job's attempts.
+    /// `None` = no deadline.
+    pub deadline: Option<Duration>,
+    /// Cancellation source shared with a [`BatchHandle`] (or any
+    /// [`CancelToken`] clone). `None` = not cancellable.
+    pub token: Option<CancelToken>,
+}
+
+impl ResilientOptions {
+    /// Defaults: no retries, no deadline, not cancellable.
+    pub fn new() -> Self {
+        ResilientOptions::default()
+    }
+
+    /// Retry transient failures up to `n` times per job.
+    #[must_use]
+    pub fn retries(mut self, n: u32) -> Self {
+        self.retry.max_retries = n;
+        self
+    }
+
+    /// Also retry panicked jobs (see [`RetryPolicy::retry_panics`]).
+    #[must_use]
+    pub fn retry_panics(mut self, yes: bool) -> Self {
+        self.retry.retry_panics = yes;
+        self
+    }
+
+    /// Give every job a wall-clock budget of `d` (all attempts included).
+    #[must_use]
+    pub fn deadline(mut self, d: Duration) -> Self {
+        self.deadline = Some(d);
+        self
+    }
+
+    /// Make the batch cancellable through `handle`.
+    #[must_use]
+    pub fn cancelled_by(mut self, handle: &BatchHandle) -> Self {
+        self.token = Some(handle.token());
+        self
+    }
+}
+
+/// Outcome of one job: the statistics (or the typed [`JobError`] that
+/// stopped it) plus the cell's wall-clock time on its worker.
 #[derive(Debug)]
 pub struct CellOutcome {
-    /// Simulation statistics, or the error for unreadable trace jobs.
-    /// `Point` jobs cannot fail.
-    pub stats: Result<SimStats, TraceError>,
+    /// Simulation statistics, or why the job failed. Under
+    /// [`EvalDriver::run`]/[`run_with_metrics`](EvalDriver::run_with_metrics)
+    /// `Point`/`Kernel` jobs cannot fail (only trace jobs can); under
+    /// [`run_resilient`](EvalDriver::run_resilient) any job can resolve
+    /// to a deadline, cancellation or (isolated) panic.
+    pub stats: Result<SimStats, JobError>,
     /// Wall-clock time the cell spent on its worker thread (includes
-    /// program generation / compiler pass / trace rewind, excludes queue
-    /// wait).
+    /// program generation / compiler pass / trace rewind and every retry
+    /// attempt, excludes queue wait; zero for jobs cancelled before they
+    /// started).
     pub wall: Duration,
 }
 
@@ -169,8 +406,15 @@ pub struct BatchMetrics {
     pub workers: usize,
     /// Per-job telemetry, in job order (parallel to the outcome vector).
     pub jobs: Vec<JobMetrics>,
-    /// Job-latency histogram (`done_at`, in microseconds).
+    /// Job-latency histogram over **successful** jobs only (`done_at`, in
+    /// microseconds). Failed/cancelled cells go to
+    /// [`failed_latency_hist`](BatchMetrics::failed_latency_hist) so that
+    /// the p99 the async-service metric is defined over is not dragged
+    /// around by instantly-resolving errors or deadline-length failures.
     pub latency_hist: Log2Hist,
+    /// Job-latency histogram over failed/cancelled jobs (`done_at`, in
+    /// microseconds).
+    pub failed_latency_hist: Log2Hist,
 }
 
 impl BatchMetrics {
@@ -195,7 +439,8 @@ impl BatchMetrics {
         (busy / budget).min(1.0)
     }
 
-    /// Job latency at quantile `q` (microseconds, log2-bucket resolution).
+    /// Latency at quantile `q` over **successful** jobs (microseconds,
+    /// log2-bucket resolution). Unaffected by failed or cancelled cells.
     pub fn latency_percentile(&self, q: f64) -> u64 {
         self.latency_hist.percentile(q)
     }
@@ -234,6 +479,102 @@ impl BatchMetrics {
     }
 }
 
+/// Degraded-completion summary from [`EvalDriver::run_resilient`]:
+/// per-job attempt counts and fault/retry/cancel counters
+/// ([`virtclust_obs::Counter`]), plus the batch telemetry.
+#[derive(Debug)]
+pub struct BatchReport {
+    /// Attempts per job, in job order (0 = cancelled before it started;
+    /// 1 = succeeded or failed on the first attempt; >1 = retried).
+    pub attempts: Vec<u32>,
+    /// Jobs that produced statistics.
+    pub ok: Counter,
+    /// Jobs whose final outcome is an error of any kind.
+    pub failed: Counter,
+    /// Total re-attempts across the batch (Σ max(attempts − 1, 0)).
+    pub retries: Counter,
+    /// Panics caught across all attempts (retried panics count too).
+    pub panics: Counter,
+    /// Transient trace errors observed across all attempts (a retried-
+    /// then-successful fault still counts — this is the fault counter,
+    /// not the failure counter).
+    pub transient_faults: Counter,
+    /// Jobs whose final outcome is [`JobError::Cancelled`].
+    pub cancelled: Counter,
+    /// Jobs whose final outcome is [`JobError::DeadlineExceeded`].
+    pub deadline_exceeded: Counter,
+    /// Batch telemetry (success/failure-split latency histograms).
+    pub metrics: BatchMetrics,
+}
+
+impl BatchReport {
+    fn build(outcomes: &[CellOutcome], tallies: &[JobTally], metrics: BatchMetrics) -> Self {
+        let mut report = BatchReport {
+            attempts: tallies.iter().map(|t| t.attempts).collect(),
+            ok: Counter::new(),
+            failed: Counter::new(),
+            retries: Counter::new(),
+            panics: Counter::new(),
+            transient_faults: Counter::new(),
+            cancelled: Counter::new(),
+            deadline_exceeded: Counter::new(),
+            metrics,
+        };
+        for (outcome, tally) in outcomes.iter().zip(tallies) {
+            match &outcome.stats {
+                Ok(_) => report.ok.inc(),
+                Err(e) => {
+                    report.failed.inc();
+                    match e {
+                        JobError::Cancelled => report.cancelled.inc(),
+                        JobError::DeadlineExceeded { .. } => report.deadline_exceeded.inc(),
+                        _ => {}
+                    }
+                }
+            }
+            report
+                .retries
+                .add(u64::from(tally.attempts.saturating_sub(1)));
+            report.panics.add(u64::from(tally.panics));
+            report.transient_faults.add(u64::from(tally.transient));
+        }
+        report
+    }
+
+    /// Whether any job's final outcome is an error — the batch completed
+    /// degraded rather than fully.
+    pub fn degraded(&self) -> bool {
+        self.failed.get() > 0
+    }
+
+    /// One-line human-readable completion summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} jobs: {} ok, {} failed ({} cancelled, {} deadline-exceeded); \
+             {} retries, {} panics caught, {} transient faults",
+            self.attempts.len(),
+            self.ok,
+            self.failed,
+            self.cancelled,
+            self.deadline_exceeded,
+            self.retries,
+            self.panics,
+            self.transient_faults,
+        )
+    }
+}
+
+/// Per-job fault bookkeeping, carried next to the outcome.
+#[derive(Debug, Clone, Copy, Default)]
+struct JobTally {
+    /// Attempts made (0 = cancelled before the first).
+    attempts: u32,
+    /// Panics caught (across attempts).
+    panics: u32,
+    /// Transient trace errors observed (across attempts).
+    transient: u32,
+}
+
 /// The batch engine: drains an [`EvalJob`] queue over worker threads with
 /// per-worker session and trace-reader reuse.
 #[derive(Debug, Clone)]
@@ -267,7 +608,9 @@ impl EvalDriver {
     /// Run every job, invoking `on_cell(index, outcome)` from the worker
     /// thread as each cell completes (completion order is scheduling-
     /// dependent; the returned vector is always in job order and its
-    /// statistics are deterministic for any thread count).
+    /// statistics are deterministic for any thread count). A panicking
+    /// callback does not disturb the batch: every job still runs, and the
+    /// first panic is rethrown once after the workers join.
     pub fn run_streaming(
         &self,
         jobs: &[EvalJob],
@@ -278,14 +621,42 @@ impl EvalDriver {
 
     /// [`EvalDriver::run_streaming`] plus batch telemetry: per-job
     /// queue-wait/run spans, which worker ran each job, per-worker
-    /// utilization, and a job-latency histogram. The simulation outcomes
-    /// are identical to the other entry points (all of them run through
-    /// here); the metrics cost per job is two clock reads.
+    /// utilization, and success/failure-split job-latency histograms. The
+    /// simulation outcomes are identical to the other entry points (all
+    /// of them run through here); the metrics cost per job is two clock
+    /// reads.
     pub fn run_with_metrics(
         &self,
         jobs: &[EvalJob],
         on_cell: impl Fn(usize, &CellOutcome) + Sync,
     ) -> (Vec<CellOutcome>, BatchMetrics) {
+        let (outcomes, metrics, _) = self.run_engine(jobs, None, &on_cell);
+        (outcomes, metrics)
+    }
+
+    /// The degraded-completion entry point: run every job under `opts`'s
+    /// retry policy, per-job deadline and cancellation source, and report
+    /// what it took. One panicking/erroring/hung cell costs exactly its
+    /// own outcome — the rest of the batch completes normally, with
+    /// statistics bit-identical to a fault-free run (enforced by test).
+    pub fn run_resilient(
+        &self,
+        jobs: &[EvalJob],
+        opts: &ResilientOptions,
+        on_cell: impl Fn(usize, &CellOutcome) + Sync,
+    ) -> (Vec<CellOutcome>, BatchReport) {
+        let (outcomes, metrics, tallies) = self.run_engine(jobs, Some(opts), &on_cell);
+        let report = BatchReport::build(&outcomes, &tallies, metrics);
+        (outcomes, report)
+    }
+
+    /// The one engine every entry point drains through.
+    fn run_engine(
+        &self,
+        jobs: &[EvalJob],
+        opts: Option<&ResilientOptions>,
+        on_cell: &(dyn Fn(usize, &CellOutcome) + Sync),
+    ) -> (Vec<CellOutcome>, BatchMetrics, Vec<JobTally>) {
         let t0 = Instant::now();
         let n_jobs = jobs.len();
         let threads = if self.threads == 0 {
@@ -295,18 +666,26 @@ impl EvalDriver {
         }
         .min(n_jobs.max(1));
 
-        let mut flat: Vec<Option<CellOutcome>> = (0..n_jobs).map(|_| None).collect();
-        let mut metrics_flat: Vec<Option<JobMetrics>> = (0..n_jobs).map(|_| None).collect();
+        // Outcomes travel over a channel instead of per-slot mutexes: a
+        // panic anywhere (job, callback, even a worker bug) can poison
+        // nothing, and missing results degrade to typed errors below
+        // instead of aborting the collector.
+        let mut slots: Vec<Option<(CellOutcome, JobMetrics, JobTally)>> =
+            (0..n_jobs).map(|_| None).collect();
+        let callback_panic: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
+        // Workers inherit the spawning thread's failpoint participation,
+        // so a chaos test's schedule reaches its own workers and no one
+        // else's (see `fault::participate`).
+        let participates = fault::participating();
         if n_jobs > 0 {
             let next = AtomicUsize::new(0);
-            let slots: Vec<std::sync::Mutex<&mut Option<CellOutcome>>> =
-                flat.iter_mut().map(std::sync::Mutex::new).collect();
-            let metric_slots: Vec<std::sync::Mutex<&mut Option<JobMetrics>>> =
-                metrics_flat.iter_mut().map(std::sync::Mutex::new).collect();
-            let (next, slots, metric_slots, on_cell) = (&next, &slots, &metric_slots, &on_cell);
+            let (tx, rx) = mpsc::channel();
+            let (next, callback_panic) = (&next, &callback_panic);
             std::thread::scope(|scope| {
                 for w in 0..threads {
+                    let tx = tx.clone();
                     scope.spawn(move || {
+                        fault::participate(participates);
                         let mut worker = Worker::new(&self.machine);
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
@@ -314,38 +693,75 @@ impl EvalDriver {
                                 break;
                             }
                             let queued = t0.elapsed();
-                            let start = Instant::now();
-                            let stats = worker.run_job(&jobs[i]);
-                            let outcome = CellOutcome {
-                                stats,
-                                wall: start.elapsed(),
-                            };
-                            on_cell(i, &outcome);
+                            let (outcome, tally) = run_one(&mut worker, &jobs[i], opts);
+                            if let Err(p) = catch_unwind(AssertUnwindSafe(|| on_cell(i, &outcome)))
+                            {
+                                let mut first = callback_panic
+                                    .lock()
+                                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                                first.get_or_insert(p);
+                            }
                             let metrics = JobMetrics {
                                 worker: w,
                                 queued,
                                 run: outcome.wall,
                                 done_at: t0.elapsed(),
                             };
-                            **slots[i].lock().expect("slot lock") = Some(outcome);
-                            **metric_slots[i].lock().expect("metric lock") = Some(metrics);
+                            // Send cannot fail while the receiver lives
+                            // (it outlives the scope).
+                            let _ = tx.send((i, outcome, metrics, tally));
                         }
                     });
                 }
             });
+            drop(tx);
+            for (i, outcome, metrics, tally) in rx {
+                slots[i] = Some((outcome, metrics, tally));
+            }
+        }
+        // Resurface the first on_cell panic exactly once, after every
+        // worker joined and every other job completed normally.
+        if let Some(p) = callback_panic
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+        {
+            resume_unwind(p);
         }
         let wall = t0.elapsed();
-        let outcomes: Vec<CellOutcome> = flat
-            .into_iter()
-            .map(|c| c.expect("every job produced an outcome"))
-            .collect();
-        let job_metrics: Vec<JobMetrics> = metrics_flat
-            .into_iter()
-            .map(|m| m.expect("every job produced metrics"))
-            .collect();
+        let mut outcomes = Vec::with_capacity(n_jobs);
+        let mut job_metrics = Vec::with_capacity(n_jobs);
+        let mut tallies = Vec::with_capacity(n_jobs);
         let mut latency_hist = Log2Hist::new();
-        for m in &job_metrics {
-            latency_hist.record(m.done_at.as_micros() as u64);
+        let mut failed_latency_hist = Log2Hist::new();
+        for slot in slots {
+            let (outcome, metrics, tally) = slot.unwrap_or_else(|| {
+                // Defensive: every code path above produces an outcome;
+                // should one ever not, degrade to a typed error instead
+                // of aborting the whole batch.
+                (
+                    CellOutcome {
+                        stats: Err(JobError::Panicked {
+                            message: "worker produced no outcome for this job".into(),
+                        }),
+                        wall: Duration::ZERO,
+                    },
+                    JobMetrics {
+                        worker: 0,
+                        queued: Duration::ZERO,
+                        run: Duration::ZERO,
+                        done_at: wall,
+                    },
+                    JobTally::default(),
+                )
+            });
+            if outcome.stats.is_ok() {
+                latency_hist.record(metrics.done_at.as_micros() as u64);
+            } else {
+                failed_latency_hist.record(metrics.done_at.as_micros() as u64);
+            }
+            outcomes.push(outcome);
+            job_metrics.push(metrics);
+            tallies.push(tally);
         }
         (
             outcomes,
@@ -354,8 +770,92 @@ impl EvalDriver {
                 workers: threads,
                 jobs: job_metrics,
                 latency_hist,
+                failed_latency_hist,
             },
+            tallies,
         )
+    }
+}
+
+/// Run one job to its final outcome: the attempt/retry loop, with panic
+/// isolation and quarantine around every attempt.
+fn run_one(
+    worker: &mut Worker<'_>,
+    job: &EvalJob,
+    opts: Option<&ResilientOptions>,
+) -> (CellOutcome, JobTally) {
+    let mut tally = JobTally::default();
+    let token = opts.and_then(|o| o.token.as_ref());
+    // Batch already cancelled: resolve without running (attempts = 0).
+    if token.is_some_and(CancelToken::is_cancelled) {
+        return (
+            CellOutcome {
+                stats: Err(JobError::Cancelled),
+                wall: Duration::ZERO,
+            },
+            tally,
+        );
+    }
+    let start = Instant::now();
+    let deadline = opts.and_then(|o| o.deadline).map(|d| start + d);
+    let stats = loop {
+        tally.attempts += 1;
+        let attempt = catch_unwind(AssertUnwindSafe(|| {
+            worker.run_job(job, token, deadline, start)
+        }));
+        let err = match attempt {
+            Ok(Ok(stats)) => break Ok(stats),
+            Ok(Err(e)) => e,
+            Err(payload) => {
+                // The worker's session/caches died mid-mutation:
+                // quarantine before anything else touches them.
+                worker.quarantine();
+                JobError::Panicked {
+                    message: panic_message(payload.as_ref()),
+                }
+            }
+        };
+        match &err {
+            JobError::Panicked { .. } => tally.panics += 1,
+            JobError::Trace(e) if e.is_transient() => tally.transient += 1,
+            _ => {}
+        }
+        let retry = opts.is_some_and(|o| o.retry.should_retry(&err, tally.attempts))
+            && !token.is_some_and(CancelToken::is_cancelled)
+            && deadline.is_none_or(|d| Instant::now() < d);
+        if !retry {
+            break Err(err);
+        }
+        // Per-attempt worker-state rebuild (its own failpoint — a second
+        // fault here fails the job instead of looping).
+        match catch_unwind(AssertUnwindSafe(|| worker.rebuild())) {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => break Err(e),
+            Err(payload) => {
+                worker.quarantine();
+                break Err(JobError::Panicked {
+                    message: panic_message(payload.as_ref()),
+                });
+            }
+        }
+    };
+    (
+        CellOutcome {
+            stats,
+            wall: start.elapsed(),
+        },
+        tally,
+    )
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".into()
     }
 }
 
@@ -382,7 +882,49 @@ impl<'m> Worker<'m> {
         }
     }
 
-    fn run_job(&mut self, job: &EvalJob) -> Result<SimStats, TraceError> {
+    /// Drop everything reused across jobs: the session (whose state may
+    /// have died mid-mutation in a panic) and the trace-reader cache
+    /// (whose readers may be mid-stream). The bit-identity contract makes
+    /// this safe: a rebuilt worker *is* a fresh machine.
+    fn quarantine(&mut self) {
+        self.session = SimSession::new(self.machine);
+        self.traces.clear();
+    }
+
+    /// Per-attempt state rebuild before a retry — the quarantine plus the
+    /// `session.reset` failpoint, so chaos schedules can exercise a fault
+    /// *inside* fault recovery.
+    fn rebuild(&mut self) -> Result<(), JobError> {
+        fault::fire(fault::SESSION_RESET)?;
+        self.quarantine();
+        Ok(())
+    }
+
+    /// One attempt at one job, with interruption wired into the session.
+    fn run_job(
+        &mut self,
+        job: &EvalJob,
+        token: Option<&CancelToken>,
+        deadline: Option<Instant>,
+        started: Instant,
+    ) -> Result<SimStats, JobError> {
+        fault::fire(fault::JOB_RUN)?;
+        if token.is_some() || deadline.is_some() {
+            self.session.set_interrupt(token.cloned(), deadline);
+        }
+        let result = self.dispatch(job);
+        let cause = self.session.stop_cause();
+        self.session.clear_interrupt();
+        match cause {
+            Some(StopCause::Cancelled) => Err(JobError::Cancelled),
+            Some(StopCause::DeadlineExceeded) => Err(JobError::DeadlineExceeded {
+                after: started.elapsed(),
+            }),
+            None => result.map_err(JobError::from),
+        }
+    }
+
+    fn dispatch(&mut self, job: &EvalJob) -> Result<SimStats, TraceError> {
         match job {
             EvalJob::Point {
                 point,
@@ -420,6 +962,7 @@ impl<'m> Worker<'m> {
                 let cached = match self.traces.entry(path.clone()) {
                     std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
                     std::collections::hash_map::Entry::Vacant(e) => {
+                        fault::fire(fault::TRACE_OPEN)?;
                         let reader = TraceReader::open(path)?;
                         let pristine = reader.program().clone();
                         e.insert(CachedTrace { reader, pristine })
@@ -428,7 +971,9 @@ impl<'m> Worker<'m> {
                 // The `replay_trace` preparation, over the already-parsed,
                 // rewound reader.
                 let program = annotate_for_replay(cached.pristine.clone(), config, self.machine);
+                fault::fire(fault::TRACE_SET_PROGRAM)?;
                 cached.reader.set_program(program)?;
+                fault::fire(fault::TRACE_REWIND)?;
                 cached.reader.rewind()?;
                 let mut policy = config.make_policy();
                 let stats = self.session.simulate(
@@ -453,6 +998,7 @@ impl<'m> Worker<'m> {
 mod tests {
     use super::*;
     use crate::experiment::run_point;
+    use crate::fault::{FaultKind, FaultSchedule, FaultSpec, ScopedFaults, Trigger};
     use crate::replay::{record_point, replay_trace};
     use virtclust_trace::Codec;
     use virtclust_uarch::{ArchReg, RegionBuilder};
@@ -467,6 +1013,10 @@ mod tests {
 
     fn tmp(name: &str) -> PathBuf {
         std::env::temp_dir().join(format!("virtclust-batch-{}-{name}", std::process::id()))
+    }
+
+    fn sched(site: &str, kind: FaultKind, trigger: Trigger) -> FaultSchedule {
+        FaultSchedule::new().with(site, FaultSpec { kind, trigger })
     }
 
     #[test]
@@ -644,6 +1194,7 @@ mod tests {
         assert_eq!(metrics.workers, 2);
         assert_eq!(metrics.jobs.len(), jobs.len());
         assert_eq!(metrics.latency_hist.count(), jobs.len() as u64);
+        assert_eq!(metrics.failed_latency_hist.count(), 0);
         for m in &metrics.jobs {
             assert!(m.worker < metrics.workers);
             assert!(m.done_at >= m.queued, "finish after pickup");
@@ -702,6 +1253,299 @@ mod tests {
             outcomes[1].stats.as_ref().unwrap().committed_uops,
             300,
             "the queue keeps draining after an error"
+        );
+    }
+
+    #[test]
+    fn failed_jobs_do_not_pollute_the_success_latency_hist() {
+        let machine = MachineConfig::paper_2cluster();
+        let mut jobs = vec![EvalJob::Trace {
+            path: PathBuf::from("/nonexistent/ghost.vctb"),
+            config: Configuration::Op,
+            limits: RunLimits::unlimited(),
+        }];
+        for config in Configuration::table3() {
+            jobs.push(EvalJob::Point {
+                point: point("gzip-1"),
+                config,
+                uops: 400,
+            });
+        }
+        let (outcomes, metrics) = EvalDriver::new(&machine)
+            .threads(2)
+            .run_with_metrics(&jobs, |_, _| {});
+        let ok = outcomes.iter().filter(|o| o.stats.is_ok()).count();
+        assert_eq!(ok, jobs.len() - 1);
+        // The p99-bearing histogram is defined over successes only; the
+        // instantly-resolving failure lands in the failed hist instead of
+        // dragging the success percentiles toward zero.
+        assert_eq!(metrics.latency_hist.count(), ok as u64);
+        assert_eq!(metrics.failed_latency_hist.count(), 1);
+        assert!(metrics.latency_percentile(0.5) > 0);
+    }
+
+    #[test]
+    fn injected_panic_isolates_one_job_and_keeps_the_rest_bit_identical() {
+        let machine = MachineConfig::paper_2cluster();
+        let jobs: Vec<EvalJob> = Configuration::table3()
+            .into_iter()
+            .map(|config| EvalJob::Point {
+                point: point("gzip-1"),
+                config,
+                uops: 400,
+            })
+            .collect();
+        // Fault-free reference first (the registry is disarmed here).
+        let clean = EvalDriver::new(&machine).threads(1).run(&jobs);
+        let _faults = ScopedFaults::arm(&sched(fault::JOB_RUN, FaultKind::Panic, Trigger::Nth(2)));
+        let (outcomes, report) = EvalDriver::new(&machine).threads(1).run_resilient(
+            &jobs,
+            &ResilientOptions::new(),
+            |_, _| {},
+        );
+        match &outcomes[1].stats {
+            Err(JobError::Panicked { message }) => {
+                assert!(message.contains("injected panic"), "{message}");
+            }
+            other => panic!("job 1 should have panicked, got {other:?}"),
+        }
+        for (i, (clean, got)) in clean.iter().zip(&outcomes).enumerate() {
+            if i == 1 {
+                continue;
+            }
+            assert_eq!(
+                clean.stats.as_ref().unwrap(),
+                got.stats.as_ref().unwrap(),
+                "job {i} must be bit-identical despite job 1 panicking"
+            );
+        }
+        assert_eq!(report.ok.get(), jobs.len() as u64 - 1);
+        assert_eq!(report.failed.get(), 1);
+        assert_eq!(report.panics.get(), 1);
+        assert_eq!(report.retries.get(), 0);
+        assert!(report.degraded());
+        assert!(
+            report.summary().contains("1 failed"),
+            "{}",
+            report.summary()
+        );
+    }
+
+    #[test]
+    fn transient_open_fault_retries_to_bit_identical_stats() {
+        let machine = MachineConfig::paper_2cluster();
+        let path = tmp("retry.vctb");
+        record_point(&point("gzip-1"), 1_000, Codec::Binary, &path).unwrap();
+        let clean =
+            replay_trace(&path, &Configuration::Op, &machine, &RunLimits::unlimited()).unwrap();
+        let jobs = vec![EvalJob::Trace {
+            path: path.clone(),
+            config: Configuration::Op,
+            limits: RunLimits::unlimited(),
+        }];
+        let _faults = ScopedFaults::arm(&sched(fault::TRACE_OPEN, FaultKind::Io, Trigger::Nth(1)));
+        let (outcomes, report) = EvalDriver::new(&machine).threads(1).run_resilient(
+            &jobs,
+            &ResilientOptions::new().retries(2),
+            |_, _| {},
+        );
+        assert_eq!(
+            outcomes[0].stats.as_ref().unwrap(),
+            &clean,
+            "the retried success must match the fault-free run bit for bit"
+        );
+        assert_eq!(report.attempts, vec![2]);
+        assert_eq!(report.retries.get(), 1);
+        assert_eq!(report.transient_faults.get(), 1);
+        assert!(!report.degraded());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn permanent_faults_fail_without_retry() {
+        let machine = MachineConfig::paper_2cluster();
+        let path = tmp("perm.vctb");
+        record_point(&point("gzip-1"), 500, Codec::Binary, &path).unwrap();
+        let jobs = vec![EvalJob::Trace {
+            path: path.clone(),
+            config: Configuration::Op,
+            limits: RunLimits::unlimited(),
+        }];
+        let _faults = ScopedFaults::arm(&sched(
+            fault::TRACE_OPEN,
+            FaultKind::Corrupt,
+            Trigger::Nth(1),
+        ));
+        let (outcomes, report) = EvalDriver::new(&machine).threads(1).run_resilient(
+            &jobs,
+            &ResilientOptions::new().retries(3),
+            |_, _| {},
+        );
+        match &outcomes[0].stats {
+            Err(JobError::Trace(e)) => assert!(!e.is_transient(), "{e}"),
+            other => panic!("expected a permanent trace error, got {other:?}"),
+        }
+        assert_eq!(report.attempts, vec![1], "permanent errors retry nothing");
+        assert_eq!(report.retries.get(), 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn retries_are_bounded_by_the_policy() {
+        let machine = MachineConfig::paper_2cluster();
+        let path = tmp("bounded.vctb");
+        record_point(&point("gzip-1"), 500, Codec::Binary, &path).unwrap();
+        let jobs = vec![EvalJob::Trace {
+            path: path.clone(),
+            config: Configuration::Op,
+            limits: RunLimits::unlimited(),
+        }];
+        // Every rewind attempt fails — the job must give up after
+        // 1 + max_retries attempts.
+        let _faults = ScopedFaults::arm(&sched(
+            fault::TRACE_REWIND,
+            FaultKind::Io,
+            Trigger::Every(1),
+        ));
+        let (outcomes, report) = EvalDriver::new(&machine).threads(1).run_resilient(
+            &jobs,
+            &ResilientOptions::new().retries(2),
+            |_, _| {},
+        );
+        assert!(matches!(&outcomes[0].stats, Err(JobError::Trace(_))));
+        assert_eq!(report.attempts, vec![3], "1 initial + 2 retries");
+        assert_eq!(report.retries.get(), 2);
+        assert_eq!(report.transient_faults.get(), 3);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn a_fault_during_rebuild_fails_the_job_instead_of_looping() {
+        let machine = MachineConfig::paper_2cluster();
+        let path = tmp("rebuild.vctb");
+        record_point(&point("gzip-1"), 500, Codec::Binary, &path).unwrap();
+        let jobs = vec![EvalJob::Trace {
+            path: path.clone(),
+            config: Configuration::Op,
+            limits: RunLimits::unlimited(),
+        }];
+        let schedule = sched(fault::TRACE_REWIND, FaultKind::Io, Trigger::Nth(1)).with(
+            fault::SESSION_RESET,
+            FaultSpec {
+                kind: FaultKind::Io,
+                trigger: Trigger::Every(1),
+            },
+        );
+        let _faults = ScopedFaults::arm(&schedule);
+        let (outcomes, report) = EvalDriver::new(&machine).threads(1).run_resilient(
+            &jobs,
+            &ResilientOptions::new().retries(5),
+            |_, _| {},
+        );
+        // The transient rewind fault would retry, but the rebuild itself
+        // faults: double fault, job over, no infinite loop.
+        assert!(matches!(&outcomes[0].stats, Err(JobError::Trace(_))));
+        assert_eq!(report.attempts, vec![1]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn deadline_stops_a_runaway_job_and_the_worker_recovers() {
+        let machine = MachineConfig::paper_2cluster();
+        let small = point("gzip-1");
+        let jobs = vec![
+            // Far more work than fits in the budget below.
+            EvalJob::Point {
+                point: point("crafty"),
+                config: Configuration::Op,
+                uops: 3_000_000,
+            },
+            EvalJob::Point {
+                point: small.clone(),
+                config: Configuration::Op,
+                uops: 300,
+            },
+        ];
+        let (outcomes, report) = EvalDriver::new(&machine).threads(1).run_resilient(
+            &jobs,
+            &ResilientOptions::new().deadline(Duration::from_millis(80)),
+            |_, _| {},
+        );
+        match &outcomes[0].stats {
+            Err(JobError::DeadlineExceeded { after }) => {
+                assert!(*after >= Duration::from_millis(80), "stopped at {after:?}");
+            }
+            other => panic!("expected a deadline outcome, got {other:?}"),
+        }
+        // The same worker (threads = 1) runs the next job on its cleanly
+        // reset session: bit-identical to a fresh fault-free run.
+        let clean = run_point(&small, &Configuration::Op, &machine, 300);
+        assert_eq!(outcomes[1].stats.as_ref().unwrap(), &clean);
+        assert_eq!(report.deadline_exceeded.get(), 1);
+        assert_eq!(report.ok.get(), 1);
+    }
+
+    #[test]
+    fn cancelling_from_the_callback_resolves_queued_jobs_without_running_them() {
+        let machine = MachineConfig::paper_2cluster();
+        let jobs: Vec<EvalJob> = (0..6)
+            .map(|_| EvalJob::Point {
+                point: point("gzip-1"),
+                config: Configuration::Op,
+                uops: 400,
+            })
+            .collect();
+        let handle = BatchHandle::new();
+        let opts = ResilientOptions::new().cancelled_by(&handle);
+        let (outcomes, report) =
+            EvalDriver::new(&machine)
+                .threads(1)
+                .run_resilient(&jobs, &opts, |_, _| handle.cancel());
+        assert!(outcomes[0].stats.is_ok(), "the first job had already run");
+        for (i, o) in outcomes.iter().enumerate().skip(1) {
+            assert!(
+                matches!(o.stats, Err(JobError::Cancelled)),
+                "job {i} was queued at cancellation"
+            );
+            assert_eq!(o.wall, Duration::ZERO, "job {i} never ran");
+            assert_eq!(report.attempts[i], 0);
+        }
+        assert_eq!(report.cancelled.get(), 5);
+        assert_eq!(report.ok.get(), 1);
+        assert_eq!(
+            report.attempts.len(),
+            jobs.len(),
+            "every job is accounted exactly once"
+        );
+    }
+
+    #[test]
+    fn on_cell_panic_is_resurfaced_once_after_every_job_ran() {
+        let machine = MachineConfig::paper_2cluster();
+        let jobs: Vec<EvalJob> = Configuration::table3()
+            .into_iter()
+            .map(|config| EvalJob::Point {
+                point: point("gzip-1"),
+                config,
+                uops: 300,
+            })
+            .collect();
+        let calls = AtomicUsize::new(0);
+        let n = jobs.len();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            EvalDriver::new(&machine)
+                .threads(2)
+                .run_streaming(&jobs, |_, _| {
+                    calls.fetch_add(1, Ordering::SeqCst);
+                    panic!("callback exploded");
+                })
+        }));
+        let payload = result.expect_err("the first callback panic resurfaces");
+        assert_eq!(panic_message(payload.as_ref()), "callback exploded");
+        assert_eq!(
+            calls.load(Ordering::SeqCst),
+            n,
+            "every job still ran and streamed despite the panicking callback"
         );
     }
 }

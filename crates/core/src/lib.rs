@@ -29,12 +29,16 @@
 
 pub mod batch;
 pub mod experiment;
+pub mod fault;
 pub mod figures;
 pub mod metrics;
 pub mod replay;
 pub mod runner;
 
-pub use batch::{BatchMetrics, CellOutcome, EvalDriver, EvalJob, JobMetrics};
+pub use batch::{
+    BatchHandle, BatchMetrics, BatchReport, CellOutcome, EvalDriver, EvalJob, JobError, JobMetrics,
+    ResilientOptions, RetryPolicy,
+};
 pub use experiment::{run_point, run_point_on, Configuration};
 pub use figures::{fig5, fig6, fig7, Fig5Data, Fig6Data, Fig7Data};
 pub use metrics::{slowdown_pct, suite_weighted_average, PointOutcome};
@@ -42,3 +46,4 @@ pub use replay::{
     record_point, replay_compare, replay_reader, replay_trace, replay_trace_observed,
 };
 pub use runner::{run_matrix, EvalMatrix};
+pub use virtclust_sim::{CancelToken, StopCause};

@@ -84,6 +84,7 @@ pub fn replay_trace(
     machine: &MachineConfig,
     limits: &RunLimits,
 ) -> Result<SimStats> {
+    crate::fault::fire(crate::fault::TRACE_OPEN)?;
     replay_reader(TraceReader::open(path)?, config, machine, limits)
 }
 

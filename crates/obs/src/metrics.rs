@@ -34,6 +34,12 @@ impl Counter {
     }
 }
 
+impl std::fmt::Display for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.value)
+    }
+}
+
 /// Histogram with power-of-two buckets: bucket `i` holds values `v` with
 /// `floor(log2(max(v,1))) == i`, i.e. `[2^i, 2^(i+1))`, with `0` counted in
 /// bucket 0. Covers the full `u64` range in 64 buckets.

@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod cancel;
 pub mod lsq;
 pub mod machine;
 pub mod predictor;
@@ -56,6 +57,7 @@ pub mod steering;
 pub mod value;
 
 pub use cache::{Cache, LoadPath, MemorySystem};
+pub use cancel::{CancelToken, StopCause};
 pub use lsq::{LoadCheck, Lsq};
 pub use machine::{simulate, Machine, RunLimits};
 pub use predictor::{Gshare, LocalHistory, TraceCache};

@@ -62,6 +62,7 @@ use virtclust_uarch::{
 };
 
 use crate::cache::{LoadPath, MemorySystem};
+use crate::cancel::{CancelToken, InterruptState, StopCause};
 use crate::lsq::{LoadCheck, Lsq};
 use crate::machine::RunLimits;
 use crate::predictor::{pc_of, LocalHistory, TraceCache};
@@ -539,6 +540,13 @@ pub struct SimSession {
     // like `skip_override`, so a driver can attach once and observe every
     // run the session executes.
     observer: Option<ObserverState>,
+    // Cooperative interrupt sources (cancellation token / wall-clock
+    // deadline), polled in the run loop every
+    // [`crate::cancel::CHECK_INTERVAL_CYCLES`] cycles. `None` keeps the
+    // per-step cost to a single branch. Survives `reset` (re-armed) like
+    // the observer, so the batch engine can configure it before a
+    // `simulate` call that resets internally.
+    interrupt: Option<InterruptState>,
 }
 
 /// Process-wide default for idle-cycle skipping: enabled unless the
@@ -607,6 +615,7 @@ impl SimSession {
             skip_override: None,
             skip_diag: SkipDiag::default(),
             observer: None,
+            interrupt: None,
         };
         session.reset(cfg);
         session
@@ -705,6 +714,9 @@ impl SimSession {
         self.skip_diag = SkipDiag::default();
         if let Some(obs) = &mut self.observer {
             obs.rearm(n);
+        }
+        if let Some(int) = &mut self.interrupt {
+            int.rearm();
         }
         self.cfg = cfg.clone();
     }
@@ -812,6 +824,48 @@ impl SimSession {
     /// Whether an interval observer is attached.
     pub fn has_observer(&self) -> bool {
         self.observer.is_some()
+    }
+
+    /// Configure cooperative interruption for subsequent runs: an optional
+    /// [`CancelToken`] (batch- or job-level cancellation) and an optional
+    /// wall-clock `deadline`. The run loop polls the sources every
+    /// [`crate::cancel::CHECK_INTERVAL_CYCLES`] simulated cycles — a
+    /// skipped idle span advances past the boundary in one step, so an
+    /// idle session still observes cancellation once per span — and exits
+    /// with [`SimSession::stop_cause`] set when one fires. The
+    /// configuration survives [`SimSession::reset`] (re-armed, like the
+    /// observer), so it can be installed before a
+    /// [`SimSession::simulate`] call that resets internally.
+    ///
+    /// Interruption never perturbs statistics: it only decides when the
+    /// run loop stops, so an uninterrupted run with sources configured is
+    /// bit-identical to one without (the fault-free contract the golden
+    /// pins enforce). With `(None, None)` this is
+    /// [`SimSession::clear_interrupt`].
+    pub fn set_interrupt(
+        &mut self,
+        token: Option<CancelToken>,
+        deadline: Option<std::time::Instant>,
+    ) {
+        self.interrupt = if token.is_none() && deadline.is_none() {
+            None
+        } else {
+            Some(InterruptState::new(token, deadline))
+        };
+    }
+
+    /// Remove any configured interrupt sources (and a recorded stop
+    /// cause). Restores the zero-cost un-interruptible run loop.
+    pub fn clear_interrupt(&mut self) {
+        self.interrupt = None;
+    }
+
+    /// Why the last run stopped early, if it did: `None` after a run that
+    /// drained its trace or hit a [`RunLimits`] bound, the cause after a
+    /// cancellation or deadline interruption. Cleared by
+    /// [`SimSession::reset`] and [`SimSession::set_interrupt`].
+    pub fn stop_cause(&self) -> Option<StopCause> {
+        self.interrupt.as_ref().and_then(|i| i.stopped)
     }
 
     /// Skip-path diagnostics accumulated since the last reset (spans
@@ -2386,6 +2440,16 @@ impl SimSession {
             if self.done() {
                 break;
             }
+            // Cooperative interruption: one branch per step when no source
+            // is configured; with sources, one relaxed load (plus an
+            // `Instant::now()` when a deadline is set) per check interval
+            // or skipped span. Polled after `done()` so a run that drains
+            // at the boundary still reports a clean completion.
+            if let Some(int) = &mut self.interrupt {
+                if int.poll(self.now).is_some() {
+                    break;
+                }
+            }
         }
         if self.observer.is_some() {
             self.flush_observer();
@@ -2524,6 +2588,104 @@ mod tests {
             )
         };
         assert_eq!(fresh, reused);
+    }
+
+    #[test]
+    fn cancelled_token_stops_the_run_at_the_next_check() {
+        let region = mixed_region();
+        let uops = expand(&region, 2_000);
+        let cfg = MachineConfig::default();
+        let mut session = SimSession::new(&cfg);
+        let token = CancelToken::new();
+        token.cancel(); // cancelled before the run even starts
+        session.set_interrupt(Some(token), None);
+        let mut trace = SliceTrace::new(&uops);
+        let stats = session.run(&mut trace, &mut RoundRobin(0), &RunLimits::unlimited());
+        assert_eq!(session.stop_cause(), Some(StopCause::Cancelled));
+        assert!(
+            stats.committed_uops < uops.len() as u64,
+            "a pre-cancelled run must stop at the first check, not drain \
+             {} uops (committed {})",
+            uops.len(),
+            stats.committed_uops
+        );
+        // The interrupted session resets cleanly: the cause clears and a
+        // subsequent run (sources removed) is bit-identical to fresh.
+        session.clear_interrupt();
+        let reused = {
+            let mut trace = SliceTrace::new(&uops);
+            session.simulate(
+                &cfg,
+                &mut trace,
+                &mut RoundRobin(0),
+                &RunLimits::unlimited(),
+            )
+        };
+        assert_eq!(session.stop_cause(), None);
+        let fresh = {
+            let mut trace = SliceTrace::new(&uops);
+            simulate(
+                &cfg,
+                &mut trace,
+                &mut RoundRobin(0),
+                &RunLimits::unlimited(),
+            )
+        };
+        assert_eq!(fresh, reused, "post-cancellation runs are unperturbed");
+    }
+
+    #[test]
+    fn expired_deadline_stops_the_run() {
+        let region = mixed_region();
+        let uops = expand(&region, 2_000);
+        let cfg = MachineConfig::default();
+        let mut session = SimSession::new(&cfg);
+        session.set_interrupt(None, Some(std::time::Instant::now()));
+        let mut trace = SliceTrace::new(&uops);
+        let stats = session.run(&mut trace, &mut RoundRobin(0), &RunLimits::unlimited());
+        assert_eq!(session.stop_cause(), Some(StopCause::DeadlineExceeded));
+        assert!(stats.committed_uops < uops.len() as u64);
+    }
+
+    #[test]
+    fn uncancelled_sources_do_not_perturb_the_run() {
+        let region = mixed_region();
+        let uops = expand(&region, 200);
+        let cfg = MachineConfig::default();
+        let bare = {
+            let mut trace = SliceTrace::new(&uops);
+            simulate(
+                &cfg,
+                &mut trace,
+                &mut RoundRobin(0),
+                &RunLimits::unlimited(),
+            )
+        };
+        let mut session = SimSession::new(&cfg);
+        let token = CancelToken::new(); // never cancelled
+        let far = std::time::Instant::now() + std::time::Duration::from_secs(3600);
+        session.set_interrupt(Some(token), Some(far));
+        let mut trace = SliceTrace::new(&uops);
+        let watched = session.run(&mut trace, &mut RoundRobin(0), &RunLimits::unlimited());
+        assert_eq!(session.stop_cause(), None);
+        assert_eq!(bare, watched, "interrupt sources must be read-only");
+    }
+
+    #[test]
+    fn short_run_completes_before_the_first_interrupt_check() {
+        // A run that drains inside the first check interval reports a
+        // clean completion even with a cancelled token installed.
+        let region = mixed_region();
+        let uops = expand(&region, 2);
+        let cfg = MachineConfig::default();
+        let mut session = SimSession::new(&cfg);
+        let token = CancelToken::new();
+        token.cancel();
+        session.set_interrupt(Some(token), None);
+        let mut trace = SliceTrace::new(&uops);
+        let stats = session.run(&mut trace, &mut RoundRobin(0), &RunLimits::unlimited());
+        assert_eq!(stats.committed_uops, uops.len() as u64);
+        assert_eq!(session.stop_cause(), None, "drained before any check");
     }
 
     #[test]

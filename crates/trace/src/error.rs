@@ -34,6 +34,26 @@ impl TraceError {
             msg: msg.into(),
         }
     }
+
+    /// Whether retrying the same operation could plausibly succeed.
+    ///
+    /// Transient: `Io` failures that name an interrupted/timed-out
+    /// syscall (`Interrupted`, `WouldBlock`, `TimedOut`) — the categories
+    /// the batch engine's retry policy re-attempts with rebuilt worker
+    /// state. Everything else — malformed data (`Parse`, `Corrupt`),
+    /// version mismatches (`Unsupported`), semantic mismatches
+    /// (`Inconsistent`), and I/O errors like `NotFound` or
+    /// `PermissionDenied` — is permanent: the same inputs will fail the
+    /// same way.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            TraceError::Io(e) => matches!(
+                e.kind(),
+                io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+            ),
+            _ => false,
+        }
+    }
 }
 
 impl fmt::Display for TraceError {
@@ -82,5 +102,41 @@ mod tests {
         let e: TraceError = io::Error::new(io::ErrorKind::NotFound, "gone").into();
         assert!(matches!(e, TraceError::Io(_)));
         assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn io_source_exposes_the_underlying_kind() {
+        let e: TraceError = io::Error::new(io::ErrorKind::Interrupted, "EINTR").into();
+        let src = std::error::Error::source(&e).expect("Io carries a source");
+        let io_src = src
+            .downcast_ref::<io::Error>()
+            .expect("source is io::Error");
+        assert_eq!(io_src.kind(), io::ErrorKind::Interrupted);
+        // Non-Io variants have no source to chase.
+        assert!(std::error::Error::source(&TraceError::Corrupt("x".into())).is_none());
+    }
+
+    #[test]
+    fn transience_follows_the_io_kind() {
+        for kind in [
+            io::ErrorKind::Interrupted,
+            io::ErrorKind::WouldBlock,
+            io::ErrorKind::TimedOut,
+        ] {
+            let e: TraceError = io::Error::new(kind, "flaky").into();
+            assert!(e.is_transient(), "{kind:?} is retryable");
+        }
+        for kind in [io::ErrorKind::NotFound, io::ErrorKind::PermissionDenied] {
+            let e: TraceError = io::Error::new(kind, "hard").into();
+            assert!(!e.is_transient(), "{kind:?} is permanent");
+        }
+    }
+
+    #[test]
+    fn data_errors_are_never_transient() {
+        assert!(!TraceError::parse(3, "junk").is_transient());
+        assert!(!TraceError::Corrupt("bad magic".into()).is_transient());
+        assert!(!TraceError::Unsupported("v99".into()).is_transient());
+        assert!(!TraceError::Inconsistent("seq".into()).is_transient());
     }
 }

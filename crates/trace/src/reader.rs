@@ -304,9 +304,11 @@ impl<R: BufRead + Seek> TraceSource for TraceReader<R> {
     }
 
     fn rewind(&mut self) -> std::result::Result<(), RewindError> {
-        // A reader *is* rewindable; an error here is a transient seek/parse
-        // failure, not a refusal.
-        TraceReader::rewind(self).map_err(|e| RewindError::new(e.to_string()))
+        // A reader *is* rewindable; an error here is a failed attempt, not
+        // a refusal, and it carries the trace error's own transience
+        // classification (an interrupted seek is retryable, a corrupt
+        // header is not).
+        TraceReader::rewind(self).map_err(|e| RewindError::failed(e.to_string(), e.is_transient()))
     }
 }
 

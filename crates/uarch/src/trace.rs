@@ -96,6 +96,11 @@ pub enum RewindError {
     Failed {
         /// Human-readable reason the rewind failed.
         reason: String,
+        /// Whether the underlying failure was transient (retrying the
+        /// rewind could plausibly succeed). Sources that map a richer
+        /// error type (e.g. `TraceError`) should carry its classification
+        /// through here.
+        transient: bool,
     },
 }
 
@@ -104,12 +109,32 @@ impl RewindError {
     pub fn new(reason: impl Into<String>) -> Self {
         RewindError::Failed {
             reason: reason.into(),
+            transient: true,
+        }
+    }
+
+    /// A failure of a rewindable source with an explicit transience
+    /// classification mapped from the underlying error.
+    pub fn failed(reason: impl Into<String>, transient: bool) -> Self {
+        RewindError::Failed {
+            reason: reason.into(),
+            transient,
         }
     }
 
     /// The "this source kind cannot rewind" error, naming the source.
     pub fn unsupported_by(source: &'static str) -> Self {
         RewindError::Unsupported { source }
+    }
+
+    /// Whether retrying the rewind could plausibly succeed.
+    /// [`RewindError::Unsupported`] never can — the source kind itself
+    /// refuses; [`RewindError::Failed`] carries its mapped classification.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            RewindError::Unsupported { .. } => false,
+            RewindError::Failed { transient, .. } => *transient,
+        }
     }
 }
 
@@ -119,7 +144,7 @@ impl std::fmt::Display for RewindError {
             RewindError::Unsupported { source } => {
                 write!(f, "trace rewind failed: {source} does not support rewind")
             }
-            RewindError::Failed { reason } => write!(f, "trace rewind failed: {reason}"),
+            RewindError::Failed { reason, .. } => write!(f, "trace rewind failed: {reason}"),
         }
     }
 }
@@ -274,6 +299,14 @@ pub fn expand_region(
 mod tests {
     use super::*;
     use crate::program::RegionBuilder;
+
+    #[test]
+    fn rewind_error_transience_classification() {
+        assert!(!RewindError::unsupported_by("TraceExpander").is_transient());
+        assert!(RewindError::new("interrupted seek").is_transient());
+        assert!(RewindError::failed("interrupted seek", true).is_transient());
+        assert!(!RewindError::failed("corrupt header", false).is_transient());
+    }
 
     fn demo_region() -> crate::Region {
         let r = ArchReg::int;
