@@ -85,15 +85,23 @@ fn write_metrics(path: &Path, labels: &[String], metrics: &BatchMetrics) {
             m.done_at.as_micros(),
         );
     }
+    // The success/failed split keeps this row well-formed even when every
+    // job failed under chaos: the success percentiles report 0 (empty
+    // histogram), and the failed-side percentiles carry the latency signal
+    // the degraded run still has.
     let _ = writeln!(
         out,
-        "{{\"aggregate\":\"batch\",\"jobs\":{},\"workers\":{},\"wall_us\":{},\"utilization\":{:.3},\"latency_p50_us\":{},\"latency_p99_us\":{}}}",
+        "{{\"aggregate\":\"batch\",\"jobs\":{},\"ok\":{},\"failed\":{},\"workers\":{},\"wall_us\":{},\"utilization\":{:.3},\"latency_p50_us\":{},\"latency_p99_us\":{},\"failed_p50_us\":{},\"failed_p99_us\":{}}}",
         metrics.jobs.len(),
+        metrics.latency_hist.count(),
+        metrics.failed_latency_hist.count(),
         metrics.workers,
         metrics.wall.as_micros(),
         metrics.utilization(),
         metrics.latency_percentile(0.5),
         metrics.latency_percentile(0.99),
+        metrics.failed_latency_hist.percentile(0.5),
+        metrics.failed_latency_hist.percentile(0.99),
     );
     if let Err(e) = std::fs::write(path, out) {
         eprintln!("probe_ipc: cannot write {}: {e}", path.display());
@@ -147,6 +155,7 @@ fn json_mode(
         write_metrics(path, &labels, &metrics);
     }
     let mut total_uops = 0u64;
+    let mut ok_cells = 0u64;
     for (pi, point) in points.iter().enumerate() {
         for (ci, config) in configs.iter().enumerate() {
             let outcome = &outcomes[pi * configs.len() + ci];
@@ -154,6 +163,7 @@ fn json_mode(
             match &outcome.stats {
                 Ok(stats) => {
                     total_uops += stats.committed_uops;
+                    ok_cells += 1;
                     println!(
                         "{{\"point\":\"{}\",\"scheme\":\"{scheme}\",\"ipc\":{:.4},\"copies\":{},\"uops\":{}{},\"uops_per_sec\":{:.0}}}",
                         point.name,
@@ -178,9 +188,13 @@ fn json_mode(
             }
         }
     }
+    // Exact ok/failed accounting; the throughput quotient stays finite
+    // (and 0) even when every cell failed, so an all-fail chaos run still
+    // emits one well-formed aggregate row and exits 0.
     println!(
-        "{{\"aggregate\":\"table3\",\"cells\":{},\"uops\":{},\"wall_s\":{:.3},\"uops_per_sec\":{:.0}}}",
+        "{{\"aggregate\":\"table3\",\"cells\":{},\"ok\":{ok_cells},\"failed\":{},\"uops\":{},\"wall_s\":{:.3},\"uops_per_sec\":{:.0}}}",
         outcomes.len(),
+        outcomes.len() as u64 - ok_cells,
         total_uops,
         wall.as_secs_f64(),
         total_uops as f64 / wall.as_secs_f64().max(1e-9),

@@ -55,8 +55,30 @@
 //! engine; the fault machinery costs the fault-free path nothing
 //! measurable (a disarmed failpoint is one relaxed atomic load, and the
 //! interrupt poll is one `Option` branch).
+//!
+//! # Job intake
+//!
+//! Jobs reach the workers through a pull-based [`JobSource`]: the
+//! slice-based entry points wrap their `&[EvalJob]` in an internal
+//! atomic-cursor source, and a long-lived front end (the `virtclust-svc`
+//! evaluation service) implements the trait over its priority queues —
+//! both drain through [`EvalDriver::drain_source`], the one worker loop,
+//! so batch and service execution are the same code path. A [`SourcedJob`]
+//! may carry its own cancellation token and deadline (per-client fan-out),
+//! composing with the batch-level [`ResilientOptions`].
+//!
+//! Driver-side seams degrade, never panic: outcome collection recovers
+//! from a poisoned slot mutex ([`std::sync::PoisonError::into_inner`] —
+//! the slots are plain writes), a worker that somehow produces no outcome
+//! yields a typed [`JobError::Panicked`] placeholder instead of unwinding
+//! the collector, and cached-reader rebuilds surface [`TraceError`]s
+//! through the retry machinery. The module denies `clippy::unwrap_used` /
+//! `clippy::expect_used` outside tests to keep it that way.
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 use std::any::Any;
+use std::borrow::Cow;
 use std::collections::HashMap;
 use std::fmt;
 use std::fs::File;
@@ -64,7 +86,7 @@ use std::io::BufReader;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{mpsc, Mutex};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use virtclust_obs::{ChromeTrace, Counter, Log2Hist};
@@ -148,6 +170,87 @@ impl EvalJob {
                 format!("{file} × {scheme}")
             }
         }
+    }
+}
+
+/// A pull-based job intake: workers call [`pull`](JobSource::pull)
+/// concurrently until it returns `None`, which ends the drain (a source
+/// is drained once, not polled again). The slice entry points use an
+/// internal atomic-cursor source over `&[EvalJob]`; a service front end
+/// implements this over its priority queues (blocking in `pull` until a
+/// job arrives or the service shuts down) so socket intake and batch
+/// intake share one worker loop.
+pub trait JobSource: Sync {
+    /// The next job to run, or `None` when the source is permanently
+    /// drained. Called concurrently from every worker thread; a blocking
+    /// implementation stalls only the calling worker.
+    fn pull(&self) -> Option<SourcedJob<'_>>;
+}
+
+/// One job handed out by a [`JobSource`], with optional per-job interrupt
+/// overrides (a service's per-client cancellation token, a per-request
+/// deadline). The `ticket` is the source's own identifier for the job and
+/// is passed through verbatim to the [`JobDone`] delivery.
+#[derive(Debug)]
+pub struct SourcedJob<'a> {
+    /// Source-chosen identifier, echoed in [`JobDone::ticket`].
+    pub ticket: u64,
+    /// The job itself; borrowed for slice sources, owned for queues that
+    /// hand over their jobs.
+    pub job: Cow<'a, EvalJob>,
+    /// Per-job cancellation token. When set it **replaces** the batch
+    /// token ([`ResilientOptions::token`]) for this job's run; batch-level
+    /// cancellation is still honoured before the job starts.
+    pub token: Option<CancelToken>,
+    /// Per-job wall-clock budget; the effective deadline is the smaller
+    /// of this and [`ResilientOptions::deadline`].
+    pub deadline: Option<Duration>,
+}
+
+impl<'a> SourcedJob<'a> {
+    /// A sourced job with no per-job interrupt overrides.
+    pub fn new(ticket: u64, job: Cow<'a, EvalJob>) -> Self {
+        SourcedJob {
+            ticket,
+            job,
+            token: None,
+            deadline: None,
+        }
+    }
+}
+
+/// A completed sourced job, delivered to [`EvalDriver::drain_source`]'s
+/// sink from the worker thread that ran it (completion order is
+/// scheduling-dependent).
+#[derive(Debug)]
+pub struct JobDone {
+    /// The [`SourcedJob::ticket`] this outcome belongs to.
+    pub ticket: u64,
+    /// Index of the worker thread that ran the job.
+    pub worker: usize,
+    /// When the worker pulled the job off the source (queue wait is
+    /// `picked_at` minus the source's own submit timestamp).
+    pub picked_at: Instant,
+    /// The job's outcome.
+    pub outcome: CellOutcome,
+    /// Fault bookkeeping across the job's attempts.
+    pub tally: JobTally,
+}
+
+/// The internal source behind the slice-based entry points: an atomic
+/// cursor over a borrowed job slice — exactly the pre-service drain
+/// order, so slice batches stay deterministic for any worker count.
+struct SliceSource<'a> {
+    jobs: &'a [EvalJob],
+    next: AtomicUsize,
+}
+
+impl JobSource for SliceSource<'_> {
+    fn pull(&self) -> Option<SourcedJob<'_>> {
+        let i = self.next.fetch_add(1, Ordering::Relaxed);
+        self.jobs
+            .get(i)
+            .map(|job| SourcedJob::new(i as u64, Cow::Borrowed(job)))
     }
 }
 
@@ -564,15 +667,16 @@ impl BatchReport {
     }
 }
 
-/// Per-job fault bookkeeping, carried next to the outcome.
+/// Per-job fault bookkeeping, carried next to the outcome (and delivered
+/// with every [`JobDone`]).
 #[derive(Debug, Clone, Copy, Default)]
-struct JobTally {
+pub struct JobTally {
     /// Attempts made (0 = cancelled before the first).
-    attempts: u32,
+    pub attempts: u32,
     /// Panics caught (across attempts).
-    panics: u32,
+    pub panics: u32,
     /// Transient trace errors observed (across attempts).
-    transient: u32,
+    pub transient: u32,
 }
 
 /// The batch engine: drains an [`EvalJob`] queue over worker threads with
@@ -650,7 +754,73 @@ impl EvalDriver {
         (outcomes, report)
     }
 
-    /// The one engine every entry point drains through.
+    /// Drain a pull-based [`JobSource`] to completion: spawn the worker
+    /// pool, have every worker [`pull`](JobSource::pull) until the source
+    /// returns `None`, and deliver each finished job to `on_done` from
+    /// the worker thread that ran it. This is **the** drain loop — the
+    /// slice entry points run through it via an internal cursor source,
+    /// and the evaluation service points its scheduler at it directly.
+    ///
+    /// Per-job interrupt overrides on the [`SourcedJob`] compose with
+    /// `opts`: a job token replaces the batch token for the run (batch
+    /// cancellation is still honoured before the job starts), and the
+    /// effective deadline is the smaller of the two. `on_done` must not
+    /// panic: a panic there kills its worker and resurfaces when the pool
+    /// joins (the slice entry points wrap their user callback in
+    /// `catch_unwind` for exactly this reason).
+    pub fn drain_source(
+        &self,
+        source: &(dyn JobSource + '_),
+        opts: &ResilientOptions,
+        on_done: &(dyn Fn(JobDone) + Sync),
+    ) {
+        let threads = if self.threads == 0 {
+            std::thread::available_parallelism().map_or(4, |n| n.get())
+        } else {
+            self.threads
+        };
+        // Workers inherit the spawning thread's failpoint participation,
+        // so a chaos test's schedule reaches its own workers and no one
+        // else's (see `fault::participate`).
+        let participates = fault::participating();
+        std::thread::scope(|scope| {
+            for w in 0..threads {
+                scope.spawn(move || {
+                    fault::participate(participates);
+                    let mut worker = Worker::new(&self.machine);
+                    while let Some(sourced) = source.pull() {
+                        let picked_at = Instant::now();
+                        let token = sourced.token.as_ref().or(opts.token.as_ref());
+                        let deadline = match (sourced.deadline, opts.deadline) {
+                            (Some(a), Some(b)) => Some(a.min(b)),
+                            (a, b) => a.or(b),
+                        };
+                        let batch_cancelled =
+                            opts.token.as_ref().is_some_and(CancelToken::is_cancelled);
+                        let (outcome, tally) = run_one(
+                            &mut worker,
+                            sourced.job.as_ref(),
+                            &opts.retry,
+                            token,
+                            deadline,
+                            batch_cancelled,
+                        );
+                        on_done(JobDone {
+                            ticket: sourced.ticket,
+                            worker: w,
+                            picked_at,
+                            outcome,
+                            tally,
+                        });
+                    }
+                });
+            }
+        });
+    }
+
+    /// The slice-based engine every batch entry point drains through: a
+    /// cursor source over `jobs`, outcome slots filled as cells finish,
+    /// metrics assembled in job order.
     fn run_engine(
         &self,
         jobs: &[EvalJob],
@@ -665,59 +835,43 @@ impl EvalDriver {
             self.threads
         }
         .min(n_jobs.max(1));
+        let default_opts = ResilientOptions::default();
+        let opts = opts.unwrap_or(&default_opts);
 
-        // Outcomes travel over a channel instead of per-slot mutexes: a
-        // panic anywhere (job, callback, even a worker bug) can poison
-        // nothing, and missing results degrade to typed errors below
-        // instead of aborting the collector.
-        let mut slots: Vec<Option<(CellOutcome, JobMetrics, JobTally)>> =
-            (0..n_jobs).map(|_| None).collect();
+        // Outcome slots behind one mutex of plain writes. Poisoning is
+        // survivable by construction: the critical section cannot panic,
+        // and the collector below recovers the inner value anyway instead
+        // of unwrapping a poisoned lock into a driver-thread panic.
+        let slots: Mutex<Vec<Option<(CellOutcome, JobMetrics, JobTally)>>> =
+            Mutex::new((0..n_jobs).map(|_| None).collect());
         let callback_panic: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
-        // Workers inherit the spawning thread's failpoint participation,
-        // so a chaos test's schedule reaches its own workers and no one
-        // else's (see `fault::participate`).
-        let participates = fault::participating();
         if n_jobs > 0 {
-            let next = AtomicUsize::new(0);
-            let (tx, rx) = mpsc::channel();
-            let (next, callback_panic) = (&next, &callback_panic);
-            std::thread::scope(|scope| {
-                for w in 0..threads {
-                    let tx = tx.clone();
-                    scope.spawn(move || {
-                        fault::participate(participates);
-                        let mut worker = Worker::new(&self.machine);
-                        loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            if i >= n_jobs {
-                                break;
-                            }
-                            let queued = t0.elapsed();
-                            let (outcome, tally) = run_one(&mut worker, &jobs[i], opts);
-                            if let Err(p) = catch_unwind(AssertUnwindSafe(|| on_cell(i, &outcome)))
-                            {
-                                let mut first = callback_panic
-                                    .lock()
-                                    .unwrap_or_else(std::sync::PoisonError::into_inner);
-                                first.get_or_insert(p);
-                            }
-                            let metrics = JobMetrics {
-                                worker: w,
-                                queued,
-                                run: outcome.wall,
-                                done_at: t0.elapsed(),
-                            };
-                            // Send cannot fail while the receiver lives
-                            // (it outlives the scope).
-                            let _ = tx.send((i, outcome, metrics, tally));
-                        }
-                    });
+            let source = SliceSource {
+                jobs,
+                next: AtomicUsize::new(0),
+            };
+            let sized = self.clone().threads(threads);
+            sized.drain_source(&source, opts, &|done: JobDone| {
+                let i = done.ticket as usize;
+                if let Err(p) = catch_unwind(AssertUnwindSafe(|| on_cell(i, &done.outcome))) {
+                    let mut first = callback_panic
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    first.get_or_insert(p);
+                }
+                let metrics = JobMetrics {
+                    worker: done.worker,
+                    queued: done.picked_at.saturating_duration_since(t0),
+                    run: done.outcome.wall,
+                    done_at: t0.elapsed(),
+                };
+                let mut slots = slots
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                if let Some(slot) = slots.get_mut(i) {
+                    *slot = Some((done.outcome, metrics, done.tally));
                 }
             });
-            drop(tx);
-            for (i, outcome, metrics, tally) in rx {
-                slots[i] = Some((outcome, metrics, tally));
-            }
         }
         // Resurface the first on_cell panic exactly once, after every
         // worker joined and every other job completed normally.
@@ -727,6 +881,9 @@ impl EvalDriver {
         {
             resume_unwind(p);
         }
+        let slots = slots
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let wall = t0.elapsed();
         let mut outcomes = Vec::with_capacity(n_jobs);
         let mut job_metrics = Vec::with_capacity(n_jobs);
@@ -778,16 +935,23 @@ impl EvalDriver {
 }
 
 /// Run one job to its final outcome: the attempt/retry loop, with panic
-/// isolation and quarantine around every attempt.
+/// isolation and quarantine around every attempt. `token` and `deadline`
+/// are the *effective* interrupt sources (batch options composed with any
+/// per-job overrides by [`EvalDriver::drain_source`]); `batch_cancelled`
+/// short-circuits a job whose batch was cancelled even when the job
+/// carries its own (un-cancelled) token.
 fn run_one(
     worker: &mut Worker<'_>,
     job: &EvalJob,
-    opts: Option<&ResilientOptions>,
+    retry: &RetryPolicy,
+    token: Option<&CancelToken>,
+    deadline: Option<Duration>,
+    batch_cancelled: bool,
 ) -> (CellOutcome, JobTally) {
     let mut tally = JobTally::default();
-    let token = opts.and_then(|o| o.token.as_ref());
-    // Batch already cancelled: resolve without running (attempts = 0).
-    if token.is_some_and(CancelToken::is_cancelled) {
+    // Batch already cancelled (or the job's own token was cancelled while
+    // it queued): resolve without running (attempts = 0).
+    if batch_cancelled || token.is_some_and(CancelToken::is_cancelled) {
         return (
             CellOutcome {
                 stats: Err(JobError::Cancelled),
@@ -797,7 +961,7 @@ fn run_one(
         );
     }
     let start = Instant::now();
-    let deadline = opts.and_then(|o| o.deadline).map(|d| start + d);
+    let deadline = deadline.map(|d| start + d);
     let stats = loop {
         tally.attempts += 1;
         let attempt = catch_unwind(AssertUnwindSafe(|| {
@@ -820,7 +984,7 @@ fn run_one(
             JobError::Trace(e) if e.is_transient() => tally.transient += 1,
             _ => {}
         }
-        let retry = opts.is_some_and(|o| o.retry.should_retry(&err, tally.attempts))
+        let retry = retry.should_retry(&err, tally.attempts)
             && !token.is_some_and(CancelToken::is_cancelled)
             && deadline.is_none_or(|d| Instant::now() < d);
         if !retry {
@@ -995,6 +1159,7 @@ impl<'m> Worker<'m> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::experiment::run_point;
@@ -1285,6 +1450,44 @@ mod tests {
     }
 
     #[test]
+    fn all_failed_batch_metrics_stay_well_formed() {
+        // Regression for the all-fail chaos aggregate: when every job
+        // fails, the success-side histogram is empty, and every derived
+        // quantity (percentiles, utilization) must degrade to 0 instead
+        // of dividing by zero or panicking — the aggregate rows the CLI
+        // tools print are built from exactly these calls.
+        let machine = MachineConfig::paper_2cluster();
+        let jobs: Vec<EvalJob> = Configuration::table3()
+            .into_iter()
+            .map(|config| EvalJob::Point {
+                point: point("gzip-1"),
+                config,
+                uops: 300,
+            })
+            .collect();
+        let _faults = ScopedFaults::arm(&sched(fault::JOB_RUN, FaultKind::Io, Trigger::Every(1)));
+        let (outcomes, report) = EvalDriver::new(&machine).threads(2).run_resilient(
+            &jobs,
+            &ResilientOptions::new(),
+            |_, _| {},
+        );
+        assert!(outcomes.iter().all(|o| o.stats.is_err()), "chaos fails all");
+        assert_eq!(report.ok.get(), 0);
+        assert_eq!(report.failed.get(), jobs.len() as u64);
+        let m = &report.metrics;
+        assert_eq!(m.latency_hist.count(), 0);
+        assert_eq!(m.failed_latency_hist.count(), jobs.len() as u64);
+        assert_eq!(m.latency_percentile(0.5), 0, "empty hist percentile is 0");
+        assert_eq!(m.latency_percentile(0.99), 0);
+        let u = m.utilization();
+        assert!(u.is_finite() && (0.0..=1.0).contains(&u));
+        for o in &outcomes {
+            assert_eq!(o.uops_per_sec(), 0.0, "failed cells report 0 uops/s");
+        }
+        assert!(report.summary().contains("0 ok"));
+    }
+
+    #[test]
     fn injected_panic_isolates_one_job_and_keeps_the_rest_bit_identical() {
         let machine = MachineConfig::paper_2cluster();
         let jobs: Vec<EvalJob> = Configuration::table3()
@@ -1483,6 +1686,143 @@ mod tests {
         assert_eq!(outcomes[1].stats.as_ref().unwrap(), &clean);
         assert_eq!(report.deadline_exceeded.get(), 1);
         assert_eq!(report.ok.get(), 1);
+    }
+
+    #[test]
+    fn deadline_fires_promptly_on_idle_heavy_skipping_points() {
+        // Regression for the deadline-vs-cycle-skipping bug: `mcf` is the
+        // suite's memory-bound point, where the PR 6 skipper replicates
+        // most cycles in long idle spans. Before the span clamp a skip
+        // could carry the session past many interrupt-check boundaries in
+        // one step, so a tight deadline fired late (bounded only by the
+        // span length, not CHECK_INTERVAL_CYCLES). With the clamp the run
+        // stops within one check interval of the deadline passing — in
+        // wall-clock terms, microseconds after it.
+        let machine = MachineConfig::paper_2cluster();
+        let deadline = Duration::from_millis(60);
+        let jobs = vec![EvalJob::Point {
+            point: point("mcf"),
+            config: Configuration::Op,
+            uops: 50_000_000, // far more than fits in the budget
+        }];
+        let (outcomes, report) = EvalDriver::new(&machine).threads(1).run_resilient(
+            &jobs,
+            &ResilientOptions::new().deadline(deadline),
+            |_, _| {},
+        );
+        match &outcomes[0].stats {
+            Err(JobError::DeadlineExceeded { after }) => {
+                assert!(*after >= deadline, "stopped early at {after:?}");
+                // Generous CI margin, but far below what an unclamped
+                // multi-thousand-cycle span overshoot used to allow on a
+                // point this idle-heavy.
+                assert!(
+                    *after < deadline + Duration::from_secs(2),
+                    "deadline enforcement lagged: stopped only after {after:?}"
+                );
+            }
+            other => panic!("expected a deadline outcome, got {other:?}"),
+        }
+        assert_eq!(report.deadline_exceeded.get(), 1);
+    }
+
+    #[test]
+    fn drain_source_matches_the_slice_engine_bit_for_bit() {
+        // A hand-rolled pull source must produce exactly what the slice
+        // entry points produce — they are the same drain loop.
+        let machine = MachineConfig::paper_2cluster();
+        let jobs: Vec<EvalJob> = Configuration::table3()
+            .into_iter()
+            .map(|config| EvalJob::Point {
+                point: point("gzip-1"),
+                config,
+                uops: 500,
+            })
+            .collect();
+        let reference = EvalDriver::new(&machine).threads(2).run(&jobs);
+
+        struct Queue<'a> {
+            jobs: &'a [EvalJob],
+            next: AtomicUsize,
+        }
+        impl JobSource for Queue<'_> {
+            fn pull(&self) -> Option<SourcedJob<'_>> {
+                let i = self.next.fetch_add(1, Ordering::Relaxed);
+                self.jobs
+                    .get(i)
+                    .map(|j| SourcedJob::new(i as u64, Cow::Owned(j.clone())))
+            }
+        }
+        let source = Queue {
+            jobs: &jobs,
+            next: AtomicUsize::new(0),
+        };
+        let done: Mutex<Vec<Option<CellOutcome>>> =
+            Mutex::new((0..jobs.len()).map(|_| None).collect());
+        EvalDriver::new(&machine).threads(2).drain_source(
+            &source,
+            &ResilientOptions::new(),
+            &|d: JobDone| {
+                assert!(d.tally.attempts == 1);
+                done.lock().unwrap()[d.ticket as usize] = Some(d.outcome);
+            },
+        );
+        let done = done.into_inner().unwrap();
+        for (i, (reference, got)) in reference.iter().zip(&done).enumerate() {
+            let got = got.as_ref().expect("every ticket delivered");
+            assert_eq!(
+                reference.stats.as_ref().unwrap(),
+                got.stats.as_ref().unwrap(),
+                "job {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn per_job_token_cancels_one_sourced_job_without_touching_others() {
+        // Per-client fan-out at the engine level: two jobs share a source,
+        // one carries a pre-cancelled per-job token, the other must run
+        // to bit-identical completion.
+        let machine = MachineConfig::paper_2cluster();
+        let job = EvalJob::Point {
+            point: point("gzip-1"),
+            config: Configuration::Op,
+            uops: 400,
+        };
+        let clean = run_point(&point("gzip-1"), &Configuration::Op, &machine, 400);
+        let cancelled = CancelToken::new();
+        cancelled.cancel();
+        let items: Mutex<Vec<SourcedJob<'static>>> = Mutex::new(vec![
+            SourcedJob {
+                ticket: 0,
+                job: Cow::Owned(job.clone()),
+                token: Some(cancelled),
+                deadline: None,
+            },
+            SourcedJob::new(1, Cow::Owned(job)),
+        ]);
+        struct Once<'a>(&'a Mutex<Vec<SourcedJob<'static>>>);
+        impl JobSource for Once<'_> {
+            fn pull(&self) -> Option<SourcedJob<'_>> {
+                let mut items = self.0.lock().unwrap();
+                if items.is_empty() {
+                    None
+                } else {
+                    Some(items.remove(0))
+                }
+            }
+        }
+        let done: Mutex<Vec<(u64, CellOutcome)>> = Mutex::new(Vec::new());
+        EvalDriver::new(&machine).threads(1).drain_source(
+            &Once(&items),
+            &ResilientOptions::new(),
+            &|d: JobDone| done.lock().unwrap().push((d.ticket, d.outcome)),
+        );
+        let mut done = done.into_inner().unwrap();
+        done.sort_by_key(|(t, _)| *t);
+        assert!(matches!(done[0].1.stats, Err(JobError::Cancelled)));
+        assert_eq!(done[0].1.wall, Duration::ZERO, "never ran");
+        assert_eq!(done[1].1.stats.as_ref().unwrap(), &clean);
     }
 
     #[test]

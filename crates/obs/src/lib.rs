@@ -25,5 +25,5 @@ pub mod metrics;
 pub mod sink;
 
 pub use chrome::ChromeTrace;
-pub use metrics::{Counter, Log2Hist};
+pub use metrics::{Counter, Gauge, Log2Hist, SharedCounter};
 pub use sink::{IntervalSample, MemSink, NullSink, ObsSink, Shared, SkipSpan};

@@ -40,6 +40,89 @@ impl std::fmt::Display for Counter {
     }
 }
 
+/// A monotonically increasing counter usable through a shared reference —
+/// the concurrent sibling of [`Counter`] for long-lived services whose
+/// reactor, scheduler and worker threads all bump the same figures
+/// (jobs accepted, rejected, results streamed). Relaxed ordering: these
+/// are statistics, not synchronization.
+#[derive(Debug, Default)]
+pub struct SharedCounter {
+    value: std::sync::atomic::AtomicU64,
+}
+
+impl SharedCounter {
+    /// New counter at zero.
+    pub fn new() -> Self {
+        SharedCounter::default()
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.value
+            .fetch_add(n, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Display for SharedCounter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.get())
+    }
+}
+
+/// A point-in-time level that can go both ways (jobs in flight, queue
+/// depth, connected clients), usable through a shared reference from any
+/// thread. Decrements below zero clamp at zero rather than wrapping —
+/// a miscounted release shows up as a stuck-low gauge, not as 2^64.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: std::sync::atomic::AtomicI64,
+}
+
+impl Gauge {
+    /// New gauge at zero.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Raise the level by one.
+    pub fn inc(&self) {
+        self.value
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Lower the level by one.
+    pub fn dec(&self) {
+        self.value
+            .fetch_sub(1, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Set the level outright.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Current level, clamped at zero.
+    pub fn get(&self) -> u64 {
+        self.value.load(std::sync::atomic::Ordering::Relaxed).max(0) as u64
+    }
+}
+
+impl std::fmt::Display for Gauge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.get())
+    }
+}
+
 /// Histogram with power-of-two buckets: bucket `i` holds values `v` with
 /// `floor(log2(max(v,1))) == i`, i.e. `[2^i, 2^(i+1))`, with `0` counted in
 /// bucket 0. Covers the full `u64` range in 64 buckets.
@@ -168,6 +251,40 @@ mod tests {
         c.inc();
         c.add(41);
         assert_eq!(c.get(), 42);
+    }
+
+    #[test]
+    fn shared_counter_counts_through_shared_refs() {
+        let c = SharedCounter::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..100 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        c.add(2);
+        assert_eq!(c.get(), 402);
+        assert_eq!(c.to_string(), "402");
+    }
+
+    #[test]
+    fn gauge_tracks_levels_and_clamps_below_zero() {
+        let g = Gauge::new();
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.get(), 1);
+        g.dec();
+        g.dec(); // one release too many
+        assert_eq!(g.get(), 0, "underflow clamps at zero");
+        g.inc();
+        assert_eq!(g.get(), 0, "still recovering the spurious release");
+        g.set(7);
+        assert_eq!(g.get(), 7);
+        assert_eq!(g.to_string(), "7");
     }
 
     #[test]

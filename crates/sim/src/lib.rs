@@ -57,7 +57,7 @@ pub mod steering;
 pub mod value;
 
 pub use cache::{Cache, LoadPath, MemorySystem};
-pub use cancel::{CancelToken, StopCause};
+pub use cancel::{CancelGroup, CancelToken, StopCause};
 pub use lsq::{LoadCheck, Lsq};
 pub use machine::{simulate, Machine, RunLimits};
 pub use predictor::{Gshare, LocalHistory, TraceCache};

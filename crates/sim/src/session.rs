@@ -1842,6 +1842,17 @@ impl SimSession {
                 None
             };
             if let Some((span, kind)) = self.idle_span(policy, limits) {
+                // Interrupt sources are polled every CHECK_INTERVAL_CYCLES
+                // by the run loop, but a span would advance `now` past
+                // arbitrarily many boundaries in one step, firing an armed
+                // deadline or cancel late. Clamp at the next check instead:
+                // splitting a span is bit-identical (counter replication is
+                // linear in the span length), only the stop latency and the
+                // host-side skip diagnostics change.
+                let span = match &self.interrupt {
+                    Some(int) => span.min(int.max_skip(self.now)),
+                    None => span,
+                };
                 #[cfg(not(debug_assertions))]
                 self.skip_idle_span(span, kind);
                 #[cfg(debug_assertions)]
@@ -2645,6 +2656,77 @@ mod tests {
         let stats = session.run(&mut trace, &mut RoundRobin(0), &RunLimits::unlimited());
         assert_eq!(session.stop_cause(), Some(StopCause::DeadlineExceeded));
         assert!(stats.committed_uops < uops.len() as u64);
+    }
+
+    #[test]
+    fn interrupt_fires_within_one_check_interval_despite_skipping() {
+        // Regression: a memory-bound chase produces idle spans hundreds of
+        // cycles long, so before the span clamp a single skip could carry
+        // `now` past many check boundaries and an armed deadline or cancel
+        // fired arbitrarily late. With the clamp the very first poll lands
+        // within one CHECK_INTERVAL_CYCLES of arming.
+        use crate::cancel::CHECK_INTERVAL_CYCLES;
+        let uops = idle_heavy_uops(400);
+        let cfg = MachineConfig::default();
+        for (token, deadline, cause) in [
+            (
+                None,
+                Some(std::time::Instant::now()),
+                StopCause::DeadlineExceeded,
+            ),
+            (
+                Some({
+                    let t = CancelToken::new();
+                    t.cancel();
+                    t
+                }),
+                None,
+                StopCause::Cancelled,
+            ),
+        ] {
+            let mut session = SimSession::new(&cfg);
+            session.set_cycle_skipping(true);
+            session.set_interrupt(token, deadline);
+            let mut trace = SliceTrace::new(&uops);
+            let stats = session.run(&mut trace, &mut RoundRobin(0), &RunLimits::unlimited());
+            assert_eq!(session.stop_cause(), Some(cause));
+            assert!(
+                stats.cycles <= CHECK_INTERVAL_CYCLES,
+                "{cause}: armed before the run, must fire at the first \
+                 check (cycle {CHECK_INTERVAL_CYCLES}), not {} — a skip \
+                 span outran the interrupt poll",
+                stats.cycles
+            );
+        }
+    }
+
+    #[test]
+    fn clamped_spans_stay_bit_identical_on_idle_heavy_runs() {
+        // With interrupt sources armed, every idle span is split at check
+        // boundaries; chunked counter replication must equal one-shot
+        // replication (the debug build additionally single-steps each
+        // chunk and asserts equality via the skip mirror).
+        let uops = idle_heavy_uops(60);
+        let cfg = MachineConfig::default();
+        let bare = {
+            let mut trace = SliceTrace::new(&uops);
+            simulate(
+                &cfg,
+                &mut trace,
+                &mut RoundRobin(0),
+                &RunLimits::unlimited(),
+            )
+        };
+        let mut session = SimSession::new(&cfg);
+        let far = std::time::Instant::now() + std::time::Duration::from_secs(3600);
+        session.set_interrupt(Some(CancelToken::new()), Some(far));
+        let mut trace = SliceTrace::new(&uops);
+        let watched = session.run(&mut trace, &mut RoundRobin(0), &RunLimits::unlimited());
+        assert_eq!(session.stop_cause(), None);
+        assert_eq!(
+            bare, watched,
+            "splitting idle spans at interrupt checks must not change stats"
+        );
     }
 
     #[test]

@@ -1,0 +1,766 @@
+//! The evaluation server: a [`Scheduler`] fed by socket connections
+//! and/or in-process [`LocalClient`]s, drained by the batch engine's
+//! worker pool ([`EvalDriver::drain_source`]), with per-cell results
+//! streamed back to whoever submitted each job.
+//!
+//! Three kinds of threads cooperate:
+//!
+//! * **workers** — `drain_source` pulls jobs from the scheduler and
+//!   invokes the completion sink from whichever worker finished;
+//! * **the reactor** — one thread multiplexing the listener and every
+//!   connection over the [`reactor`](crate::reactor) poller; worker
+//!   completions reach it through a mailbox plus a wakeup pipe;
+//! * **clients' own threads** — [`LocalClient`] submits straight into
+//!   the scheduler and blocks on its private inbox, no sockets involved.
+//!
+//! Result routing is by ticket: the scheduler's global ticket is
+//! [`reserve`](Scheduler::reserve)d and mapped to the submitting client
+//! *before* the job is admitted, so a worker completing the job
+//! instantly can never race the registration.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::TcpListener;
+use std::os::fd::AsRawFd;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::Duration;
+
+use virtclust_core::{EvalDriver, EvalJob, JobDone, ResilientOptions};
+use virtclust_sim::SimStats;
+use virtclust_uarch::MachineConfig;
+
+use crate::client::Stream;
+use crate::reactor::{Interest, Poller};
+use crate::sched::{Drained, SchedConfig, Scheduler};
+use crate::wire::{
+    decode_client, encode_server, recv_preamble, resolve_spec, send_preamble, split_frame,
+    stats_digest, BusyReason, ClientMsg, Priority, ServerMsg, Submit, SvcStats, WireResult,
+    WireStats,
+};
+
+/// What a cancelled-before-start job reports as its error.
+pub const CANCELLED_BEFORE_START: &str = "cancelled before start";
+
+const TOK_LISTENER: u64 = 0;
+const TOK_WAKER: u64 = 1;
+/// Client ids (= connection tokens) start here; 0..16 are reserved.
+const FIRST_CLIENT: u64 = 16;
+
+/// One job's outcome as delivered to a [`LocalClient`]: the full
+/// statistics, not the wire summary.
+#[derive(Debug)]
+pub struct LocalResult {
+    /// The ticket the client submitted under.
+    pub ticket: u64,
+    /// Wall-clock time on the worker.
+    pub wall: Duration,
+    /// Full statistics, or the failure rendered as a string (the same
+    /// string a socket client would see).
+    pub stats: Result<SimStats, String>,
+}
+
+/// A local client's result inbox.
+#[derive(Default)]
+struct LocalInbox {
+    queue: Mutex<VecDeque<LocalResult>>,
+    ready: Condvar,
+}
+
+impl LocalInbox {
+    fn push(&self, r: LocalResult) {
+        self.queue
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push_back(r);
+        self.ready.notify_all();
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Option<LocalResult> {
+        let mut q = self.queue.lock().unwrap_or_else(PoisonError::into_inner);
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            if let Some(r) = q.pop_front() {
+                return Some(r);
+            }
+            let left = deadline.saturating_duration_since(std::time::Instant::now());
+            if left.is_zero() {
+                return None;
+            }
+            let (guard, _) = self
+                .ready
+                .wait_timeout(q, left)
+                .unwrap_or_else(PoisonError::into_inner);
+            q = guard;
+        }
+    }
+}
+
+/// Where a completed job's result goes.
+enum Dest {
+    /// A socket connection, by token.
+    Conn(u64),
+    /// An in-process client's inbox.
+    Local(Arc<LocalInbox>),
+}
+
+struct Route {
+    dest: Dest,
+    /// The client's own ticket for the job.
+    ticket: u64,
+}
+
+/// Shared server state.
+struct SvcInner {
+    sched: Scheduler,
+    routes: Mutex<HashMap<u64, Route>>,
+    /// Serialized server→client frames awaiting the reactor, keyed by
+    /// connection token. Tokens without a live connection are dropped at
+    /// drain time (the client went away; its jobs were cancelled).
+    mailbox: Mutex<Vec<(u64, Vec<u8>)>>,
+    /// Write end of the reactor's wakeup pipe (None until a listener is
+    /// served).
+    waker: Mutex<Option<UnixStream>>,
+    workers_done: AtomicBool,
+}
+
+impl SvcInner {
+    fn lock_routes(&self) -> std::sync::MutexGuard<'_, HashMap<u64, Route>> {
+        self.routes.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Poke the reactor (no-op when no listener is being served). The
+    /// pipe is non-blocking: a full pipe already guarantees a pending
+    /// wakeup, so a `WouldBlock` is success.
+    fn wake(&self) {
+        let guard = self.waker.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(w) = guard.as_ref() {
+            let _ = (&*w).write(&[1]);
+        }
+    }
+
+    /// Queue one server→client frame for the reactor.
+    fn post(&self, conn: u64, msg: &ServerMsg) {
+        let mut frame = Vec::with_capacity(64);
+        // Serializing to a Vec only fails on a >16 MiB frame, which no
+        // ServerMsg can produce.
+        if encode_server(&mut frame, msg).is_ok() {
+            self.mailbox
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push((conn, frame));
+        }
+    }
+
+    /// The completion sink handed to `drain_source` — must not panic.
+    fn complete(&self, done: JobDone) {
+        self.sched.counters.inflight.dec();
+        self.sched.counters.completed.inc();
+        let Some(route) = self.lock_routes().remove(&done.ticket) else {
+            return;
+        };
+        let wall = done.outcome.wall;
+        match route.dest {
+            Dest::Local(inbox) => inbox.push(LocalResult {
+                ticket: route.ticket,
+                wall,
+                stats: done.outcome.stats.map_err(|e| e.to_string()),
+            }),
+            Dest::Conn(conn) => {
+                let outcome = match done.outcome.stats {
+                    Ok(s) => Ok(WireStats {
+                        cycles: s.cycles,
+                        committed_uops: s.committed_uops,
+                        copies: s.copies_generated,
+                        digest: stats_digest(&s),
+                    }),
+                    Err(e) => Err(e.to_string()),
+                };
+                self.post(
+                    conn,
+                    &ServerMsg::Result(WireResult {
+                        ticket: route.ticket,
+                        wall_us: wall.as_micros() as u64,
+                        outcome,
+                    }),
+                );
+                self.wake();
+            }
+        }
+    }
+
+    /// Report jobs that were cancelled before they started (queue drains
+    /// from `CancelAll`, client disconnect, or shutdown).
+    fn report_drained(&self, drained: Vec<Drained>) {
+        if drained.is_empty() {
+            return;
+        }
+        let mut routes = self.lock_routes();
+        let mut woke = false;
+        for d in drained {
+            self.sched.counters.completed.inc();
+            let Some(route) = routes.remove(&d.global) else {
+                continue;
+            };
+            match route.dest {
+                Dest::Local(inbox) => inbox.push(LocalResult {
+                    ticket: route.ticket,
+                    wall: Duration::ZERO,
+                    stats: Err(CANCELLED_BEFORE_START.into()),
+                }),
+                Dest::Conn(conn) => {
+                    self.post(
+                        conn,
+                        &ServerMsg::Result(WireResult {
+                            ticket: route.ticket,
+                            wall_us: 0,
+                            outcome: Err(CANCELLED_BEFORE_START.into()),
+                        }),
+                    );
+                    woke = true;
+                }
+            }
+        }
+        drop(routes);
+        if woke {
+            self.wake();
+        }
+    }
+
+    /// Route-registering submit shared by sockets and local clients.
+    fn submit_routed(
+        &self,
+        client: u64,
+        dest: Dest,
+        ticket: u64,
+        job: EvalJob,
+        priority: Priority,
+        deadline: Option<Duration>,
+    ) -> Result<(), BusyReason> {
+        let global = self.sched.reserve();
+        self.lock_routes().insert(global, Route { dest, ticket });
+        match self.sched.submit(client, global, job, priority, deadline) {
+            Ok(()) => Ok(()),
+            Err(reason) => {
+                self.lock_routes().remove(&global);
+                Err(reason)
+            }
+        }
+    }
+}
+
+/// Configures and starts a [`Server`].
+pub struct ServerBuilder {
+    machine: MachineConfig,
+    threads: usize,
+    sched: SchedConfig,
+    opts: ResilientOptions,
+}
+
+impl ServerBuilder {
+    /// A server simulating on `machine` with default bounds.
+    pub fn new(machine: &MachineConfig) -> Self {
+        ServerBuilder {
+            machine: machine.clone(),
+            threads: 0,
+            sched: SchedConfig::default(),
+            opts: ResilientOptions::new(),
+        }
+    }
+
+    /// Worker threads (0 = one per available CPU).
+    #[must_use]
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n;
+        self
+    }
+
+    /// Service-wide queued-job cap.
+    #[must_use]
+    pub fn queue_cap(mut self, n: usize) -> Self {
+        self.sched.queue_cap = n;
+        self
+    }
+
+    /// Per-client queued-job quota.
+    #[must_use]
+    pub fn client_quota(mut self, n: usize) -> Self {
+        self.sched.client_quota = n;
+        self
+    }
+
+    /// Batch-engine options every job runs under (retries, batch-level
+    /// deadline; a per-job token/deadline from the wire still composes).
+    #[must_use]
+    pub fn options(mut self, opts: ResilientOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Start the worker pool and return the running server.
+    pub fn start(self) -> Server {
+        let inner = Arc::new(SvcInner {
+            sched: Scheduler::new(self.sched),
+            routes: Mutex::new(HashMap::new()),
+            mailbox: Mutex::new(Vec::new()),
+            waker: Mutex::new(None),
+            workers_done: AtomicBool::new(false),
+        });
+        let driver = EvalDriver::new(&self.machine).threads(self.threads);
+        let drain = {
+            let inner = Arc::clone(&inner);
+            let opts = self.opts;
+            std::thread::spawn(move || {
+                driver.drain_source(&inner.sched, &opts, &|done| inner.complete(done));
+                inner.workers_done.store(true, Ordering::SeqCst);
+                inner.wake();
+            })
+        };
+        Server {
+            inner,
+            next_local: std::sync::atomic::AtomicU64::new(1_000_000_000),
+            drain: Some(drain),
+            reactor: None,
+        }
+    }
+}
+
+/// A running evaluation service.
+pub struct Server {
+    inner: Arc<SvcInner>,
+    next_local: std::sync::atomic::AtomicU64,
+    drain: Option<std::thread::JoinHandle<()>>,
+    reactor: Option<std::thread::JoinHandle<io::Result<()>>>,
+}
+
+impl Server {
+    /// An in-process client: submits bypass the wire and results arrive
+    /// as full [`LocalResult`]s on a private inbox.
+    pub fn local_client(&self) -> LocalClient {
+        LocalClient {
+            inner: Arc::clone(&self.inner),
+            client_id: self.next_local.fetch_add(1, Ordering::Relaxed),
+            inbox: Arc::new(LocalInbox::default()),
+        }
+    }
+
+    /// Serve connections on a Unix domain socket at `path` (an existing
+    /// socket file is replaced). One listener per server.
+    pub fn serve_unix(&mut self, path: impl AsRef<Path>) -> io::Result<()> {
+        let path = path.as_ref().to_path_buf();
+        let _ = std::fs::remove_file(&path);
+        let listener = UnixListener::bind(&path)?;
+        self.spawn_reactor(Listener::Unix(listener), Some(path))
+    }
+
+    /// Serve connections on a TCP address (e.g. `"127.0.0.1:0"`);
+    /// returns the bound address. One listener per server.
+    pub fn serve_tcp(&mut self, addr: &str) -> io::Result<std::net::SocketAddr> {
+        let listener = TcpListener::bind(addr)?;
+        let bound = listener.local_addr()?;
+        self.spawn_reactor(Listener::Tcp(listener), None)?;
+        Ok(bound)
+    }
+
+    fn spawn_reactor(&mut self, listener: Listener, unlink: Option<PathBuf>) -> io::Result<()> {
+        if self.reactor.is_some() {
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                "server already has a listener",
+            ));
+        }
+        let inner = Arc::clone(&self.inner);
+        self.reactor = Some(std::thread::spawn(move || {
+            let r = run_reactor(&inner, listener);
+            if let Some(path) = unlink {
+                let _ = std::fs::remove_file(path);
+            }
+            r
+        }));
+        Ok(())
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> SvcStats {
+        self.inner.sched.stats()
+    }
+
+    /// Per-priority queue-wait histograms (microseconds).
+    pub fn queue_wait_hists(&self) -> [virtclust_obs::Log2Hist; 3] {
+        self.inner.sched.queue_wait_hists()
+    }
+
+    /// Close intake, cancel queued jobs (reported cancelled to their
+    /// owners), let running jobs finish, stop workers and the reactor.
+    pub fn shutdown(&self) {
+        let drained = self.inner.sched.shutdown();
+        self.inner.report_drained(drained);
+        self.inner.wake();
+    }
+
+    /// Wait for the service to stop (a [`shutdown`](Server::shutdown)
+    /// call or a wire `Shutdown` frame). Surfaces a reactor I/O error;
+    /// on success returns the final statistics snapshot (taken after the
+    /// pool drained, so `completed` is the last word).
+    pub fn join(mut self) -> io::Result<SvcStats> {
+        let mut result = Ok(());
+        if let Some(d) = self.drain.take() {
+            if d.join().is_err() {
+                result = Err(io::Error::other("worker pool panicked"));
+            }
+        }
+        if let Some(r) = self.reactor.take() {
+            match r.join() {
+                Ok(r) => result = result.and(r),
+                Err(_) => result = Err(io::Error::other("reactor panicked")),
+            }
+        }
+        result.map(|()| self.inner.sched.stats())
+    }
+}
+
+/// An in-process service client (no sockets, same scheduler, same
+/// fairness/quota/backpressure rules).
+pub struct LocalClient {
+    inner: Arc<SvcInner>,
+    client_id: u64,
+    inbox: Arc<LocalInbox>,
+}
+
+impl LocalClient {
+    /// Submit a resolved job under a client-chosen ticket.
+    pub fn submit(
+        &self,
+        ticket: u64,
+        job: EvalJob,
+        priority: Priority,
+        deadline: Option<Duration>,
+    ) -> Result<(), BusyReason> {
+        self.inner.submit_routed(
+            self.client_id,
+            Dest::Local(Arc::clone(&self.inbox)),
+            ticket,
+            job,
+            priority,
+            deadline,
+        )
+    }
+
+    /// Block up to `timeout` for the next completed job.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<LocalResult> {
+        self.inbox.recv_timeout(timeout)
+    }
+
+    /// Cancel everything this client has queued or running.
+    pub fn cancel_all(&self) {
+        let drained = self.inner.sched.cancel_client(self.client_id);
+        self.inner.report_drained(drained);
+    }
+}
+
+enum Listener {
+    Unix(UnixListener),
+    Tcp(TcpListener),
+}
+
+impl Listener {
+    fn set_nonblocking(&self) -> io::Result<()> {
+        match self {
+            Listener::Unix(l) => l.set_nonblocking(true),
+            Listener::Tcp(l) => l.set_nonblocking(true),
+        }
+    }
+
+    fn raw_fd(&self) -> std::os::fd::RawFd {
+        match self {
+            Listener::Unix(l) => l.as_raw_fd(),
+            Listener::Tcp(l) => l.as_raw_fd(),
+        }
+    }
+
+    /// Accept one connection, already non-blocking.
+    fn accept(&self) -> io::Result<Stream> {
+        let stream = match self {
+            Listener::Unix(l) => Stream::Unix(l.accept()?.0),
+            Listener::Tcp(l) => {
+                let (s, _) = l.accept()?;
+                s.set_nodelay(true)?;
+                Stream::Tcp(s)
+            }
+        };
+        stream.set_nonblocking(true)?;
+        Ok(stream)
+    }
+}
+
+/// One live connection's reactor-side state.
+struct Conn {
+    stream: Stream,
+    rbuf: Vec<u8>,
+    wbuf: Vec<u8>,
+    wpos: usize,
+    preambled: bool,
+    /// Current poller interest (write side), to avoid redundant syscalls.
+    write_armed: bool,
+    dead: bool,
+}
+
+impl Conn {
+    fn queue(&mut self, frame: &[u8]) {
+        self.wbuf.extend_from_slice(frame);
+    }
+
+    fn queue_msg(&mut self, msg: &ServerMsg) {
+        let mut frame = Vec::with_capacity(64);
+        if encode_server(&mut frame, msg).is_ok() {
+            self.queue(&frame);
+        }
+    }
+
+    /// Flush as much queued output as the socket takes.
+    fn flush(&mut self) {
+        while self.wpos < self.wbuf.len() {
+            match self.stream.write(&self.wbuf[self.wpos..]) {
+                Ok(0) => {
+                    self.dead = true;
+                    return;
+                }
+                Ok(n) => self.wpos += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.dead = true;
+                    return;
+                }
+            }
+        }
+        self.wbuf.clear();
+        self.wpos = 0;
+    }
+
+    fn has_pending_output(&self) -> bool {
+        self.wpos < self.wbuf.len()
+    }
+}
+
+/// The reactor loop: multiplex the listener, the wakeup pipe and every
+/// connection; dispatch frames into the scheduler; stream results out.
+fn run_reactor(inner: &Arc<SvcInner>, listener: Listener) -> io::Result<()> {
+    let poller = Poller::new()?;
+    listener.set_nonblocking()?;
+    poller.add(listener.raw_fd(), TOK_LISTENER, Interest::READ)?;
+    let (wake_read, wake_write) = UnixStream::pair()?;
+    wake_read.set_nonblocking(true)?;
+    wake_write.set_nonblocking(true)?;
+    poller.add(wake_read.as_raw_fd(), TOK_WAKER, Interest::READ)?;
+    *inner.waker.lock().unwrap_or_else(PoisonError::into_inner) = Some(wake_write);
+
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut next_token = FIRST_CLIENT;
+    loop {
+        // Bounded timeout: the exit condition (shutdown + workers done +
+        // everything flushed) must be re-checked even if no event fires.
+        let events = poller.wait(500)?;
+        for ev in &events {
+            match ev.token {
+                TOK_LISTENER => loop {
+                    match listener.accept() {
+                        Ok(stream) => {
+                            let token = next_token;
+                            next_token += 1;
+                            let fd = stream.as_raw_fd();
+                            let mut conn = Conn {
+                                stream,
+                                rbuf: Vec::new(),
+                                wbuf: Vec::new(),
+                                wpos: 0,
+                                preambled: false,
+                                write_armed: true,
+                                dead: false,
+                            };
+                            // Greet first: the preamble goes out as soon
+                            // as the socket is writable.
+                            let mut hello = Vec::with_capacity(5);
+                            let _ = send_preamble(&mut hello);
+                            conn.queue(&hello);
+                            poller.add(fd, token, Interest::READ_WRITE)?;
+                            conns.insert(token, conn);
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                        Err(e) => return Err(e),
+                    }
+                },
+                TOK_WAKER => {
+                    let mut sink = [0u8; 64];
+                    while matches!((&wake_read).read(&mut sink), Ok(n) if n > 0) {}
+                }
+                token => {
+                    let Some(conn) = conns.get_mut(&token) else {
+                        continue;
+                    };
+                    if ev.readable || ev.hangup {
+                        read_and_dispatch(inner, token, conn);
+                    }
+                    if ev.writable {
+                        conn.flush();
+                    }
+                }
+            }
+        }
+
+        // Worker completions → per-connection write buffers.
+        let mail =
+            std::mem::take(&mut *inner.mailbox.lock().unwrap_or_else(PoisonError::into_inner));
+        for (token, frame) in mail {
+            if let Some(conn) = conns.get_mut(&token) {
+                conn.queue(&frame);
+            }
+        }
+
+        // Flush, re-arm write interest only where needed, reap the dead.
+        let mut dead = Vec::new();
+        for (&token, conn) in conns.iter_mut() {
+            if !conn.dead && conn.has_pending_output() {
+                conn.flush();
+            }
+            if conn.dead {
+                dead.push(token);
+                continue;
+            }
+            let want_write = conn.has_pending_output();
+            if want_write != conn.write_armed {
+                let interest = if want_write {
+                    Interest::READ_WRITE
+                } else {
+                    Interest::READ
+                };
+                poller.modify(conn.stream.as_raw_fd(), token, interest)?;
+                conn.write_armed = want_write;
+            }
+        }
+        for token in dead {
+            if let Some(conn) = conns.remove(&token) {
+                let _ = poller.delete(conn.stream.as_raw_fd());
+            }
+            // A vanished client implicitly cancels its outstanding work.
+            let drained = inner.sched.cancel_client(token);
+            inner.report_drained(drained);
+        }
+
+        if inner.sched.is_shutdown() && inner.workers_done.load(Ordering::SeqCst) {
+            // Final drain: deliver any last results, then leave.
+            let mail =
+                std::mem::take(&mut *inner.mailbox.lock().unwrap_or_else(PoisonError::into_inner));
+            for (token, frame) in mail {
+                if let Some(conn) = conns.get_mut(&token) {
+                    conn.queue(&frame);
+                }
+            }
+            let everything_flushed = conns.values().all(|c| !c.has_pending_output());
+            for conn in conns.values_mut() {
+                conn.flush();
+            }
+            if everything_flushed {
+                return Ok(());
+            }
+        }
+    }
+}
+
+/// Pull bytes off a connection, parse complete frames, dispatch them.
+fn read_and_dispatch(inner: &Arc<SvcInner>, token: u64, conn: &mut Conn) {
+    let mut buf = [0u8; 4096];
+    loop {
+        match conn.stream.read(&mut buf) {
+            Ok(0) => {
+                conn.dead = true;
+                break;
+            }
+            Ok(n) => conn.rbuf.extend_from_slice(&buf[..n]),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.dead = true;
+                break;
+            }
+        }
+    }
+    loop {
+        if !conn.preambled {
+            if conn.rbuf.len() < 5 {
+                break;
+            }
+            let mut r = &conn.rbuf[..5];
+            if recv_preamble(&mut r).is_err() {
+                conn.dead = true;
+                return;
+            }
+            conn.rbuf.drain(..5);
+            conn.preambled = true;
+        }
+        match split_frame(&conn.rbuf) {
+            Ok(Some((msg_type, body, used))) => {
+                conn.rbuf.drain(..used);
+                match decode_client(msg_type, &body) {
+                    // Unknown type: consumed and skipped (forward compat).
+                    Ok(None) => {}
+                    Ok(Some(msg)) => dispatch(inner, token, conn, msg),
+                    Err(_) => {
+                        conn.dead = true;
+                        return;
+                    }
+                }
+            }
+            Ok(None) => break,
+            Err(_) => {
+                conn.dead = true;
+                return;
+            }
+        }
+    }
+}
+
+/// Handle one decoded client message.
+fn dispatch(inner: &Arc<SvcInner>, token: u64, conn: &mut Conn, msg: ClientMsg) {
+    match msg {
+        ClientMsg::Submit(Submit {
+            ticket,
+            priority,
+            deadline_ms,
+            spec,
+        }) => {
+            let job = match resolve_spec(&spec) {
+                Ok(job) => job,
+                Err(e) => {
+                    // Resolution failures are immediate Result frames —
+                    // the job never existed service-side.
+                    conn.queue_msg(&ServerMsg::Result(WireResult {
+                        ticket,
+                        wall_us: 0,
+                        outcome: Err(e),
+                    }));
+                    return;
+                }
+            };
+            let deadline = (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms));
+            match inner.submit_routed(token, Dest::Conn(token), ticket, job, priority, deadline) {
+                Ok(()) => conn.queue_msg(&ServerMsg::Accepted { ticket }),
+                Err(reason) => conn.queue_msg(&ServerMsg::Busy { ticket, reason }),
+            }
+        }
+        ClientMsg::CancelAll => {
+            let drained = inner.sched.cancel_client(token);
+            inner.report_drained(drained);
+        }
+        ClientMsg::GetStats => {
+            conn.queue_msg(&ServerMsg::Stats(inner.sched.stats()));
+        }
+        ClientMsg::Shutdown => {
+            let drained = inner.sched.shutdown();
+            inner.report_drained(drained);
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! Service-layer integration: determinism across transports and arrival
+//! orders, backpressure isolation, cancellation, and socket round-trips
+//! held bit-identical to a direct batch-engine run.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use virtclust_core::{EvalDriver, EvalJob, ResilientOptions};
+use virtclust_svc::{
+    resolve_spec, stats_digest, BusyReason, Client, JobSpec, Priority, ServerBuilder, ServerMsg,
+    Submit, CANCELLED_BEFORE_START,
+};
+use virtclust_uarch::MachineConfig;
+
+const RECV_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// A small mixed schedule: suite points across Table 3 schemes plus a
+/// trace replay from the committed corpus.
+fn mixed_specs() -> Vec<JobSpec> {
+    let mut specs = Vec::new();
+    for point in ["gzip-1", "mcf", "crafty"] {
+        for scheme in ["OP", "1C", "VC2"] {
+            specs.push(JobSpec::Point {
+                name: point.into(),
+                scheme: scheme.into(),
+                uops: 2_000,
+            });
+        }
+    }
+    specs.push(JobSpec::Trace {
+        path: trace_path("smoke8.vct"),
+        scheme: "OP".into(),
+        max_uops: 0,
+    });
+    specs
+}
+
+fn trace_path(name: &str) -> String {
+    // Integration tests run with the crate as cwd; the corpus lives at
+    // the repo root.
+    let p = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../results/traces")
+        .join(name);
+    p.to_string_lossy().into_owned()
+}
+
+/// Digests of the same specs run directly through the batch engine.
+fn direct_digests(specs: &[JobSpec]) -> Vec<u64> {
+    let jobs: Vec<EvalJob> = specs.iter().map(|s| resolve_spec(s).unwrap()).collect();
+    let machine = MachineConfig::paper_2cluster();
+    let (outcomes, _) = EvalDriver::new(&machine).threads(2).run_resilient(
+        &jobs,
+        &ResilientOptions::new(),
+        |_, _| {},
+    );
+    outcomes
+        .iter()
+        .map(|o| stats_digest(o.stats.as_ref().expect("direct run cannot fail")))
+        .collect()
+}
+
+#[test]
+fn local_round_trip_is_bit_identical_to_the_driver() {
+    let specs = mixed_specs();
+    let expected = direct_digests(&specs);
+    let server = ServerBuilder::new(&MachineConfig::paper_2cluster())
+        .threads(2)
+        .start();
+    let client = server.local_client();
+    for (i, spec) in specs.iter().enumerate() {
+        let job = resolve_spec(spec).unwrap();
+        client
+            .submit(i as u64, job, Priority::Normal, None)
+            .unwrap();
+    }
+    let mut got = HashMap::new();
+    while got.len() < specs.len() {
+        let r = client.recv_timeout(RECV_TIMEOUT).expect("result in time");
+        got.insert(r.ticket, stats_digest(&r.stats.expect("job ok")));
+    }
+    for (i, want) in expected.iter().enumerate() {
+        assert_eq!(got[&(i as u64)], *want, "job {i} differs from direct run");
+    }
+    server.shutdown();
+    server.join().unwrap();
+}
+
+#[test]
+fn arrival_order_does_not_change_the_result_set() {
+    let specs = mixed_specs();
+    let mut digests = Vec::new();
+    for reversed in [false, true] {
+        let server = ServerBuilder::new(&MachineConfig::paper_2cluster())
+            .threads(2)
+            .start();
+        let client = server.local_client();
+        let order: Vec<usize> = if reversed {
+            (0..specs.len()).rev().collect()
+        } else {
+            (0..specs.len()).collect()
+        };
+        for &i in &order {
+            let job = resolve_spec(&specs[i]).unwrap();
+            client
+                .submit(i as u64, job, Priority::Normal, None)
+                .unwrap();
+        }
+        let mut got = HashMap::new();
+        while got.len() < specs.len() {
+            let r = client.recv_timeout(RECV_TIMEOUT).expect("result in time");
+            got.insert(r.ticket, stats_digest(&r.stats.expect("job ok")));
+        }
+        digests.push(got);
+        server.shutdown();
+        server.join().unwrap();
+    }
+    assert_eq!(
+        digests[0], digests[1],
+        "per-cell results must not depend on arrival order"
+    );
+}
+
+#[test]
+fn over_quota_client_bounces_without_perturbing_others() {
+    // One worker and one slow job keep the queue occupied long enough to
+    // exercise the quota deterministically.
+    let server = ServerBuilder::new(&MachineConfig::paper_2cluster())
+        .threads(1)
+        .client_quota(2)
+        .start();
+    let greedy = server.local_client();
+    let modest = server.local_client();
+    let job = || {
+        resolve_spec(&JobSpec::Point {
+            name: "gzip-1".into(),
+            scheme: "OP".into(),
+            uops: 50_000,
+        })
+        .unwrap()
+    };
+    // The greedy client fills its quota plus the worker...
+    let mut accepted = 0;
+    let mut busy = 0;
+    for t in 0..8 {
+        match greedy.submit(t, job(), Priority::Normal, None) {
+            Ok(()) => accepted += 1,
+            Err(BusyReason::OverQuota) => busy += 1,
+            Err(other) => panic!("unexpected bounce: {other}"),
+        }
+    }
+    assert!(busy > 0, "quota never engaged");
+    // ...and the modest client still gets in regardless.
+    modest.submit(100, job(), Priority::Normal, None).unwrap();
+    let r = modest.recv_timeout(RECV_TIMEOUT).expect("modest result");
+    assert_eq!(r.ticket, 100);
+    assert!(r.stats.is_ok());
+    for _ in 0..accepted {
+        assert!(greedy.recv_timeout(RECV_TIMEOUT).is_some());
+    }
+    let stats = server.stats();
+    assert_eq!(stats.rejected, busy);
+    assert_eq!(stats.accepted, accepted + 1);
+    assert_eq!(stats.completed, accepted + 1);
+    server.shutdown();
+    server.join().unwrap();
+}
+
+#[test]
+fn cancel_all_reports_queued_jobs_cancelled() {
+    let server = ServerBuilder::new(&MachineConfig::paper_2cluster())
+        .threads(1)
+        .start();
+    let client = server.local_client();
+    // A long job pins the single worker; everything behind it stays
+    // queued until the cancel.
+    for t in 0..4 {
+        let job = resolve_spec(&JobSpec::Point {
+            name: "mcf".into(),
+            scheme: "OP".into(),
+            uops: 500_000,
+        })
+        .unwrap();
+        client.submit(t, job, Priority::Normal, None).unwrap();
+    }
+    client.cancel_all();
+    let mut cancelled_before_start = 0;
+    let mut stopped = 0;
+    for _ in 0..4 {
+        let r = client.recv_timeout(RECV_TIMEOUT).expect("all jobs report");
+        match r.stats {
+            Err(e) if e == CANCELLED_BEFORE_START => cancelled_before_start += 1,
+            Err(e) if e.contains("cancelled") => stopped += 1,
+            Ok(_) => stopped += 1, // the running job may finish first
+            Err(e) => panic!("unexpected outcome: {e}"),
+        }
+    }
+    assert!(
+        cancelled_before_start >= 2,
+        "queued jobs should cancel before starting (got {cancelled_before_start})"
+    );
+    assert_eq!(cancelled_before_start + stopped, 4);
+    server.shutdown();
+    server.join().unwrap();
+}
+
+#[test]
+fn unix_socket_round_trip_is_bit_identical_and_shuts_down() {
+    let specs = mixed_specs();
+    let expected = direct_digests(&specs);
+    let sock = std::env::temp_dir().join(format!("virtclust-svc-test-{}.sock", std::process::id()));
+    let mut server = ServerBuilder::new(&MachineConfig::paper_2cluster())
+        .threads(2)
+        .start();
+    server.serve_unix(&sock).unwrap();
+
+    let mut client = Client::connect_unix(&sock).unwrap();
+    for (i, spec) in specs.iter().enumerate() {
+        client
+            .submit(&Submit {
+                ticket: i as u64,
+                priority: Priority::Normal,
+                deadline_ms: 0,
+                spec: spec.clone(),
+            })
+            .unwrap();
+    }
+    let mut accepted = 0;
+    let mut results = HashMap::new();
+    while results.len() < specs.len() {
+        match client.recv().unwrap().expect("server alive") {
+            ServerMsg::Accepted { .. } => accepted += 1,
+            ServerMsg::Result(r) => {
+                let stats = r.outcome.expect("job ok");
+                results.insert(r.ticket, stats);
+            }
+            other => panic!("unexpected message: {other:?}"),
+        }
+    }
+    assert_eq!(accepted, specs.len());
+    for (i, want) in expected.iter().enumerate() {
+        assert_eq!(
+            results[&(i as u64)].digest,
+            *want,
+            "job {i} differs from direct run over the socket"
+        );
+    }
+    // Stats snapshot over the wire.
+    client.get_stats().unwrap();
+    match client.recv().unwrap().expect("stats frame") {
+        ServerMsg::Stats(s) => {
+            assert_eq!(s.accepted, specs.len() as u64);
+            assert_eq!(s.completed, specs.len() as u64);
+            assert_eq!(s.inflight, 0);
+        }
+        other => panic!("expected stats, got {other:?}"),
+    }
+    // Wire shutdown stops the daemon; the connection then closes.
+    client.shutdown().unwrap();
+    assert!(client.recv().unwrap().is_none(), "EOF after shutdown");
+    server.join().unwrap();
+    assert!(!sock.exists(), "socket file removed on exit");
+}

@@ -1,0 +1,259 @@
+//! Length-prefixed message framing over any byte stream — the wire
+//! discipline of the trace format ([`crate::binary`]) lifted out for
+//! reuse by stream protocols (the `virtclust-svc` evaluation service):
+//! LEB128 varint framing, a version byte in the connection preamble, and
+//! forward-compatible skipping of unknown message types.
+//!
+//! A connection opens with a caller-chosen 4-byte magic plus a version
+//! byte; after that the stream is a sequence of self-delimiting frames:
+//!
+//! ```text
+//! frame := varint(1 + body_len)  msg_type: u8  body bytes
+//! ```
+//!
+//! The length prefix covers the type byte, so a reader that does not know
+//! a `msg_type` can still consume the frame exactly and move on — the
+//! same forward-compat posture as the trace format's versioned header.
+//! Frames longer than [`MAX_FRAME_LEN`] are rejected as
+//! [`TraceError::Corrupt`] before any allocation, so a garbled length
+//! prefix cannot ask the reader for gigabytes.
+//!
+//! ```
+//! use virtclust_trace::frame;
+//!
+//! let mut buf = Vec::new();
+//! frame::write_preamble(&mut buf, b"DEMO", 1).unwrap();
+//! frame::write_frame(&mut buf, 7, b"payload").unwrap();
+//! let mut r = buf.as_slice();
+//! assert_eq!(frame::read_preamble(&mut r, b"DEMO", 1).unwrap(), 1);
+//! assert_eq!(frame::read_frame(&mut r).unwrap(), Some((7, b"payload".to_vec())));
+//! assert_eq!(frame::read_frame(&mut r).unwrap(), None, "clean EOF");
+//! ```
+
+use std::io::{Read, Write};
+
+use crate::binary::{read_varint, write_varint};
+use crate::error::{Result, TraceError};
+
+/// Hard upper bound on one frame's length (type byte + body). Large
+/// enough for any legitimate message (job specs, per-cell stats, batch
+/// summaries are all well under a megabyte); small enough that a corrupt
+/// length prefix fails fast instead of allocating unboundedly.
+pub const MAX_FRAME_LEN: u64 = 16 * 1024 * 1024;
+
+/// Write the connection preamble: 4-byte magic plus a version byte.
+pub fn write_preamble<W: Write>(w: &mut W, magic: &[u8; 4], version: u8) -> Result<()> {
+    w.write_all(magic)?;
+    w.write_all(&[version])?;
+    Ok(())
+}
+
+/// Read and verify the connection preamble. Returns the peer's version
+/// byte; rejects a wrong magic as [`TraceError::Corrupt`] and a version
+/// newer than `supported` as [`TraceError::Unsupported`] (older versions
+/// are the caller's call — they are returned, not rejected).
+pub fn read_preamble<R: Read>(r: &mut R, magic: &[u8; 4], supported: u8) -> Result<u8> {
+    let mut got = [0u8; 4];
+    r.read_exact(&mut got)
+        .map_err(|_| TraceError::Corrupt("stream ends inside the preamble".into()))?;
+    if &got != magic {
+        return Err(TraceError::Corrupt(format!(
+            "bad preamble magic {got:02x?} (expected {magic:02x?})"
+        )));
+    }
+    let mut version = [0u8];
+    r.read_exact(&mut version)
+        .map_err(|_| TraceError::Corrupt("stream ends before the version byte".into()))?;
+    if version[0] > supported {
+        return Err(TraceError::Unsupported(format!(
+            "peer speaks protocol version {} (this build supports up to {supported})",
+            version[0]
+        )));
+    }
+    Ok(version[0])
+}
+
+/// Write one frame: varint length prefix (covering the type byte), the
+/// message type, the body.
+pub fn write_frame<W: Write>(w: &mut W, msg_type: u8, body: &[u8]) -> Result<()> {
+    let len = 1 + body.len() as u64;
+    if len > MAX_FRAME_LEN {
+        return Err(TraceError::Inconsistent(format!(
+            "frame of {len} bytes exceeds MAX_FRAME_LEN ({MAX_FRAME_LEN})"
+        )));
+    }
+    write_varint(w, len)?;
+    w.write_all(&[msg_type])?;
+    w.write_all(body)?;
+    Ok(())
+}
+
+/// Read one frame. Returns `Ok(None)` on a clean end of stream (EOF
+/// exactly at a frame boundary); a stream that ends *inside* a frame is
+/// [`TraceError::Corrupt`]. Unknown message types are the caller's to
+/// skip — the frame is already fully consumed, so ignoring the returned
+/// pair is a correct skip.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<(u8, Vec<u8>)>> {
+    // A clean EOF is only clean before the first length byte.
+    let mut first = [0u8];
+    match r.read(&mut first) {
+        Ok(0) => return Ok(None),
+        Ok(_) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e.into()),
+    }
+    // Decode the varint whose first byte we already hold.
+    let len = if first[0] & 0x80 == 0 {
+        u64::from(first[0])
+    } else {
+        let rest = read_varint(r)?;
+        rest.checked_shl(7)
+            .filter(|_| rest.leading_zeros() >= 7)
+            .map(|hi| hi | u64::from(first[0] & 0x7f))
+            .ok_or_else(|| TraceError::Corrupt("frame length varint overflows u64".into()))?
+    };
+    if len == 0 {
+        return Err(TraceError::Corrupt(
+            "zero-length frame (no type byte)".into(),
+        ));
+    }
+    if len > MAX_FRAME_LEN {
+        return Err(TraceError::Corrupt(format!(
+            "frame length {len} exceeds MAX_FRAME_LEN ({MAX_FRAME_LEN})"
+        )));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)
+        .map_err(|_| TraceError::Corrupt("stream ends inside a frame".into()))?;
+    let body = payload.split_off(1);
+    Ok(Some((payload[0], body)))
+}
+
+/// Append a varint-length-prefixed byte string to `out` (strings and blobs
+/// inside frame bodies).
+pub fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    // Writing to a Vec cannot fail.
+    let _ = write_varint(out, bytes.len() as u64);
+    out.extend_from_slice(bytes);
+}
+
+/// Append a varint to `out`.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    let _ = write_varint(out, v);
+}
+
+/// Read a varint-length-prefixed byte string from a frame body.
+pub fn take_bytes<R: Read>(r: &mut R) -> Result<Vec<u8>> {
+    let len = read_varint(r)?;
+    if len > MAX_FRAME_LEN {
+        return Err(TraceError::Corrupt(format!(
+            "byte string of {len} bytes inside a frame"
+        )));
+    }
+    let mut buf = vec![0u8; len as usize];
+    r.read_exact(&mut buf)
+        .map_err(|_| TraceError::Corrupt("truncated byte string".into()))?;
+    Ok(buf)
+}
+
+/// Read a varint-length-prefixed UTF-8 string from a frame body.
+pub fn take_string<R: Read>(r: &mut R) -> Result<String> {
+    String::from_utf8(take_bytes(r)?)
+        .map_err(|_| TraceError::Corrupt("byte string is not UTF-8".into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_roundtrip_and_end_cleanly() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, 1, b"").unwrap();
+        write_frame(&mut buf, 200, &[0u8; 300]).unwrap();
+        write_frame(&mut buf, 7, b"hello").unwrap();
+        let mut r = buf.as_slice();
+        assert_eq!(read_frame(&mut r).unwrap(), Some((1, Vec::new())));
+        assert_eq!(read_frame(&mut r).unwrap(), Some((200, vec![0u8; 300])));
+        assert_eq!(read_frame(&mut r).unwrap(), Some((7, b"hello".to_vec())));
+        assert_eq!(read_frame(&mut r).unwrap(), None);
+        assert_eq!(read_frame(&mut r).unwrap(), None, "EOF is sticky");
+    }
+
+    #[test]
+    fn unknown_types_are_skippable_by_construction() {
+        // A reader that ignores a frame it does not understand is exactly
+        // aligned for the next one.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, 250, b"from the future").unwrap();
+        write_frame(&mut buf, 1, b"known").unwrap();
+        let mut r = buf.as_slice();
+        let (t, _) = read_frame(&mut r).unwrap().unwrap();
+        assert_eq!(t, 250); // caller shrugs and drops it
+        assert_eq!(read_frame(&mut r).unwrap(), Some((1, b"known".to_vec())));
+    }
+
+    #[test]
+    fn truncated_frames_are_corrupt_not_eof() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, 3, b"abcdef").unwrap();
+        let cut = &buf[..buf.len() - 2];
+        let mut r = cut;
+        assert!(matches!(read_frame(&mut r), Err(TraceError::Corrupt(_))));
+    }
+
+    #[test]
+    fn oversized_and_zero_frames_are_rejected() {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, MAX_FRAME_LEN + 1).unwrap();
+        assert!(matches!(
+            read_frame(&mut buf.as_slice()),
+            Err(TraceError::Corrupt(_))
+        ));
+        let mut buf = Vec::new();
+        write_varint(&mut buf, 0).unwrap();
+        assert!(matches!(
+            read_frame(&mut buf.as_slice()),
+            Err(TraceError::Corrupt(_))
+        ));
+        // The writer refuses to emit one too.
+        assert!(write_frame(&mut Vec::new(), 0, &vec![0u8; MAX_FRAME_LEN as usize]).is_err());
+    }
+
+    #[test]
+    fn preamble_verifies_magic_and_version() {
+        let mut buf = Vec::new();
+        write_preamble(&mut buf, b"VCSV", 1).unwrap();
+        assert_eq!(read_preamble(&mut buf.as_slice(), b"VCSV", 1).unwrap(), 1);
+        assert!(matches!(
+            read_preamble(&mut buf.as_slice(), b"XXXX", 1),
+            Err(TraceError::Corrupt(_))
+        ));
+        let mut newer = Vec::new();
+        write_preamble(&mut newer, b"VCSV", 9).unwrap();
+        assert!(matches!(
+            read_preamble(&mut newer.as_slice(), b"VCSV", 1),
+            Err(TraceError::Unsupported(_))
+        ));
+        // Older peers are returned, not rejected (caller's policy).
+        let mut older = Vec::new();
+        write_preamble(&mut older, b"VCSV", 0).unwrap();
+        assert_eq!(read_preamble(&mut older.as_slice(), b"VCSV", 1).unwrap(), 0);
+    }
+
+    #[test]
+    fn body_helpers_roundtrip() {
+        let mut body = Vec::new();
+        put_u64(&mut body, 300);
+        put_bytes(&mut body, b"name");
+        put_u64(&mut body, 0);
+        let mut r = body.as_slice();
+        assert_eq!(read_varint(&mut r).unwrap(), 300);
+        assert_eq!(take_string(&mut r).unwrap(), "name");
+        assert_eq!(read_varint(&mut r).unwrap(), 0);
+        assert!(
+            matches!(take_bytes(&mut r), Err(TraceError::Corrupt(_)),),
+            "reading past the body is corrupt"
+        );
+    }
+}

@@ -77,6 +77,7 @@
 pub mod binary;
 pub mod capture;
 pub mod error;
+pub mod frame;
 pub mod import;
 pub mod reader;
 pub mod record;
